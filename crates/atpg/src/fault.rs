@@ -1,0 +1,191 @@
+//! The single-stuck-at fault model and equivalence collapsing.
+
+use netlist::{Circuit, GateKind, NetId};
+
+/// Where a stuck-at fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// On a net's stem (affects every reader of the net).
+    Stem(NetId),
+    /// On one input pin of the gate driving `gate_out` (affects only that
+    /// gate's view of its `pin`-th fanin). Pin faults are distinct from stem
+    /// faults only where the fanin net has fanout > 1.
+    Pin {
+        /// Output net of the gate whose input pin is faulty.
+        gate_out: NetId,
+        /// Fanin position.
+        pin: usize,
+    },
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Location.
+    pub site: FaultSite,
+    /// Stuck value: `true` = stuck-at-1.
+    pub stuck_at: bool,
+}
+
+impl Fault {
+    /// Stuck-at-0 at a stem.
+    pub fn stem_sa0(net: NetId) -> Self {
+        Fault {
+            site: FaultSite::Stem(net),
+            stuck_at: false,
+        }
+    }
+
+    /// Stuck-at-1 at a stem.
+    pub fn stem_sa1(net: NetId) -> Self {
+        Fault {
+            site: FaultSite::Stem(net),
+            stuck_at: true,
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = u8::from(self.stuck_at);
+        match self.site {
+            FaultSite::Stem(n) => write!(f, "{n}/sa{v}"),
+            FaultSite::Pin { gate_out, pin } => write!(f, "{gate_out}.pin{pin}/sa{v}"),
+        }
+    }
+}
+
+/// Enumerates the full (uncollapsed) fault universe of the combinational
+/// part: both stuck values on every net stem and on every gate input pin.
+pub fn enumerate_faults(circuit: &Circuit) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for id in circuit.net_ids() {
+        for v in [false, true] {
+            faults.push(Fault {
+                site: FaultSite::Stem(id),
+                stuck_at: v,
+            });
+        }
+        if let Some(g) = circuit.gate(id) {
+            for pin in 0..g.fanin.len() {
+                for v in [false, true] {
+                    faults.push(Fault {
+                        site: FaultSite::Pin { gate_out: id, pin },
+                        stuck_at: v,
+                    });
+                }
+            }
+        }
+    }
+    faults
+}
+
+/// Classic gate-local equivalence collapsing:
+///
+/// - a pin fault on a single-fanout net is equivalent to the stem fault;
+/// - AND: input s-a-0 ≡ output s-a-0 (NAND: ≡ output s-a-1);
+/// - OR: input s-a-1 ≡ output s-a-1 (NOR: ≡ output s-a-0);
+/// - NOT/BUF: both pin faults are equivalent to an output fault.
+///
+/// The representative kept is always the stem/output fault.
+pub fn collapse(circuit: &Circuit, faults: Vec<Fault>) -> Vec<Fault> {
+    let fanouts = circuit.fanouts();
+    let fanout_count = |n: NetId| {
+        let mut c = fanouts[n.index()].len();
+        if circuit.primary_outputs().contains(&n) {
+            c += 1;
+        }
+        if circuit.dffs().iter().any(|d| d.d == n) {
+            c += 1;
+        }
+        c
+    };
+    faults
+        .into_iter()
+        .filter(|f| {
+            let FaultSite::Pin { gate_out, pin } = f.site else {
+                return true; // keep all stem faults
+            };
+            let g = circuit.gate(gate_out).expect("pin fault implies a gate");
+            let fanin_net = g.fanin[pin];
+            // Single-fanout fanin: pin fault ≡ stem fault of the fanin.
+            if fanout_count(fanin_net) <= 1 {
+                return false;
+            }
+            // Controlling-value equivalences.
+            match g.kind {
+                GateKind::And | GateKind::Nand => f.stuck_at, // drop s-a-0
+                GateKind::Or | GateKind::Nor => !f.stuck_at,  // drop s-a-1
+                GateKind::Not | GateKind::Buf => false,       // ≡ output fault
+                _ => true,                                    // XOR family: keep
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn enumeration_counts() {
+        // c17: 11 nets (5 PI + 6 gates), 12 gate input pins (6 NAND2).
+        let c = samples::c17();
+        let faults = enumerate_faults(&c);
+        assert_eq!(faults.len(), 2 * 11 + 2 * 12);
+    }
+
+    #[test]
+    fn collapsing_shrinks_but_keeps_stems() {
+        let c = samples::c17();
+        let all = enumerate_faults(&c);
+        let collapsed = collapse(&c, all.clone());
+        assert!(collapsed.len() < all.len());
+        for id in c.net_ids() {
+            assert!(collapsed.contains(&Fault::stem_sa0(id)));
+            assert!(collapsed.contains(&Fault::stem_sa1(id)));
+        }
+    }
+
+    #[test]
+    fn nand_input_sa0_collapsed() {
+        let c = samples::c17();
+        let collapsed = collapse(&c, enumerate_faults(&c));
+        for f in &collapsed {
+            if let FaultSite::Pin { gate_out, .. } = f.site {
+                let g = c.gate(gate_out).unwrap();
+                assert_eq!(g.kind, GateKind::Nand);
+                assert!(f.stuck_at, "NAND input s-a-0 should be collapsed: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_fanout_pins_dropped() {
+        // y = NOT(a): the NOT's pin fault is equivalent to a's stem fault.
+        let mut c = netlist::Circuit::new("t");
+        let a = c.add_input("a");
+        let y = c.add_gate(GateKind::Not, vec![a], "y").unwrap();
+        c.mark_output(y);
+        let collapsed = collapse(&c, enumerate_faults(&c));
+        assert!(collapsed
+            .iter()
+            .all(|f| matches!(f.site, FaultSite::Stem(_))));
+        assert_eq!(collapsed.len(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = Fault::stem_sa1(NetId::from_index(3));
+        assert_eq!(f.to_string(), "n3/sa1");
+        let p = Fault {
+            site: FaultSite::Pin {
+                gate_out: NetId::from_index(4),
+                pin: 1,
+            },
+            stuck_at: false,
+        };
+        assert_eq!(p.to_string(), "n4.pin1/sa0");
+    }
+}

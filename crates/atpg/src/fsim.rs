@@ -1,0 +1,426 @@
+//! Parallel-pattern fault simulation with fault dropping (the HOPE role).
+
+use netlist::{Circuit, Error, GateKind, Levelization, NetId};
+
+use crate::fault::{Fault, FaultSite};
+
+/// A 64-pattern-parallel fault simulator.
+///
+/// For each batch of 64 input patterns it computes the good-circuit values
+/// once; every candidate fault is then simulated *event-driven*: only the
+/// gates whose value actually changes are re-evaluated, in topological
+/// order, which keeps per-fault cost proportional to the disturbed cone
+/// rather than the whole circuit.
+#[derive(Debug, Clone)]
+pub struct FaultSim {
+    order: Vec<NetId>,
+    /// Topological rank of each net (for the event queue).
+    rank: Vec<u32>,
+    gates: Vec<Option<(GateKind, Vec<u32>)>>,
+    fanouts: Vec<Vec<u32>>,
+    inputs: Vec<NetId>,
+    output_mask: Vec<bool>,
+    num_nets: usize,
+    good: Vec<u64>,
+    faulty: Vec<u64>,
+    /// Scratch: nets touched by the last fault propagation.
+    touched: Vec<u32>,
+    /// Scratch: scheduled flags for the event queue.
+    scheduled: Vec<bool>,
+}
+
+impl FaultSim {
+    /// Compiles a fault simulator for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a netlist error if the circuit is cyclic.
+    pub fn new(circuit: &Circuit) -> Result<Self, Error> {
+        let lv = Levelization::build(circuit)?;
+        let mut gates = vec![None; circuit.num_nets()];
+        for id in circuit.net_ids() {
+            if let Some(g) = circuit.gate(id) {
+                gates[id.index()] = Some((
+                    g.kind,
+                    g.fanin.iter().map(|f| f.index() as u32).collect(),
+                ));
+            }
+        }
+        let mut rank = vec![0u32; circuit.num_nets()];
+        for (r, id) in lv.order().iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        let fanouts: Vec<Vec<u32>> = circuit
+            .fanouts()
+            .into_iter()
+            .map(|v| v.into_iter().map(|n| n.index() as u32).collect())
+            .collect();
+        let mut output_mask = vec![false; circuit.num_nets()];
+        for o in circuit.comb_outputs() {
+            output_mask[o.index()] = true;
+        }
+        Ok(FaultSim {
+            order: lv.order().to_vec(),
+            rank,
+            gates,
+            fanouts,
+            inputs: circuit.comb_inputs(),
+            output_mask,
+            num_nets: circuit.num_nets(),
+            good: vec![0; circuit.num_nets()],
+            faulty: vec![0; circuit.num_nets()],
+            touched: Vec::new(),
+            scheduled: vec![false; circuit.num_nets()],
+        })
+    }
+
+    fn eval_gate(kind: GateKind, fanin: &[u32], values: &[u64]) -> u64 {
+        match kind {
+            GateKind::And => fanin.iter().fold(!0u64, |a, &x| a & values[x as usize]),
+            GateKind::Nand => !fanin.iter().fold(!0u64, |a, &x| a & values[x as usize]),
+            GateKind::Or => fanin.iter().fold(0u64, |a, &x| a | values[x as usize]),
+            GateKind::Nor => !fanin.iter().fold(0u64, |a, &x| a | values[x as usize]),
+            GateKind::Xor => fanin.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
+            GateKind::Xnor => !fanin.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
+            GateKind::Not => !values[fanin[0] as usize],
+            GateKind::Buf => values[fanin[0] as usize],
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+        }
+    }
+
+    fn run_good(&mut self, input_words: &[u64]) {
+        assert_eq!(input_words.len(), self.inputs.len(), "input width mismatch");
+        for v in self.good.iter_mut() {
+            *v = 0;
+        }
+        for (net, &w) in self.inputs.iter().zip(input_words) {
+            self.good[net.index()] = w;
+        }
+        for &id in &self.order {
+            if let Some((kind, fanin)) = &self.gates[id.index()] {
+                self.good[id.index()] = Self::eval_gate(*kind, fanin, &self.good);
+            }
+        }
+        // Faulty mirror starts equal; fault_effect keeps it in sync through
+        // the `touched` undo list.
+        self.faulty.copy_from_slice(&self.good);
+    }
+
+    /// Event-driven propagation of one fault over the current batch.
+    /// Returns the mask of patterns on which some output differs.
+    fn fault_effect(&mut self, fault: &Fault) -> u64 {
+        debug_assert!(self.touched.is_empty());
+        let stuck = if fault.stuck_at { !0u64 } else { 0u64 };
+        let mut diff = 0u64;
+        // Min-rank-first event queue.
+        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
+            std::collections::BinaryHeap::new();
+        let push = |queue: &mut std::collections::BinaryHeap<_>,
+                        scheduled: &mut [bool],
+                        rank: &[u32],
+                        n: u32| {
+            if !scheduled[n as usize] {
+                scheduled[n as usize] = true;
+                queue.push(std::cmp::Reverse((rank[n as usize], n)));
+            }
+        };
+
+        // Seed the queue.
+        let forced_pin = match fault.site {
+            FaultSite::Stem(n) => {
+                let i = n.index();
+                if self.faulty[i] != stuck {
+                    self.faulty[i] = stuck;
+                    self.touched.push(i as u32);
+                    if self.output_mask[i] {
+                        diff |= self.good[i] ^ stuck;
+                    }
+                    for &f in &self.fanouts[i] {
+                        push(&mut queue, &mut self.scheduled, &self.rank, f);
+                    }
+                }
+                None
+            }
+            FaultSite::Pin { gate_out, pin } => {
+                push(
+                    &mut queue,
+                    &mut self.scheduled,
+                    &self.rank,
+                    gate_out.index() as u32,
+                );
+                Some((gate_out.index() as u32, pin))
+            }
+        };
+
+        let stem_forced = matches!(fault.site, FaultSite::Stem(_));
+        let stem_net = match fault.site {
+            FaultSite::Stem(n) => n.index() as u32,
+            _ => u32::MAX,
+        };
+
+        while let Some(std::cmp::Reverse((_, n))) = queue.pop() {
+            self.scheduled[n as usize] = false;
+            if stem_forced && n == stem_net {
+                continue; // the stem stays forced
+            }
+            let Some((kind, fanin)) = &self.gates[n as usize] else {
+                continue;
+            };
+            let new = match forced_pin {
+                Some((g, pin)) if g == n => {
+                    let mut acc_vals: Vec<u64> = fanin
+                        .iter()
+                        .map(|&x| self.faulty[x as usize])
+                        .collect();
+                    acc_vals[pin] = stuck;
+                    let idxs: Vec<u32> = (0..acc_vals.len() as u32).collect();
+                    Self::eval_gate(*kind, &idxs, &acc_vals)
+                }
+                _ => Self::eval_gate(*kind, fanin, &self.faulty),
+            };
+            if new != self.faulty[n as usize] {
+                if self.faulty[n as usize] == self.good[n as usize] {
+                    self.touched.push(n);
+                }
+                self.faulty[n as usize] = new;
+                if self.output_mask[n as usize] {
+                    diff |= self.good[n as usize] ^ new;
+                }
+                for &f in &self.fanouts[n as usize] {
+                    push(&mut queue, &mut self.scheduled, &self.rank, f);
+                }
+            } else if self.faulty[n as usize] != self.good[n as usize] {
+                // Value did not change on requeue but is still divergent;
+                // keep it in the touched list (it already is).
+            }
+        }
+
+        // Undo: restore the faulty mirror to the good values.
+        for &n in &self.touched {
+            self.faulty[n as usize] = self.good[n as usize];
+        }
+        self.touched.clear();
+        diff
+    }
+
+    /// Simulates a batch of 64 patterns and returns the indices (into
+    /// `faults`) of the faults detected by at least one pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the combinational input
+    /// count.
+    pub fn detect_batch(&mut self, input_words: &[u64], faults: &[Fault]) -> Vec<usize> {
+        self.run_good(input_words);
+        let mut detected = Vec::new();
+        for (i, f) in faults.iter().enumerate() {
+            if self.fault_effect(f) != 0 {
+                detected.push(i);
+            }
+        }
+        detected
+    }
+
+    /// Checks whether a single pattern (booleans over the combinational
+    /// inputs) detects a single fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len()` differs from the combinational input count.
+    pub fn detects(&mut self, pattern: &[bool], fault: &Fault) -> bool {
+        let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        self.run_good(&words);
+        self.fault_effect(fault) & 1 == 1
+    }
+
+    /// Number of nets in the compiled circuit.
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    #[cfg(test)]
+    fn good_value(&self, net: NetId) -> u64 {
+        self.good[net.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    /// Reference implementation: full resimulation with the fault injected.
+    fn full_resim_effect(c: &Circuit, input_words: &[u64], fault: &Fault) -> u64 {
+        let lv = Levelization::build(c).unwrap();
+        let eval = |values: &mut Vec<u64>, fault: Option<&Fault>| {
+            for &id in lv.order() {
+                if let Some(g) = c.gate(id) {
+                    if let Some(Fault {
+                        site: FaultSite::Stem(n),
+                        ..
+                    }) = fault
+                    {
+                        if *n == id {
+                            continue;
+                        }
+                    }
+                    let mut vals: Vec<u64> =
+                        g.fanin.iter().map(|f| values[f.index()]).collect();
+                    if let Some(Fault {
+                        site: FaultSite::Pin { gate_out, pin },
+                        stuck_at,
+                    }) = fault
+                    {
+                        if *gate_out == id {
+                            vals[*pin] = if *stuck_at { !0 } else { 0 };
+                        }
+                    }
+                    values[id.index()] = match g.kind {
+                        GateKind::And => vals.iter().fold(!0u64, |a, &x| a & x),
+                        GateKind::Nand => !vals.iter().fold(!0u64, |a, &x| a & x),
+                        GateKind::Or => vals.iter().fold(0u64, |a, &x| a | x),
+                        GateKind::Nor => !vals.iter().fold(0u64, |a, &x| a | x),
+                        GateKind::Xor => vals.iter().fold(0u64, |a, &x| a ^ x),
+                        GateKind::Xnor => !vals.iter().fold(0u64, |a, &x| a ^ x),
+                        GateKind::Not => !vals[0],
+                        GateKind::Buf => vals[0],
+                        GateKind::Const0 => 0,
+                        GateKind::Const1 => !0,
+                    };
+                }
+            }
+        };
+        let mut good = vec![0u64; c.num_nets()];
+        for (net, &w) in c.comb_inputs().iter().zip(input_words) {
+            good[net.index()] = w;
+        }
+        eval(&mut good, None);
+        let mut bad = vec![0u64; c.num_nets()];
+        for (net, &w) in c.comb_inputs().iter().zip(input_words) {
+            bad[net.index()] = w;
+        }
+        if let FaultSite::Stem(n) = fault.site {
+            bad[n.index()] = if fault.stuck_at { !0 } else { 0 };
+        }
+        eval(&mut bad, Some(fault));
+        if let FaultSite::Stem(n) = fault.site {
+            bad[n.index()] = if fault.stuck_at { !0 } else { 0 };
+        }
+        let mut diff = 0u64;
+        for o in c.comb_outputs() {
+            diff |= good[o.index()] ^ bad[o.index()];
+        }
+        diff
+    }
+
+    #[test]
+    fn event_driven_matches_full_resimulation() {
+        let mut rng = netlist::rng::SplitMix64::new(17);
+        for seed in 0..6 {
+            let c = netlist::generate::random_comb(seed, 10, 6, 150).unwrap();
+            let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+            let mut sim = FaultSim::new(&c).unwrap();
+            let words: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+            sim.run_good(&words);
+            for f in &faults {
+                let fast = sim.fault_effect(f);
+                let slow = full_resim_effect(&c, &words, f);
+                assert_eq!(fast, slow, "fault {f} in seed-{seed} circuit");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_mirror_restored_between_faults() {
+        let c = samples::c17();
+        let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+        let mut sim = FaultSim::new(&c).unwrap();
+        let words = vec![0xDEAD_BEEFu64; 5];
+        sim.run_good(&words);
+        for f in &faults {
+            let _ = sim.fault_effect(f);
+            assert_eq!(sim.faulty, sim.good, "mirror must be restored after {f}");
+        }
+    }
+
+    #[test]
+    fn input_fault_requires_sensitized_path() {
+        // y = AND(a, b): a/sa0 only detectable when a=1 AND b=1.
+        let mut c = netlist::Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = c.add_gate(GateKind::And, vec![a, b], "y").unwrap();
+        c.mark_output(y);
+        let mut sim = FaultSim::new(&c).unwrap();
+        let f = Fault::stem_sa0(a);
+        assert!(sim.detects(&[true, true], &f));
+        assert!(!sim.detects(&[true, false], &f));
+        assert!(!sim.detects(&[false, true], &f));
+    }
+
+    #[test]
+    fn pin_fault_affects_only_one_branch() {
+        let mut c = netlist::Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b], "g1").unwrap();
+        let g2 = c.add_gate(GateKind::Or, vec![a, b], "g2").unwrap();
+        c.mark_output(g1);
+        c.mark_output(g2);
+        let mut sim = FaultSim::new(&c).unwrap();
+        let pin_fault = Fault {
+            site: FaultSite::Pin { gate_out: g1, pin: 0 },
+            stuck_at: false,
+        };
+        let words = vec![!0u64, !0u64];
+        sim.run_good(&words);
+        let diff = sim.fault_effect(&pin_fault);
+        assert_eq!(diff, !0u64);
+        let _ = sim.good_value(g2);
+    }
+
+    #[test]
+    fn stem_fault_affects_all_branches() {
+        let mut c = netlist::Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b], "g1").unwrap();
+        let g2 = c.add_gate(GateKind::Or, vec![a, b], "g2").unwrap();
+        c.mark_output(g1);
+        c.mark_output(g2);
+        let mut sim = FaultSim::new(&c).unwrap();
+        let f = Fault::stem_sa0(a);
+        let words = vec![!0u64, 0u64];
+        sim.run_good(&words);
+        let diff = sim.fault_effect(&f);
+        assert_eq!(diff, !0u64);
+    }
+
+    #[test]
+    fn detect_batch_matches_single_pattern_checks() {
+        let c = samples::full_adder();
+        let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+        let mut sim = FaultSim::new(&c).unwrap();
+        let mut words = vec![0u64; 3];
+        for m in 0..8u64 {
+            for (i, w) in words.iter_mut().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    *w |= 1 << m;
+                }
+            }
+        }
+        let batch = sim.detect_batch(&words, &faults);
+        for (i, f) in faults.iter().enumerate() {
+            let mut single = false;
+            for m in 0..8u64 {
+                let pattern: Vec<bool> = (0..3).map(|k| (m >> k) & 1 == 1).collect();
+                if sim.detects(&pattern, f) {
+                    single = true;
+                    break;
+                }
+            }
+            assert_eq!(batch.contains(&i), single, "fault {f}");
+        }
+    }
+}

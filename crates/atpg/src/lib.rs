@@ -1,0 +1,246 @@
+//! Stuck-at-fault test generation and fault simulation — the workspace's
+//! stand-in for the Atalanta ATPG tool and the HOPE fault simulator used in
+//! the paper's Table II.
+//!
+//! - [`fault`]: the single-stuck-at fault model (stem and gate-input-pin
+//!   faults) with classic equivalence collapsing.
+//! - [`fsim`]: 64-pattern-parallel fault simulation with fault dropping.
+//! - [`podem`]: PODEM test generation with a backtrack limit; exhausted
+//!   search proves redundancy, a hit limit aborts the fault (exactly the
+//!   Atalanta outcome classes Table II reports).
+//! - [`run_atpg`]: the full flow the paper used — random-pattern fault
+//!   simulation first (HOPE prefiltering, as done for b18/b19), PODEM for
+//!   the survivors, coverage bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use atpg::{run_atpg, AtpgConfig};
+//! use netlist::samples;
+//!
+//! let c = samples::c17();
+//! let report = run_atpg(&c, &AtpgConfig::default()).expect("acyclic");
+//! assert!(report.coverage_percent() > 99.0); // c17 is fully testable
+//! assert_eq!(report.redundant, 0);
+//! ```
+
+pub mod fault;
+pub mod fsim;
+pub mod podem;
+
+pub use fault::{collapse, enumerate_faults, Fault, FaultSite};
+
+use netlist::{Circuit, Error};
+
+/// Configuration of the ATPG flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Random patterns simulated before deterministic generation.
+    pub random_patterns: usize,
+    /// PODEM backtrack limit per fault ("high effort" in the paper ≈ large).
+    pub backtrack_limit: usize,
+    /// PRNG seed for the random phase.
+    pub seed: u64,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            random_patterns: 1024,
+            backtrack_limit: 5000,
+            seed: 0xA7B6,
+        }
+    }
+}
+
+/// Outcome of the ATPG flow, in the terms Table II reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtpgReport {
+    /// Total (collapsed) faults targeted.
+    pub total_faults: usize,
+    /// Faults detected by some test.
+    pub detected: usize,
+    /// Faults proven untestable (no test exists).
+    pub redundant: usize,
+    /// Faults abandoned at the backtrack limit.
+    pub aborted: usize,
+    /// The deterministic (PODEM-generated) test set, one input assignment
+    /// per entry over the combinational inputs. Faults detected in the
+    /// random phase are counted but their patterns are not stored.
+    pub tests: Vec<Vec<bool>>,
+}
+
+impl AtpgReport {
+    /// Fault coverage in percent: `detected / total`.
+    pub fn coverage_percent(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 100.0;
+        }
+        100.0 * self.detected as f64 / self.total_faults as f64
+    }
+
+    /// The paper's "# Red.+Abrt faults" column.
+    pub fn redundant_plus_aborted(&self) -> usize {
+        self.redundant + self.aborted
+    }
+}
+
+/// Runs the full ATPG flow on the combinational part of `circuit`.
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+pub fn run_atpg(circuit: &Circuit, config: &AtpgConfig) -> Result<AtpgReport, Error> {
+    let faults = collapse(circuit, enumerate_faults(circuit));
+    let total = faults.len();
+    let mut sim = fsim::FaultSim::new(circuit)?;
+    let mut alive: Vec<Fault> = faults;
+    let mut tests: Vec<Vec<bool>> = Vec::new();
+
+    // Phase 1: random patterns (HOPE prefilter).
+    let mut rng = netlist::rng::SplitMix64::new(config.seed);
+    let n_in = circuit.comb_inputs().len();
+    let words = config.random_patterns.div_ceil(64);
+    for _ in 0..words {
+        let input: Vec<u64> = (0..n_in).map(|_| rng.next_u64()).collect();
+        let detected = sim.detect_batch(&input, &alive);
+        let det_set: std::collections::HashSet<usize> = detected.into_iter().collect();
+        if !det_set.is_empty() {
+            let mut next = Vec::with_capacity(alive.len());
+            for (i, f) in alive.drain(..).enumerate() {
+                if !det_set.contains(&i) {
+                    next.push(f);
+                }
+            }
+            alive = next;
+        }
+        if alive.is_empty() {
+            break;
+        }
+    }
+    let detected_random = total - alive.len();
+
+    // Phase 2: PODEM on the survivors, dropping further faults with each
+    // successful test.
+    let mut podem_gen = podem::Podem::new(circuit, config.backtrack_limit)?;
+    let mut detected_det = 0usize;
+    let mut redundant = 0usize;
+    let mut aborted = 0usize;
+    while !alive.is_empty() {
+        let fault = alive[0].clone();
+        match podem_gen.generate(&fault) {
+            podem::Outcome::Test(pattern) => {
+                // Fault-simulate the new pattern to drop other faults too.
+                let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let detected = sim.detect_batch(&words, &alive);
+                let det_set: std::collections::HashSet<usize> = detected.into_iter().collect();
+                debug_assert!(
+                    det_set.contains(&0),
+                    "PODEM test must detect its target fault"
+                );
+                detected_det += det_set.len().max(1);
+                tests.push(pattern);
+                let mut next = Vec::with_capacity(alive.len());
+                for (j, f) in alive.drain(..).enumerate() {
+                    if !det_set.contains(&j) && j != 0 {
+                        next.push(f);
+                    }
+                }
+                alive = next;
+            }
+            podem::Outcome::Redundant => {
+                redundant += 1;
+                alive.remove(0);
+            }
+            podem::Outcome::Aborted => {
+                aborted += 1;
+                alive.remove(0);
+            }
+        }
+    }
+
+    Ok(AtpgReport {
+        total_faults: total,
+        detected: detected_random + detected_det,
+        redundant,
+        aborted,
+        tests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn c17_full_coverage() {
+        let rep = run_atpg(&samples::c17(), &AtpgConfig::default()).unwrap();
+        assert_eq!(rep.redundant, 0, "c17 has no redundant faults");
+        assert_eq!(rep.aborted, 0);
+        assert_eq!(rep.detected, rep.total_faults);
+        assert!((rep.coverage_percent() - 100.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn adder_full_coverage() {
+        let rep = run_atpg(&samples::ripple_adder(4), &AtpgConfig::default()).unwrap();
+        assert_eq!(rep.detected + rep.redundant + rep.aborted, rep.total_faults);
+        assert!(rep.coverage_percent() > 99.0, "{}", rep.coverage_percent());
+    }
+
+    #[test]
+    fn redundant_logic_is_proven_redundant() {
+        // y = a & (a | b): the `b` input of the OR is unobservable
+        // (a & (a|b) == a), so its faults are redundant.
+        let mut c = netlist::Circuit::new("red");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let o = c.add_gate(netlist::GateKind::Or, vec![a, b], "o").unwrap();
+        let y = c.add_gate(netlist::GateKind::And, vec![a, o], "y").unwrap();
+        c.mark_output(y);
+        let rep = run_atpg(&c, &AtpgConfig::default()).unwrap();
+        assert!(rep.redundant > 0, "expected redundant faults, got {rep:?}");
+        assert_eq!(rep.aborted, 0);
+        assert_eq!(rep.detected + rep.redundant, rep.total_faults);
+    }
+
+    #[test]
+    fn synthetic_benchmark_coverage_accounted() {
+        // Random reconvergent logic carries genuinely redundant faults
+        // (~15% for this generator — every "redundant" verdict on this
+        // circuit was verified exhaustively while developing the solver), so
+        // coverage sits below designed-logic levels but every fault must be
+        // classified and nothing may abort at this size.
+        let c = netlist::generate::random_comb(77, 12, 6, 300).unwrap();
+        let rep = run_atpg(&c, &AtpgConfig::default()).unwrap();
+        assert!(
+            rep.coverage_percent() > 75.0,
+            "coverage {}",
+            rep.coverage_percent()
+        );
+        assert_eq!(rep.aborted, 0);
+        assert_eq!(rep.detected + rep.redundant, rep.total_faults);
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let c = netlist::generate::random_comb(3, 8, 4, 120).unwrap();
+        let rep = run_atpg(&c, &AtpgConfig::default()).unwrap();
+        assert_eq!(rep.detected + rep.redundant + rep.aborted, rep.total_faults);
+        assert_eq!(
+            rep.redundant_plus_aborted(),
+            rep.redundant + rep.aborted
+        );
+    }
+
+    #[test]
+    fn zero_random_patterns_still_works() {
+        let cfg = AtpgConfig {
+            random_patterns: 0,
+            ..AtpgConfig::default()
+        };
+        let rep = run_atpg(&samples::c17(), &cfg).unwrap();
+        assert_eq!(rep.detected, rep.total_faults);
+    }
+}

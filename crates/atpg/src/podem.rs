@@ -1,0 +1,563 @@
+//! PODEM deterministic test generation.
+//!
+//! PODEM (path-oriented decision making) searches the primary-input space
+//! directly: pick an objective (excite the fault, then advance its effect
+//! through the D-frontier), backtrace the objective to an unassigned input,
+//! imply, and backtrack on failure. The search is complete, so an exhausted
+//! decision stack proves the fault *redundant*; hitting the backtrack limit
+//! *aborts* the fault. These are exactly the Atalanta outcome classes that
+//! the paper's Table II counts.
+
+use netlist::{Circuit, Error, GateKind, Levelization, NetId};
+
+use crate::fault::{Fault, FaultSite};
+
+/// Result of targeting one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A detecting input assignment over the combinational inputs
+    /// (don't-cares filled with 0).
+    Test(Vec<bool>),
+    /// Proven untestable.
+    Redundant,
+    /// Backtrack limit exhausted.
+    Aborted,
+}
+
+/// A PODEM test generator compiled for one circuit.
+#[derive(Debug)]
+pub struct Podem {
+    order: Vec<NetId>,
+    gates: Vec<Option<(GateKind, Vec<u32>)>>,
+    fanouts: Vec<Vec<u32>>,
+    rank: Vec<u32>,
+    inputs: Vec<NetId>,
+    input_pos: Vec<Option<u32>>, // net index -> comb input position
+    outputs: Vec<NetId>,
+    output_mask: Vec<bool>,
+    backtrack_limit: usize,
+    good: Vec<Option<bool>>,
+    faulty: Vec<Option<bool>>,
+    /// Nets with a known fault effect (good != faulty, both assigned).
+    effected: Vec<bool>,
+    /// Count of *outputs* currently showing a fault effect.
+    effect_at_outputs: usize,
+    /// Event-queue scratch.
+    scheduled: Vec<bool>,
+}
+
+fn eval3(kind: GateKind, vals: &[Option<bool>]) -> Option<bool> {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let invert = kind == GateKind::Nand;
+            if vals.iter().any(|v| *v == Some(false)) {
+                Some(invert)
+            } else if vals.iter().all(|v| *v == Some(true)) {
+                Some(!invert)
+            } else {
+                None
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let invert = kind == GateKind::Nor;
+            if vals.iter().any(|v| *v == Some(true)) {
+                Some(!invert)
+            } else if vals.iter().all(|v| *v == Some(false)) {
+                Some(invert)
+            } else {
+                None
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            if vals.iter().all(Option::is_some) {
+                let p = vals.iter().fold(false, |acc, v| acc ^ v.expect("checked"));
+                Some(if kind == GateKind::Xor { p } else { !p })
+            } else {
+                None
+            }
+        }
+        GateKind::Not => vals[0].map(|b| !b),
+        GateKind::Buf => vals[0],
+        GateKind::Const0 => Some(false),
+        GateKind::Const1 => Some(true),
+    }
+}
+
+impl Podem {
+    /// Compiles a generator with the given backtrack limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a netlist error if the circuit is cyclic.
+    pub fn new(circuit: &Circuit, backtrack_limit: usize) -> Result<Self, Error> {
+        let lv = Levelization::build(circuit)?;
+        let mut gates = vec![None; circuit.num_nets()];
+        for id in circuit.net_ids() {
+            if let Some(g) = circuit.gate(id) {
+                gates[id.index()] = Some((
+                    g.kind,
+                    g.fanin.iter().map(|f| f.index() as u32).collect(),
+                ));
+            }
+        }
+        let inputs = circuit.comb_inputs();
+        let mut input_pos = vec![None; circuit.num_nets()];
+        for (i, n) in inputs.iter().enumerate() {
+            input_pos[n.index()] = Some(i as u32);
+        }
+        let mut rank = vec![0u32; circuit.num_nets()];
+        for (r, id) in lv.order().iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        let fanouts: Vec<Vec<u32>> = circuit
+            .fanouts()
+            .into_iter()
+            .map(|v| v.into_iter().map(|n| n.index() as u32).collect())
+            .collect();
+        let outputs = circuit.comb_outputs();
+        let mut output_mask = vec![false; circuit.num_nets()];
+        for o in &outputs {
+            output_mask[o.index()] = true;
+        }
+        Ok(Podem {
+            order: lv.order().to_vec(),
+            gates,
+            fanouts,
+            rank,
+            inputs,
+            input_pos,
+            outputs,
+            output_mask,
+            backtrack_limit,
+            good: vec![None; circuit.num_nets()],
+            faulty: vec![None; circuit.num_nets()],
+            effected: vec![false; circuit.num_nets()],
+            effect_at_outputs: 0,
+            scheduled: vec![false; circuit.num_nets()],
+        })
+    }
+
+    /// Refreshes the effect bookkeeping for one net after its values change.
+    fn refresh_effect(&mut self, net: usize) {
+        let now = matches!(
+            (self.good[net], self.faulty[net]),
+            (Some(a), Some(b)) if a != b
+        );
+        if now != self.effected[net] {
+            self.effected[net] = now;
+            if self.output_mask[net] {
+                if now {
+                    self.effect_at_outputs += 1;
+                } else {
+                    self.effect_at_outputs -= 1;
+                }
+            }
+        }
+    }
+
+    /// Recomputes one gate's good/faulty values under `fault`. Returns true
+    /// when either value changed.
+    fn recompute(&mut self, net: usize, fault: &Fault) -> bool {
+        let Some((kind, fanin)) = self.gates[net].clone() else {
+            return false;
+        };
+        let gvals: Vec<Option<bool>> = fanin.iter().map(|&f| self.good[f as usize]).collect();
+        let new_good = eval3(kind, &gvals);
+        let mut fvals: Vec<Option<bool>> =
+            fanin.iter().map(|&f| self.faulty[f as usize]).collect();
+        if let FaultSite::Pin { gate_out, pin } = fault.site {
+            if gate_out.index() == net {
+                fvals[pin] = Some(fault.stuck_at);
+            }
+        }
+        let mut new_faulty = eval3(kind, &fvals);
+        if let FaultSite::Stem(n) = fault.site {
+            if n.index() == net {
+                new_faulty = Some(fault.stuck_at);
+            }
+        }
+        let changed = new_good != self.good[net] || new_faulty != self.faulty[net];
+        self.good[net] = new_good;
+        self.faulty[net] = new_faulty;
+        if changed {
+            self.refresh_effect(net);
+        }
+        changed
+    }
+
+    /// Event-driven re-implication after one primary input changed.
+    fn propagate_from(&mut self, start_net: usize, fault: &Fault) {
+        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
+            std::collections::BinaryHeap::new();
+        for &f in &self.fanouts[start_net].clone() {
+            if !self.scheduled[f as usize] {
+                self.scheduled[f as usize] = true;
+                queue.push(std::cmp::Reverse((self.rank[f as usize], f)));
+            }
+        }
+        while let Some(std::cmp::Reverse((_, n))) = queue.pop() {
+            self.scheduled[n as usize] = false;
+            if self.recompute(n as usize, fault) {
+                for &f in &self.fanouts[n as usize].clone() {
+                    if !self.scheduled[f as usize] {
+                        self.scheduled[f as usize] = true;
+                        queue.push(std::cmp::Reverse((self.rank[f as usize], f)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one primary-input change (assignment or retraction) and
+    /// re-implies incrementally.
+    fn update_pi(&mut self, idx: usize, value: Option<bool>, fault: &Fault) {
+        let net = self.inputs[idx].index();
+        self.good[net] = value;
+        self.faulty[net] = value;
+        if let FaultSite::Stem(n) = fault.site {
+            if n.index() == net {
+                self.faulty[net] = Some(fault.stuck_at);
+            }
+        }
+        self.refresh_effect(net);
+        self.propagate_from(net, fault);
+    }
+
+    /// Three-valued dual (good/faulty) implication from scratch (used once
+    /// per fault; decisions and backtracks then use [`Self::update_pi`]).
+    fn imply(&mut self, pi: &[Option<bool>], fault: &Fault) {
+        self.effected.iter_mut().for_each(|b| *b = false);
+        self.effect_at_outputs = 0;
+        for v in self.good.iter_mut() {
+            *v = None;
+        }
+        for v in self.faulty.iter_mut() {
+            *v = None;
+        }
+        for (i, n) in self.inputs.iter().enumerate() {
+            self.good[n.index()] = pi[i];
+            self.faulty[n.index()] = pi[i];
+        }
+        let stuck = Some(fault.stuck_at);
+        if let FaultSite::Stem(n) = fault.site {
+            self.faulty[n.index()] = stuck;
+        }
+        for oi in 0..self.order.len() {
+            let id = self.order[oi];
+            let Some((kind, fanin)) = self.gates[id.index()].clone() else {
+                continue;
+            };
+            let gvals: Vec<Option<bool>> =
+                fanin.iter().map(|&f| self.good[f as usize]).collect();
+            self.good[id.index()] = eval3(kind, &gvals);
+            let mut fvals: Vec<Option<bool>> =
+                fanin.iter().map(|&f| self.faulty[f as usize]).collect();
+            if let FaultSite::Pin { gate_out, pin } = fault.site {
+                if gate_out == id {
+                    fvals[pin] = stuck;
+                }
+            }
+            let fv = eval3(kind, &fvals);
+            self.faulty[id.index()] = fv;
+            if let FaultSite::Stem(n) = fault.site {
+                if n == id {
+                    self.faulty[id.index()] = stuck;
+                }
+            }
+        }
+        // Stem faults on inputs stay forced (set above, nothing overwrites).
+        for i in 0..self.good.len() {
+            self.refresh_effect(i);
+        }
+    }
+
+    fn effect_at_output(&self) -> bool {
+        debug_assert_eq!(
+            self.effect_at_outputs,
+            self.outputs
+                .iter()
+                .filter(|o| matches!(
+                    (self.good[o.index()], self.faulty[o.index()]),
+                    (Some(a), Some(b)) if a != b
+                ))
+                .count()
+        );
+        self.effect_at_outputs > 0
+    }
+
+    fn has_effect(&self, net: usize) -> bool {
+        matches!(
+            (self.good[net], self.faulty[net]),
+            (Some(a), Some(b)) if a != b
+        )
+    }
+
+    /// Picks the next objective `(net, value)` or `None` when the search
+    /// state is hopeless (fault unexcitable / empty D-frontier).
+    fn objective(&self, fault: &Fault) -> Option<(NetId, bool)> {
+        // 1. Excitation: the good value at the fault site must become the
+        //    complement of the stuck value.
+        let (site_net, site_good) = match fault.site {
+            FaultSite::Stem(n) => (n, self.good[n.index()]),
+            FaultSite::Pin { gate_out, pin } => {
+                let (_, fanin) = self.gates[gate_out.index()]
+                    .as_ref()
+                    .expect("pin fault implies gate");
+                let n = NetId::from_index(fanin[pin] as usize);
+                (n, self.good[n.index()])
+            }
+        };
+        match site_good {
+            None => return Some((site_net, !fault.stuck_at)),
+            Some(v) if v == fault.stuck_at => return None, // unexcitable here
+            _ => {}
+        }
+        // 2. Propagation: find a D-frontier gate — an output without effect
+        //    yet, with at least one effected input — and set one of its X
+        //    inputs to the non-controlling value. Candidates are the fanouts
+        //    of effected nets (plus the faulted gate for pin faults), sorted
+        //    by rank for determinism.
+        let mut candidates: Vec<NetId> = Vec::new();
+        for (n, &eff) in self.effected.iter().enumerate() {
+            if eff {
+                candidates.extend(
+                    self.fanouts[n].iter().map(|&f| NetId::from_index(f as usize)),
+                );
+            }
+        }
+        if let FaultSite::Pin { gate_out, .. } = fault.site {
+            candidates.push(gate_out);
+        }
+        candidates.sort_by_key(|n| self.rank[n.index()]);
+        candidates.dedup();
+        for &id in &candidates {
+            let Some((kind, fanin)) = &self.gates[id.index()] else {
+                continue;
+            };
+            if self.has_effect(id.index()) {
+                continue;
+            }
+            if self.good[id.index()].is_some() && self.faulty[id.index()].is_some() {
+                continue; // both known & equal: effect blocked through here
+            }
+            let any_effected_input = fanin.iter().enumerate().any(|(k, &f)| {
+                if self.effected[f as usize] {
+                    return true;
+                }
+                // A pin fault's effect originates at the pin itself: the
+                // faulted gate joins the D-frontier once its pin sees the
+                // complement of the stuck value in the good machine.
+                if let FaultSite::Pin { gate_out, pin } = fault.site {
+                    gate_out == id
+                        && pin == k
+                        && self.good[f as usize] == Some(!fault.stuck_at)
+                } else {
+                    false
+                }
+            });
+            if !any_effected_input {
+                continue;
+            }
+            let x_input = fanin
+                .iter()
+                .find(|&&f| self.good[f as usize].is_none())
+                .copied();
+            if let Some(f) = x_input {
+                let value = match kind {
+                    GateKind::And | GateKind::Nand => true,
+                    GateKind::Or | GateKind::Nor => false,
+                    // XOR family has no controlling value; either binds.
+                    _ => false,
+                };
+                return Some((NetId::from_index(f as usize), value));
+            }
+        }
+        None
+    }
+
+    /// Walks an objective backwards to an unassigned primary input.
+    fn backtrace(&self, mut net: NetId, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            if let Some(pos) = self.input_pos[net.index()] {
+                debug_assert!(self.good[net.index()].is_none());
+                return Some((pos as usize, value));
+            }
+            let (kind, fanin) = self.gates[net.index()].as_ref()?;
+            let x_input = fanin
+                .iter()
+                .find(|&&f| self.good[f as usize].is_none())
+                .copied()?;
+            value = match kind {
+                GateKind::And | GateKind::Buf => value,
+                GateKind::Nand | GateKind::Not => !value,
+                GateKind::Or => value,
+                GateKind::Nor => !value,
+                // Parity gates: target the same value (heuristic only;
+                // completeness comes from backtracking).
+                GateKind::Xor | GateKind::Xnor => value,
+                GateKind::Const0 | GateKind::Const1 => return None,
+            };
+            net = NetId::from_index(x_input as usize);
+        }
+    }
+
+    /// Attempts to generate a test for `fault`.
+    pub fn generate(&mut self, fault: &Fault) -> Outcome {
+        let n_pi = self.inputs.len();
+        let mut pi: Vec<Option<bool>> = vec![None; n_pi];
+        // Decision stack: (pi index, current value, other value tried?).
+        let mut decisions: Vec<(usize, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+        self.imply(&pi, fault);
+        loop {
+            if self.effect_at_output() {
+                return Outcome::Test(pi.iter().map(|v| v.unwrap_or(false)).collect());
+            }
+            let advance = self
+                .objective(fault)
+                .and_then(|(net, val)| self.backtrace(net, val));
+            match advance {
+                Some((idx, val)) => {
+                    debug_assert!(pi[idx].is_none());
+                    pi[idx] = Some(val);
+                    decisions.push((idx, val, false));
+                    self.update_pi(idx, Some(val), fault);
+                }
+                None => {
+                    // Backtrack.
+                    loop {
+                        match decisions.pop() {
+                            None => return Outcome::Redundant,
+                            Some((idx, val, tried_other)) => {
+                                pi[idx] = None;
+                                self.update_pi(idx, None, fault);
+                                if !tried_other {
+                                    backtracks += 1;
+                                    if backtracks > self.backtrack_limit {
+                                        return Outcome::Aborted;
+                                    }
+                                    pi[idx] = Some(!val);
+                                    decisions.push((idx, !val, true));
+                                    self.update_pi(idx, Some(!val), fault);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsim::FaultSim;
+    use netlist::samples;
+
+    fn check_all_faults(c: &Circuit) -> (usize, usize, usize) {
+        let faults = crate::collapse(c, crate::enumerate_faults(c));
+        let mut podem = Podem::new(c, 10_000).unwrap();
+        let mut fsim = FaultSim::new(c).unwrap();
+        let (mut tested, mut redundant, mut aborted) = (0, 0, 0);
+        for f in &faults {
+            match podem.generate(f) {
+                Outcome::Test(pattern) => {
+                    assert!(
+                        fsim.detects(&pattern, f),
+                        "PODEM test {pattern:?} fails to detect {f} in {}",
+                        c.name()
+                    );
+                    tested += 1;
+                }
+                Outcome::Redundant => redundant += 1,
+                Outcome::Aborted => aborted += 1,
+            }
+        }
+        (tested, redundant, aborted)
+    }
+
+    #[test]
+    fn c17_all_faults_tested() {
+        let (tested, redundant, aborted) = check_all_faults(&samples::c17());
+        assert_eq!(redundant, 0);
+        assert_eq!(aborted, 0);
+        assert!(tested > 0);
+    }
+
+    #[test]
+    fn adder_all_faults_tested() {
+        let (_, redundant, aborted) = check_all_faults(&samples::ripple_adder(3));
+        assert_eq!(redundant, 0);
+        assert_eq!(aborted, 0);
+    }
+
+    #[test]
+    fn majority_and_mux_tested() {
+        for c in [samples::majority3(), samples::mux2()] {
+            let (_, redundant, aborted) = check_all_faults(&c);
+            assert_eq!(redundant, 0, "{}", c.name());
+            assert_eq!(aborted, 0, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn random_circuits_tests_verified_by_fault_sim() {
+        for seed in 0..4 {
+            let c = netlist::generate::random_comb(seed, 8, 4, 60).unwrap();
+            // check_all_faults asserts every returned test really detects.
+            let (tested, _, aborted) = check_all_faults(&c);
+            assert!(tested > 0);
+            assert_eq!(aborted, 0, "tiny circuits should not abort");
+        }
+    }
+
+    #[test]
+    fn redundant_fault_proven() {
+        // y = a & (a | b): b's OR pin is redundant.
+        let mut c = netlist::Circuit::new("red");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let o = c.add_gate(GateKind::Or, vec![a, b], "o").unwrap();
+        let y = c.add_gate(GateKind::And, vec![a, o], "y").unwrap();
+        c.mark_output(y);
+        let mut podem = Podem::new(&c, 10_000).unwrap();
+        // b stuck-at-1: to detect we need a=1 (to sensitize the AND) and
+        // o to differ; with a=1, o=1 regardless of b -> redundant.
+        let f = Fault::stem_sa1(b);
+        assert_eq!(podem.generate(&f), Outcome::Redundant);
+    }
+
+    #[test]
+    fn tiny_backtrack_limit_aborts_or_solves() {
+        let c = netlist::generate::random_comb(5, 10, 4, 100).unwrap();
+        let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+        let mut podem = Podem::new(&c, 0).unwrap();
+        let mut outcomes = std::collections::HashSet::new();
+        for f in faults.iter().take(40) {
+            match podem.generate(f) {
+                Outcome::Test(_) => outcomes.insert("test"),
+                Outcome::Redundant => outcomes.insert("red"),
+                Outcome::Aborted => outcomes.insert("abort"),
+            };
+        }
+        // With a zero budget the generator must still terminate; it may
+        // still find easy tests that need no backtracking.
+        assert!(!outcomes.is_empty());
+    }
+
+    #[test]
+    fn input_stem_fault_test() {
+        let c = samples::majority3();
+        let a = c.primary_inputs()[0];
+        let mut podem = Podem::new(&c, 1000).unwrap();
+        let mut fsim = FaultSim::new(&c).unwrap();
+        for f in [Fault::stem_sa0(a), Fault::stem_sa1(a)] {
+            match podem.generate(&f) {
+                Outcome::Test(p) => assert!(fsim.detects(&p, &f)),
+                other => panic!("expected test for {f}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! AppSAT-style approximate deobfuscation (Shamsi et al., HOST 2017).
+//!
+//! Against compound schemes (point-function + traditional locking), the
+//! exact SAT attack stalls on the exponential point-function tail. AppSAT
+//! interleaves the DIP loop with *settlement checks*: every few iterations
+//! it extracts a candidate key and estimates its error rate on random oracle
+//! queries; once the error is below a threshold it returns the candidate as
+//! an approximate key (which for compound schemes recovers the traditional
+//! part of the key).
+
+use cdcl::SolveResult;
+use locking::LockedCircuit;
+use netlist::rng::SplitMix64;
+
+use crate::sat::AttackContext;
+use crate::{AttackOutcome, FailureReason, Oracle};
+
+/// AppSAT configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppSatConfig {
+    /// Maximum DIP iterations.
+    pub max_iterations: usize,
+    /// Run a settlement check every this many DIPs.
+    pub settle_every: usize,
+    /// Random queries per settlement check.
+    pub settle_samples: usize,
+    /// Accept the candidate when the mismatching-query fraction is at most
+    /// this (0.0 = exact on the sample).
+    pub error_threshold: f64,
+    /// PRNG seed for settlement sampling.
+    pub seed: u64,
+}
+
+impl Default for AppSatConfig {
+    fn default() -> Self {
+        AppSatConfig {
+            max_iterations: 2048,
+            settle_every: 8,
+            settle_samples: 64,
+            error_threshold: 0.01,
+            seed: 0xA995A7,
+        }
+    }
+}
+
+/// Runs the approximate attack. A returned key is *approximate*: it agreed
+/// with the oracle on the settlement sample, not necessarily everywhere.
+pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &mut dyn Oracle,
+    config: &AppSatConfig,
+) -> AttackOutcome {
+    let mut ctx = AttackContext::new(locked);
+    let mut rng = SplitMix64::new(config.seed);
+    let sim = match gatesim::CombSim::new(&locked.circuit) {
+        Ok(s) => s,
+        Err(_) => {
+            return AttackOutcome::failed(FailureReason::Inconclusive, 0, 0);
+        }
+    };
+    let key_pos: Vec<usize> = locked
+        .key_inputs
+        .iter()
+        .map(|k| {
+            sim.inputs()
+                .iter()
+                .position(|n| n == k)
+                .expect("key input present")
+        })
+        .collect();
+    let data_pos: Vec<usize> = (0..sim.inputs().len())
+        .filter(|i| !key_pos.contains(i))
+        .collect();
+
+    let mut iterations = 0usize;
+    loop {
+        if iterations >= config.max_iterations {
+            return AttackOutcome::failed(
+                FailureReason::IterationLimit,
+                iterations,
+                oracle.queries_attempted(),
+            );
+        }
+        match ctx.solver.solve() {
+            SolveResult::Unknown => {
+                return AttackOutcome::failed(
+                    FailureReason::SolverBudget,
+                    iterations,
+                    oracle.queries_attempted(),
+                );
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                iterations += 1;
+                let x = ctx.model_dip();
+                let Some(y) = oracle.query(&x) else {
+                    return AttackOutcome::failed(
+                        FailureReason::OracleUnavailable,
+                        iterations,
+                        oracle.queries_attempted(),
+                    );
+                };
+                ctx.learn(&x, &y);
+            }
+        }
+        if iterations % config.settle_every == 0 {
+            if let Some(candidate) = ctx.extract_key() {
+                let mut mismatches = 0usize;
+                let mut answered = 0usize;
+                for _ in 0..config.settle_samples {
+                    let x: Vec<bool> = (0..data_pos.len()).map(|_| rng.bool()).collect();
+                    let Some(y) = oracle.query(&x) else {
+                        return AttackOutcome::failed(
+                            FailureReason::OracleUnavailable,
+                            iterations,
+                            oracle.queries_attempted(),
+                        );
+                    };
+                    answered += 1;
+                    // Simulate the locked circuit under the candidate key.
+                    let mut input = vec![false; sim.inputs().len()];
+                    for (&p, &b) in data_pos.iter().zip(&x) {
+                        input[p] = b;
+                    }
+                    for (&p, &b) in key_pos.iter().zip(&candidate) {
+                        input[p] = b;
+                    }
+                    let got = sim.eval_bools(&input);
+                    if got != y {
+                        mismatches += 1;
+                        // Feed the failing sample back as a constraint (the
+                        // AppSAT refinement step).
+                        ctx.learn(&x, &y);
+                    }
+                }
+                let err = mismatches as f64 / answered.max(1) as f64;
+                if err <= config.error_threshold {
+                    return AttackOutcome {
+                        key: Some(candidate),
+                        failure: None,
+                        iterations,
+                        oracle_queries: oracle.queries_attempted(),
+                    };
+                }
+            }
+        }
+    }
+    match ctx.extract_key() {
+        Some(key) => AttackOutcome {
+            key: Some(key),
+            failure: None,
+            iterations,
+            oracle_queries: oracle.queries_attempted(),
+        },
+        None => AttackOutcome::failed(
+            FailureReason::Inconclusive,
+            iterations,
+            oracle.queries_attempted(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CombOracle, DeadOracle};
+    use netlist::samples;
+
+    #[test]
+    fn recovers_rll_key_exactly_or_approximately() {
+        let original = samples::ripple_adder(4);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 8, seed: 9 },
+        )
+        .unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &AppSatConfig::default());
+        let key = out.key.expect("AppSAT recovers simple locks");
+        // Approximate key must be at least 99% accurate on random patterns.
+        let rep = gatesim::hd::hamming_between_keys(
+            &locked.circuit,
+            &locked.key_inputs,
+            &locked.correct_key,
+            &key,
+            4096,
+            1,
+        )
+        .unwrap();
+        assert!(
+            rep.percent() < 1.0,
+            "approximate key error {:.3}%",
+            rep.percent()
+        );
+    }
+
+    #[test]
+    fn approximates_compound_sarlock_quickly() {
+        // SARLock on top of RLL: exact SAT needs ~2^k DIPs, AppSAT settles
+        // early with a key whose residual error is the point function only.
+        let original = samples::ripple_adder(4);
+        let rll = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 6, seed: 4 },
+        )
+        .unwrap();
+        let compound = locking::point_function::sarlock(
+            &rll.circuit,
+            &locking::point_function::SarLockConfig { key_bits: 8, seed: 5 },
+        )
+        .unwrap();
+        // Merge key metadata: the compound lock's key = RLL key ++ SARLock key.
+        let mut key_inputs = rll.key_inputs.clone();
+        key_inputs.extend(compound.key_inputs.iter().copied());
+        let mut correct_key = rll.correct_key.clone();
+        correct_key.extend(compound.correct_key.iter().copied());
+        let locked = locking::LockedCircuit {
+            circuit: compound.circuit.clone(),
+            key_inputs,
+            correct_key,
+            scheme: "rll+sarlock",
+        };
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let cfg = AppSatConfig {
+            max_iterations: 512,
+            error_threshold: 0.05,
+            ..AppSatConfig::default()
+        };
+        let out = attack(&locked, &mut oracle, &cfg);
+        let key = out.key.expect("AppSAT settles on compound locking");
+        let rep = gatesim::hd::hamming_between_keys(
+            &locked.circuit,
+            &locked.key_inputs,
+            &locked.correct_key,
+            &key,
+            8192,
+            2,
+        )
+        .unwrap();
+        // Residual error should be point-function-sized (tiny), far from the
+        // RLL corruption a wrong traditional key would cause.
+        assert!(
+            rep.percent() < 5.0,
+            "residual corruption {:.2}%",
+            rep.percent()
+        );
+    }
+
+    #[test]
+    fn dead_oracle_defeats_appsat() {
+        let original = samples::ripple_adder(4);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 8, seed: 9 },
+        )
+        .unwrap();
+        let mut oracle = DeadOracle::new(8, 5);
+        let out = attack(&locked, &mut oracle, &AppSatConfig::default());
+        assert_eq!(out.failure, Some(FailureReason::OracleUnavailable));
+    }
+}

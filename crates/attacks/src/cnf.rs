@@ -1,0 +1,255 @@
+//! Tseitin encoding of netlists into CNF.
+//!
+//! The SAT-attack family encodes the locked circuit several times over
+//! shared input/key variables; this module provides that machinery on top
+//! of the [`cdcl`] solver.
+
+use std::collections::HashMap;
+
+use cdcl::{Lit, Solver, Var};
+use netlist::{Circuit, GateKind, Levelization, NetId};
+
+/// Encodes one instance of `circuit` into `solver`.
+///
+/// `bound` maps nets (typically the combinational inputs) to existing
+/// literals so that several instances can share inputs or key variables;
+/// unbound inputs receive fresh variables. Returns a literal for every net,
+/// indexed by [`NetId::index`].
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic (encode validated circuits).
+pub fn encode(
+    solver: &mut Solver,
+    circuit: &Circuit,
+    bound: &HashMap<NetId, Lit>,
+) -> Vec<Lit> {
+    let lv = Levelization::build(circuit).expect("encode requires an acyclic circuit");
+    // Fallback constant (lazily created on first Const gate).
+    let mut const_false: Option<Lit> = None;
+    let mut lits: Vec<Option<Lit>> = vec![None; circuit.num_nets()];
+    for &id in lv.order() {
+        if let Some(&l) = bound.get(&id) {
+            lits[id.index()] = Some(l);
+            continue;
+        }
+        match circuit.gate(id) {
+            None => {
+                // Unbound input: fresh free variable.
+                lits[id.index()] = Some(solver.new_var().positive());
+            }
+            Some(g) => {
+                let fan: Vec<Lit> = g
+                    .fanin
+                    .iter()
+                    .map(|f| lits[f.index()].expect("topological order"))
+                    .collect();
+                let lit = match g.kind {
+                    GateKind::Buf => fan[0],
+                    GateKind::Not => !fan[0],
+                    GateKind::And => encode_and(solver, &fan),
+                    GateKind::Nand => !encode_and(solver, &fan),
+                    GateKind::Or => !encode_and(solver, &fan.iter().map(|&l| !l).collect::<Vec<_>>()),
+                    GateKind::Nor => encode_and(solver, &fan.iter().map(|&l| !l).collect::<Vec<_>>()),
+                    GateKind::Xor => fan
+                        .iter()
+                        .copied()
+                        .reduce(|a, b| encode_xor(solver, a, b))
+                        .expect("arity"),
+                    GateKind::Xnor => !fan
+                        .iter()
+                        .copied()
+                        .reduce(|a, b| encode_xor(solver, a, b))
+                        .expect("arity"),
+                    GateKind::Const0 => *const_false.get_or_insert_with(|| {
+                        let v = solver.new_var();
+                        solver.add_clause(&[v.negative()]);
+                        v.positive()
+                    }),
+                    GateKind::Const1 => !*const_false.get_or_insert_with(|| {
+                        let v = solver.new_var();
+                        solver.add_clause(&[v.negative()]);
+                        v.positive()
+                    }),
+                };
+                lits[id.index()] = Some(lit);
+            }
+        }
+    }
+    lits.into_iter()
+        .map(|l| l.expect("all nets encoded"))
+        .collect()
+}
+
+/// Fresh literal `y` with `y <-> AND(fanins)`.
+pub fn encode_and(solver: &mut Solver, fanins: &[Lit]) -> Lit {
+    let y = solver.new_var().positive();
+    let mut big = Vec::with_capacity(fanins.len() + 1);
+    for &f in fanins {
+        solver.add_clause(&[!y, f]);
+        big.push(!f);
+    }
+    big.push(y);
+    solver.add_clause(&big);
+    y
+}
+
+/// Fresh literal `z` with `z <-> a XOR b`.
+pub fn encode_xor(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    let z = solver.new_var().positive();
+    solver.add_clause(&[!z, a, b]);
+    solver.add_clause(&[!z, !a, !b]);
+    solver.add_clause(&[z, !a, b]);
+    solver.add_clause(&[z, a, !b]);
+    z
+}
+
+/// Allocates fresh variables for a list of nets and returns the binding map
+/// plus the variables in order.
+pub fn bind_fresh(solver: &mut Solver, nets: &[NetId]) -> (HashMap<NetId, Lit>, Vec<Var>) {
+    let mut map = HashMap::with_capacity(nets.len());
+    let mut vars = Vec::with_capacity(nets.len());
+    for &n in nets {
+        let v = solver.new_var();
+        map.insert(n, v.positive());
+        vars.push(v);
+    }
+    (map, vars)
+}
+
+/// Adds the I/O consistency constraint `C(x, key_vars) == y` by encoding an
+/// instance with the data inputs fixed to the constants of `x`.
+///
+/// `data_inputs`/`x` and `outputs`/`y` are positionally matched.
+pub fn add_io_constraint(
+    solver: &mut Solver,
+    circuit: &Circuit,
+    data_inputs: &[NetId],
+    key_binding: &HashMap<NetId, Lit>,
+    x: &[bool],
+    y: &[bool],
+    outputs: &[NetId],
+) {
+    assert_eq!(data_inputs.len(), x.len(), "input width mismatch");
+    assert_eq!(outputs.len(), y.len(), "output width mismatch");
+    let mut bound = key_binding.clone();
+    for (&n, &b) in data_inputs.iter().zip(x) {
+        let v = solver.new_var();
+        solver.add_clause(&[v.lit(b)]);
+        bound.insert(n, v.positive());
+    }
+    let lits = encode(solver, circuit, &bound);
+    for (&o, &b) in outputs.iter().zip(y) {
+        let l = lits[o.index()];
+        solver.add_clause(&[if b { l } else { !l }]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl::SolveResult;
+    use netlist::samples;
+
+    /// The encoded circuit must agree with simulation for every assignment.
+    #[test]
+    fn encoding_matches_simulation() {
+        let c = samples::full_adder();
+        let sim = gatesim::CombSim::new(&c).unwrap();
+        for m in 0..8u32 {
+            let input: Vec<bool> = (0..3).map(|k| (m >> k) & 1 == 1).collect();
+            let mut solver = Solver::new();
+            let (bound, vars) = bind_fresh(&mut solver, &c.comb_inputs());
+            let lits = encode(&mut solver, &c, &bound);
+            for (v, &b) in vars.iter().zip(&input) {
+                solver.add_clause(&[v.lit(b)]);
+            }
+            assert_eq!(solver.solve(), SolveResult::Sat);
+            let expect = sim.eval_bools(&input);
+            for (&o, &e) in c.comb_outputs().iter().zip(&expect) {
+                let l = lits[o.index()];
+                let got = solver.value(l.var()).expect("assigned") ^ !l.is_positive();
+                assert_eq!(got, e, "input {input:?} output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_matches_simulation_random_circuit() {
+        let c = netlist::generate::random_comb(13, 8, 5, 80).unwrap();
+        let sim = gatesim::CombSim::new(&c).unwrap();
+        let mut rng = netlist::rng::SplitMix64::new(2);
+        for _ in 0..20 {
+            let input: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
+            let mut solver = Solver::new();
+            let (bound, vars) = bind_fresh(&mut solver, &c.comb_inputs());
+            let lits = encode(&mut solver, &c, &bound);
+            for (v, &b) in vars.iter().zip(&input) {
+                solver.add_clause(&[v.lit(b)]);
+            }
+            assert_eq!(solver.solve(), SolveResult::Sat);
+            let expect = sim.eval_bools(&input);
+            for (&o, &e) in c.comb_outputs().iter().zip(&expect) {
+                let l = lits[o.index()];
+                let got = solver.value(l.var()).expect("assigned") ^ !l.is_positive();
+                assert_eq!(got, e);
+            }
+        }
+    }
+
+    #[test]
+    fn io_constraint_prunes_keys() {
+        // Lock a tiny circuit; the correct key must satisfy every I/O
+        // constraint, a key violating one must be excluded.
+        let original = samples::majority3();
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 2, seed: 1 },
+        )
+        .unwrap();
+        let c = &locked.circuit;
+        let data: Vec<NetId> = c
+            .comb_inputs()
+            .into_iter()
+            .filter(|n| !locked.key_inputs.contains(n))
+            .collect();
+        let mut solver = Solver::new();
+        let (key_bind, key_vars) = bind_fresh(&mut solver, &locked.key_inputs);
+        // Constrain with the true behaviour on all 8 inputs.
+        let sim = gatesim::CombSim::new(&original).unwrap();
+        for m in 0..8u32 {
+            let x: Vec<bool> = (0..3).map(|k| (m >> k) & 1 == 1).collect();
+            let y = sim.eval_bools(&x);
+            add_io_constraint(
+                &mut solver,
+                c,
+                &data,
+                &key_bind,
+                &x,
+                &y,
+                &c.comb_outputs(),
+            );
+        }
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let key: Vec<bool> = key_vars
+            .iter()
+            .map(|&v| solver.value(v).unwrap_or(false))
+            .collect();
+        // The extracted key must unlock correctly.
+        assert!(crate::key_is_functionally_correct(&locked, &key, 256).unwrap());
+    }
+
+    #[test]
+    fn xor_gadget_truth() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let z = encode_xor(&mut s, a.positive(), b.positive());
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let r = s.solve_with(&[a.lit(va), b.lit(vb)]);
+            assert_eq!(r, SolveResult::Sat);
+            let got = s.value(z.var()).unwrap() ^ !z.is_positive();
+            assert_eq!(got, va ^ vb);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Double-DIP attack variant (Shen & Zhou, GLSVLSI 2017).
+//!
+//! A *2-discriminating* input distinguishes at least two distinct pairs of
+//! still-viable keys, so each oracle query eliminates at least two wrong-key
+//! classes — this is what defeats SARLock-plus-traditional compounds faster
+//! than the plain SAT attack. We encode it with a four-copy miter:
+//!
+//! ```text
+//! C(X,K1) ≠ C(X,K2)  ∧  C(X,K3) ≠ C(X,K4)  ∧  (K1 ≠ K3 ∨ K2 ≠ K4)
+//! ```
+//!
+//! When no 2-discriminating input remains, the attack falls back to the
+//! plain SAT attack seeded with everything learnt so far.
+
+use std::collections::HashMap;
+
+use cdcl::{Lit, SolveResult, Solver, Var};
+use locking::LockedCircuit;
+use netlist::NetId;
+
+use crate::cnf::{add_io_constraint, bind_fresh, encode, encode_xor};
+use crate::sat::AttackContext;
+use crate::{AttackOutcome, FailureReason, Oracle};
+
+/// Double-DIP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoubleDipConfig {
+    /// Maximum 2-discriminating iterations before the fallback phase.
+    pub max_iterations: usize,
+    /// Iteration cap for the fallback plain SAT attack.
+    pub fallback_iterations: usize,
+}
+
+impl Default for DoubleDipConfig {
+    fn default() -> Self {
+        DoubleDipConfig {
+            max_iterations: 2048,
+            fallback_iterations: 4096,
+        }
+    }
+}
+
+struct FourCopyMiter {
+    solver: Solver,
+    data_vars: Vec<Var>,
+    keys: [HashMap<NetId, Lit>; 4],
+}
+
+fn build_miter(locked: &LockedCircuit, data_inputs: &[NetId], outputs: &[NetId]) -> FourCopyMiter {
+    let c = &locked.circuit;
+    let mut solver = Solver::new();
+    let (data_bind, data_vars) = bind_fresh(&mut solver, data_inputs);
+    let keys: [HashMap<NetId, Lit>; 4] = std::array::from_fn(|_| {
+        let (k, _) = bind_fresh(&mut solver, &locked.key_inputs);
+        k
+    });
+    let mut out_lits: Vec<Vec<Lit>> = Vec::with_capacity(4);
+    for k in &keys {
+        let mut bound = data_bind.clone();
+        bound.extend(k.iter().map(|(n, l)| (*n, *l)));
+        let lits = encode(&mut solver, c, &bound);
+        out_lits.push(outputs.iter().map(|o| lits[o.index()]).collect());
+    }
+    // Pair miters.
+    for pair in [(0usize, 1usize), (2, 3)] {
+        let diffs: Vec<Lit> = (0..outputs.len())
+            .map(|i| encode_xor(&mut solver, out_lits[pair.0][i], out_lits[pair.1][i]))
+            .collect();
+        solver.add_clause(&diffs);
+    }
+    // Distinctness: (K1,K2) != (K3,K4).
+    let mut distinct = Vec::new();
+    for &n in &locked.key_inputs {
+        distinct.push(encode_xor(&mut solver, keys[0][&n], keys[2][&n]));
+        distinct.push(encode_xor(&mut solver, keys[1][&n], keys[3][&n]));
+    }
+    solver.add_clause(&distinct);
+    FourCopyMiter {
+        solver,
+        data_vars,
+        keys,
+    }
+}
+
+/// Runs the Double-DIP attack.
+pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &mut dyn Oracle,
+    config: &DoubleDipConfig,
+) -> AttackOutcome {
+    // Reuse the plain attack context for extraction bookkeeping; build the
+    // four-copy miter separately.
+    let mut ctx = AttackContext::new(locked);
+    let mut miter = build_miter(locked, &ctx.data_inputs, &ctx.outputs);
+    let mut iterations = 0usize;
+
+    loop {
+        if iterations >= config.max_iterations {
+            return AttackOutcome::failed(
+                FailureReason::IterationLimit,
+                iterations,
+                oracle.queries_attempted(),
+            );
+        }
+        match miter.solver.solve() {
+            SolveResult::Unknown => {
+                return AttackOutcome::failed(
+                    FailureReason::SolverBudget,
+                    iterations,
+                    oracle.queries_attempted(),
+                );
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                iterations += 1;
+                let x: Vec<bool> = miter
+                    .data_vars
+                    .iter()
+                    .map(|&v| miter.solver.value(v).unwrap_or(false))
+                    .collect();
+                let Some(y) = oracle.query(&x) else {
+                    return AttackOutcome::failed(
+                        FailureReason::OracleUnavailable,
+                        iterations,
+                        oracle.queries_attempted(),
+                    );
+                };
+                // Constrain all four key copies plus the extraction context.
+                for k in &miter.keys {
+                    add_io_constraint(
+                        &mut miter.solver,
+                        &locked.circuit,
+                        &ctx.data_inputs,
+                        k,
+                        &x,
+                        &y,
+                        &ctx.outputs,
+                    );
+                }
+                ctx.learn(&x, &y);
+            }
+        }
+    }
+
+    // No 2-discriminating input remains: finish with the plain SAT attack,
+    // replaying the accumulated history into a fresh context.
+    let history = ctx.history.clone();
+    let mut fresh = AttackContext::new(locked);
+    for (x, y) in &history {
+        fresh.learn(x, y);
+    }
+    let fallback = run_plain_from(fresh, oracle, config.fallback_iterations);
+    AttackOutcome {
+        iterations: iterations + fallback.iterations,
+        ..fallback
+    }
+}
+
+fn run_plain_from(
+    mut ctx: AttackContext<'_>,
+    oracle: &mut dyn Oracle,
+    max_iterations: usize,
+) -> AttackOutcome {
+    let mut iterations = 0usize;
+    loop {
+        if iterations >= max_iterations {
+            return AttackOutcome::failed(
+                FailureReason::IterationLimit,
+                iterations,
+                oracle.queries_attempted(),
+            );
+        }
+        match ctx.solver.solve() {
+            SolveResult::Unknown => {
+                return AttackOutcome::failed(
+                    FailureReason::SolverBudget,
+                    iterations,
+                    oracle.queries_attempted(),
+                );
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                iterations += 1;
+                let x = ctx.model_dip();
+                let Some(y) = oracle.query(&x) else {
+                    return AttackOutcome::failed(
+                        FailureReason::OracleUnavailable,
+                        iterations,
+                        oracle.queries_attempted(),
+                    );
+                };
+                ctx.learn(&x, &y);
+            }
+        }
+    }
+    match ctx.extract_key() {
+        Some(key) => AttackOutcome {
+            key: Some(key),
+            failure: None,
+            iterations,
+            oracle_queries: oracle.queries_attempted(),
+        },
+        None => AttackOutcome::failed(
+            FailureReason::Inconclusive,
+            iterations,
+            oracle.queries_attempted(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key_is_functionally_correct;
+    use crate::oracle::{CombOracle, DeadOracle};
+    use netlist::samples;
+
+    #[test]
+    fn recovers_rll_key() {
+        let original = samples::ripple_adder(3);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 6, seed: 2 },
+        )
+        .unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &DoubleDipConfig::default());
+        let key = out.key.expect("Double-DIP breaks RLL");
+        assert!(key_is_functionally_correct(&locked, &key, 1024).unwrap());
+    }
+
+    #[test]
+    fn skips_sarlock_tail_faster_than_plain_sat_on_compound() {
+        // RLL + SARLock compound: plain SAT burns one DIP per SARLock key;
+        // Double-DIP's 2-discriminating inputs cannot come from the
+        // SARLock tail, so its miter phase ends early.
+        let original = samples::ripple_adder(3);
+        let rll = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 4, seed: 8 },
+        )
+        .unwrap();
+        let compound = locking::point_function::sarlock(
+            &rll.circuit,
+            &locking::point_function::SarLockConfig { key_bits: 6, seed: 9 },
+        )
+        .unwrap();
+        let mut key_inputs = rll.key_inputs.clone();
+        key_inputs.extend(compound.key_inputs.iter().copied());
+        let mut correct_key = rll.correct_key.clone();
+        correct_key.extend(compound.correct_key.iter().copied());
+        let locked = locking::LockedCircuit {
+            circuit: compound.circuit.clone(),
+            key_inputs,
+            correct_key,
+            scheme: "rll+sarlock",
+        };
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &DoubleDipConfig::default());
+        // The returned key (exact after fallback) must unlock.
+        let key = out.key.expect("compound falls to Double-DIP");
+        assert!(key_is_functionally_correct(&locked, &key, 4096).unwrap());
+    }
+
+    #[test]
+    fn dead_oracle_defeats_double_dip() {
+        let original = samples::ripple_adder(3);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 6, seed: 2 },
+        )
+        .unwrap();
+        let mut oracle = DeadOracle::new(6, 4);
+        let out = attack(&locked, &mut oracle, &DoubleDipConfig::default());
+        assert_eq!(out.failure, Some(FailureReason::OracleUnavailable));
+    }
+}

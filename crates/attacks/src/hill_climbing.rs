@@ -1,0 +1,254 @@
+//! The hill-climbing attack (Plaza & Markov, TCAD 2015).
+//!
+//! A model-free search: sample oracle responses on a pattern set, then
+//! greedily flip key bits whenever a flip reduces the number of mismatching
+//! output bits between the locked netlist (under the candidate key) and the
+//! oracle responses. Random restarts escape local optima.
+//!
+//! The paper notes the attack can alternatively use designer-provided *test
+//! responses* of the unlocked circuit; under OraP the chip is tested locked,
+//! so those responses correspond to the locked circuit and the attack learns
+//! nothing — [`attack_with_responses`] lets experiments demonstrate exactly
+//! that.
+
+use gatesim::CombSim;
+use locking::LockedCircuit;
+use netlist::rng::SplitMix64;
+
+use crate::{AttackOutcome, FailureReason, Oracle};
+
+/// Hill-climbing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HillClimbConfig {
+    /// Oracle patterns sampled for the objective function.
+    pub sample_patterns: usize,
+    /// Random restarts.
+    pub restarts: usize,
+    /// Maximum improving sweeps per restart.
+    pub max_sweeps: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for HillClimbConfig {
+    fn default() -> Self {
+        HillClimbConfig {
+            sample_patterns: 64,
+            restarts: 20,
+            max_sweeps: 64,
+            seed: 0xC11B,
+        }
+    }
+}
+
+/// Runs hill climbing against a live oracle: samples `sample_patterns`
+/// responses, then searches the key space.
+pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &mut dyn Oracle,
+    config: &HillClimbConfig,
+) -> AttackOutcome {
+    let mut rng = SplitMix64::new(config.seed);
+    let n_data = oracle.num_inputs();
+    let mut patterns = Vec::with_capacity(config.sample_patterns);
+    let mut responses = Vec::with_capacity(config.sample_patterns);
+    for _ in 0..config.sample_patterns {
+        let x: Vec<bool> = (0..n_data).map(|_| rng.bool()).collect();
+        match oracle.query(&x) {
+            None => {
+                return AttackOutcome::failed(
+                    FailureReason::OracleUnavailable,
+                    0,
+                    oracle.queries_attempted(),
+                );
+            }
+            Some(y) => {
+                patterns.push(x);
+                responses.push(y);
+            }
+        }
+    }
+    attack_with_responses(locked, &patterns, &responses, config, oracle.queries_attempted())
+}
+
+/// Runs hill climbing against a fixed set of stimulus/response pairs (e.g.
+/// manufacturing-test data). Returns the recovered key only if it explains
+/// every response exactly.
+pub fn attack_with_responses(
+    locked: &LockedCircuit,
+    patterns: &[Vec<bool>],
+    responses: &[Vec<bool>],
+    config: &HillClimbConfig,
+    queries_attempted: usize,
+) -> AttackOutcome {
+    assert_eq!(patterns.len(), responses.len(), "pattern/response mismatch");
+    let Ok(sim) = CombSim::new(&locked.circuit) else {
+        return AttackOutcome::failed(FailureReason::Inconclusive, 0, queries_attempted);
+    };
+    let key_pos: Vec<usize> = locked
+        .key_inputs
+        .iter()
+        .map(|k| {
+            sim.inputs()
+                .iter()
+                .position(|n| n == k)
+                .expect("key input present")
+        })
+        .collect();
+    let data_pos: Vec<usize> = (0..sim.inputs().len())
+        .filter(|i| !key_pos.contains(i))
+        .collect();
+    let nk = key_pos.len();
+    let mut rng = SplitMix64::new(config.seed ^ 0x5eed);
+
+    let score = |key: &[bool]| -> u64 {
+        let mut mismatched = 0u64;
+        for (x, y) in patterns.iter().zip(responses) {
+            let mut input = vec![false; sim.inputs().len()];
+            for (&p, &b) in data_pos.iter().zip(x) {
+                input[p] = b;
+            }
+            for (&p, &b) in key_pos.iter().zip(key) {
+                input[p] = b;
+            }
+            let got = sim.eval_bools(&input);
+            mismatched += got
+                .iter()
+                .zip(y)
+                .filter(|(g, w)| g != w)
+                .count() as u64;
+        }
+        mismatched
+    };
+
+    let mut restarts_used = 0usize;
+    for restart in 0..config.restarts {
+        restarts_used = restart + 1;
+        let mut key: Vec<bool> = (0..nk).map(|_| rng.bool()).collect();
+        let mut best = score(&key);
+        if best == 0 {
+            return AttackOutcome {
+                key: Some(key),
+                failure: None,
+                iterations: restarts_used,
+                oracle_queries: queries_attempted,
+            };
+        }
+        for _sweep in 0..config.max_sweeps {
+            let mut improved = false;
+            for bit in 0..nk {
+                key[bit] = !key[bit];
+                let s = score(&key);
+                if s < best {
+                    best = s;
+                    improved = true;
+                } else {
+                    key[bit] = !key[bit];
+                }
+            }
+            if best == 0 {
+                return AttackOutcome {
+                    key: Some(key),
+                    failure: None,
+                    iterations: restarts_used,
+                    oracle_queries: queries_attempted,
+                };
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    AttackOutcome::failed(
+        FailureReason::Inconclusive,
+        restarts_used,
+        queries_attempted,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key_is_functionally_correct;
+    use crate::oracle::{CombOracle, DeadOracle};
+    use netlist::samples;
+
+    #[test]
+    fn climbs_to_rll_key() {
+        let original = samples::ripple_adder(4);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 8, seed: 6 },
+        )
+        .unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &HillClimbConfig::default());
+        let key = out.key.expect("hill climbing breaks small RLL");
+        assert!(key_is_functionally_correct(&locked, &key, 1024).unwrap());
+    }
+
+    #[test]
+    fn dead_oracle_defeats_hill_climbing() {
+        let original = samples::ripple_adder(4);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 8, seed: 6 },
+        )
+        .unwrap();
+        let mut oracle = DeadOracle::new(8, 5);
+        let out = attack(&locked, &mut oracle, &HillClimbConfig::default());
+        assert_eq!(out.failure, Some(FailureReason::OracleUnavailable));
+    }
+
+    #[test]
+    fn locked_test_responses_mislead_the_attack() {
+        // OraP's testing story: the chip is tested LOCKED (key register
+        // cleared), so test responses reflect the all-zero key, not the
+        // correct one. Hill climbing then converges to the all-zero key —
+        // which does not unlock the chip.
+        let original = samples::ripple_adder(4);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 8, seed: 6 },
+        )
+        .unwrap();
+        // Build "test responses" from the locked circuit with key = 0.
+        let sim = CombSim::new(&locked.circuit).unwrap();
+        let key_pos: Vec<usize> = locked
+            .key_inputs
+            .iter()
+            .map(|k| sim.inputs().iter().position(|n| n == k).unwrap())
+            .collect();
+        let data_pos: Vec<usize> = (0..sim.inputs().len())
+            .filter(|i| !key_pos.contains(i))
+            .collect();
+        let mut rng = SplitMix64::new(3);
+        let mut patterns = Vec::new();
+        let mut responses = Vec::new();
+        for _ in 0..64 {
+            let x: Vec<bool> = (0..data_pos.len()).map(|_| rng.bool()).collect();
+            let mut input = vec![false; sim.inputs().len()];
+            for (&p, &b) in data_pos.iter().zip(&x) {
+                input[p] = b;
+            }
+            // key positions stay false: the cleared key register.
+            patterns.push(x);
+            responses.push(sim.eval_bools(&input));
+        }
+        let out = attack_with_responses(
+            &locked,
+            &patterns,
+            &responses,
+            &HillClimbConfig::default(),
+            0,
+        );
+        if let Some(key) = out.key {
+            // The attack "succeeds" on the locked responses, but the key it
+            // finds is the cleared register — functionally wrong.
+            assert!(
+                !key_is_functionally_correct(&locked, &key, 1024).unwrap(),
+                "locked-response key must not unlock the chip"
+            );
+        }
+    }
+}

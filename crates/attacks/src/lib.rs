@@ -1,0 +1,136 @@
+//! Oracle-guided attacks on combinational logic locking.
+//!
+//! These are the adversaries the OraP paper defends against. Every attack
+//! here consumes an [`Oracle`] — an abstraction of "a functional chip whose
+//! I/O behaviour the attacker can sample" — and a locked netlist with key
+//! inputs. Whether the oracle actually answers is exactly what OraP
+//! controls: the conventional scan-equipped chip answers every query, while
+//! an OraP-protected chip (implemented in the `orap` crate) yields no
+//! correct responses through scan, so every attack below reports
+//! [`FailureReason::OracleUnavailable`].
+//!
+//! Implemented attacks:
+//!
+//! - [`sat`]: the SAT attack (Subramanyan et al., HOST 2015) — iterative
+//!   distinguishing-input elimination with a miter over two key copies.
+//! - [`appsat`]: AppSAT-style approximate attack (Shamsi et al., HOST 2017)
+//!   — the SAT loop with periodic random-query settlement checks, returning
+//!   an approximate key early.
+//! - [`double_dip`]: a Double-DIP variant (Shen & Zhou, GLSVLSI 2017) using
+//!   a three-copy miter so each distinguishing input eliminates at least two
+//!   wrong keys.
+//! - [`hill_climbing`]: the hill-climbing attack (Plaza & Markov, TCAD
+//!   2015) — greedy key-bit flipping against sampled oracle responses.
+//! - [`sensitization`]: key-sensitization probing (Yasin et al., TCAD 2016)
+//!   — per-bit consistency inference from sensitizing patterns.
+//! - [`sps`]: the oracle-less signal-probability-skew removal attack
+//!   (Yasin et al., TETC 2017), which strips Anti-SAT-style blocks.
+//!
+//! # Example
+//!
+//! ```
+//! use attacks::{sat, CombOracle};
+//! use locking::random::{self, RllConfig};
+//!
+//! let original = netlist::samples::ripple_adder(4);
+//! let locked = random::lock(&original, &RllConfig { key_bits: 6, seed: 1 }).expect("lockable");
+//! let mut oracle = CombOracle::from_locked(&locked).expect("valid lock");
+//! let outcome = sat::attack(&locked, &mut oracle, &sat::SatAttackConfig::default());
+//! let key = outcome.key.expect("RLL falls to the SAT attack");
+//! assert!(attacks::key_is_functionally_correct(&locked, &key, 512).expect("simulable"));
+//! ```
+
+pub mod appsat;
+pub mod cnf;
+pub mod double_dip;
+pub mod hill_climbing;
+pub mod sat;
+pub mod sensitization;
+pub mod sps;
+
+mod oracle;
+
+pub use oracle::{CombOracle, DeadOracle, Oracle};
+
+use locking::LockedCircuit;
+use netlist::Error;
+
+/// Why an attack gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The oracle refused every query — the OraP situation.
+    OracleUnavailable,
+    /// The iteration limit was reached.
+    IterationLimit,
+    /// The SAT solver's conflict budget ran out.
+    SolverBudget,
+    /// The attack concluded without determining a key (e.g. inconsistent
+    /// oracle responses, which indicate the oracle was answering with a
+    /// locked circuit's outputs).
+    Inconclusive,
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureReason::OracleUnavailable => "oracle unavailable",
+            FailureReason::IterationLimit => "iteration limit reached",
+            FailureReason::SolverBudget => "solver budget exhausted",
+            FailureReason::Inconclusive => "inconclusive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of an oracle-guided attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// The recovered key (functionally correct or best-effort, per attack).
+    pub key: Option<Vec<bool>>,
+    /// Why the attack failed, when `key` is `None`.
+    pub failure: Option<FailureReason>,
+    /// Attack iterations executed (distinguishing inputs for the SAT
+    /// family, restarts for hill climbing, probes for sensitization).
+    pub iterations: usize,
+    /// Oracle queries attempted (including refused ones).
+    pub oracle_queries: usize,
+}
+
+impl AttackOutcome {
+    /// Whether a key was recovered.
+    pub fn succeeded(&self) -> bool {
+        self.key.is_some()
+    }
+
+    pub(crate) fn failed(reason: FailureReason, iterations: usize, queries: usize) -> Self {
+        AttackOutcome {
+            key: None,
+            failure: Some(reason),
+            iterations,
+            oracle_queries: queries,
+        }
+    }
+}
+
+/// Checks whether `key` unlocks `locked` to the same function as the correct
+/// key, over `patterns` pseudorandom patterns (the SAT attack guarantees only
+/// *functional* equivalence, not bit-identity).
+///
+/// # Errors
+///
+/// Returns a netlist error if the locked circuit is cyclic.
+pub fn key_is_functionally_correct(
+    locked: &LockedCircuit,
+    key: &[bool],
+    patterns: usize,
+) -> Result<bool, Error> {
+    let rep = gatesim::hd::hamming_between_keys(
+        &locked.circuit,
+        &locked.key_inputs,
+        &locked.correct_key,
+        key,
+        patterns,
+        0xC0FFEE,
+    )?;
+    Ok(rep.flipped == 0)
+}

@@ -1,0 +1,177 @@
+use gatesim::CombSim;
+use locking::LockedCircuit;
+use netlist::{Error, NetId};
+
+/// A functional chip the attacker can query: apply a data input, observe the
+/// combinational outputs.
+///
+/// Conventional scan access makes every query answerable ([`CombOracle`]).
+/// An OraP-protected chip (the `orap` crate's `ProtectedChipOracle`) returns
+/// `None` — the scan-side responses it produces come from the *locked*
+/// circuit and are useless to the attacker, which is precisely the paper's
+/// defence.
+pub trait Oracle {
+    /// Data input width (non-key combinational inputs).
+    fn num_inputs(&self) -> usize;
+
+    /// Output width.
+    fn num_outputs(&self) -> usize;
+
+    /// Attempts to obtain the *correct* (unlocked) response for `input`.
+    /// Returns `None` when the platform yields no correct response.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `input.len() != num_inputs()`.
+    fn query(&mut self, input: &[bool]) -> Option<Vec<bool>>;
+
+    /// Number of queries attempted so far (answered or refused).
+    fn queries_attempted(&self) -> usize;
+}
+
+/// The ideal oracle every pre-OraP attack paper assumes: unfettered
+/// combinational access to the activated chip via its scan chains.
+#[derive(Debug, Clone)]
+pub struct CombOracle {
+    sim: CombSim,
+    /// Positions of the data inputs within the activated circuit's
+    /// comb-input list (key inputs are left dangling constants).
+    data_pos: Vec<usize>,
+    key_values: Vec<(usize, bool)>,
+    queries: usize,
+}
+
+impl CombOracle {
+    /// Builds the oracle from a locked circuit by fixing its correct key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a netlist error if the locked circuit is cyclic.
+    pub fn from_locked(locked: &LockedCircuit) -> Result<Self, Error> {
+        let sim = CombSim::new(&locked.circuit)?;
+        let key_set: std::collections::HashMap<NetId, bool> = locked
+            .key_inputs
+            .iter()
+            .copied()
+            .zip(locked.correct_key.iter().copied())
+            .collect();
+        let mut data_pos = Vec::new();
+        let mut key_values = Vec::new();
+        for (i, n) in sim.inputs().iter().enumerate() {
+            match key_set.get(n) {
+                Some(&v) => key_values.push((i, v)),
+                None => data_pos.push(i),
+            }
+        }
+        Ok(CombOracle {
+            sim,
+            data_pos,
+            key_values,
+            queries: 0,
+        })
+    }
+}
+
+impl Oracle for CombOracle {
+    fn num_inputs(&self) -> usize {
+        self.data_pos.len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.sim.outputs().len()
+    }
+
+    fn query(&mut self, input: &[bool]) -> Option<Vec<bool>> {
+        assert_eq!(input.len(), self.data_pos.len(), "input width mismatch");
+        self.queries += 1;
+        let mut words = vec![0u64; self.sim.inputs().len()];
+        for (&pos, &b) in self.data_pos.iter().zip(input) {
+            words[pos] = if b { !0 } else { 0 };
+        }
+        for &(pos, v) in &self.key_values {
+            words[pos] = if v { !0 } else { 0 };
+        }
+        Some(
+            self.sim
+                .eval_words(&words)
+                .into_iter()
+                .map(|w| w & 1 == 1)
+                .collect(),
+        )
+    }
+
+    fn queries_attempted(&self) -> usize {
+        self.queries
+    }
+}
+
+/// An oracle that refuses every query — handy for tests; behaviourally what
+/// the attacker experiences against OraP without modelling the whole chip.
+#[derive(Debug, Clone)]
+pub struct DeadOracle {
+    /// Data input width to report.
+    pub inputs: usize,
+    /// Output width to report.
+    pub outputs: usize,
+    queries: usize,
+}
+
+impl DeadOracle {
+    /// Creates a dead oracle with the given interface.
+    pub fn new(inputs: usize, outputs: usize) -> Self {
+        DeadOracle {
+            inputs,
+            outputs,
+            queries: 0,
+        }
+    }
+}
+
+impl Oracle for DeadOracle {
+    fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn query(&mut self, _input: &[bool]) -> Option<Vec<bool>> {
+        self.queries += 1;
+        None
+    }
+
+    fn queries_attempted(&self) -> usize {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locking::random::{self, RllConfig};
+    use netlist::samples;
+
+    #[test]
+    fn comb_oracle_matches_original() {
+        let original = samples::full_adder();
+        let locked = random::lock(&original, &RllConfig { key_bits: 3, seed: 1 }).unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        assert_eq!(oracle.num_inputs(), 3);
+        assert_eq!(oracle.num_outputs(), 2);
+        let orig = gatesim::CombSim::new(&original).unwrap();
+        for m in 0..8u32 {
+            let input: Vec<bool> = (0..3).map(|k| (m >> k) & 1 == 1).collect();
+            let y = oracle.query(&input).expect("comb oracle always answers");
+            assert_eq!(y, orig.eval_bools(&input), "input {input:?}");
+        }
+        assert_eq!(oracle.queries_attempted(), 8);
+    }
+
+    #[test]
+    fn dead_oracle_refuses() {
+        let mut d = DeadOracle::new(4, 2);
+        assert_eq!(d.query(&[false; 4]), None);
+        assert_eq!(d.queries_attempted(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! The SAT attack (Subramanyan, Ray, Malik — HOST 2015).
+//!
+//! The attack maintains a miter `C(X, K1) ≠ C(X, K2)` over two key copies,
+//! both constrained to agree with every oracle response observed so far.
+//! Each satisfying assignment yields a *distinguishing input* (DIP): an
+//! input on which two still-viable keys disagree. Querying the oracle on the
+//! DIP and adding the response as a constraint eliminates at least one wrong
+//! key equivalence class per iteration. When the miter goes UNSAT, every
+//! remaining key is functionally correct — any model of the accumulated
+//! constraints is an unlocking key.
+//!
+//! Against OraP the very first oracle query fails, so the attack terminates
+//! with [`FailureReason::OracleUnavailable`] — the paper's central claim.
+
+use std::collections::HashMap;
+
+use cdcl::{Lit, SolveResult, Solver, Var};
+use locking::LockedCircuit;
+use netlist::NetId;
+
+use crate::cnf::{add_io_constraint, bind_fresh, encode, encode_xor};
+use crate::{AttackOutcome, FailureReason, Oracle};
+
+/// SAT attack configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatAttackConfig {
+    /// Maximum distinguishing inputs before giving up.
+    pub max_iterations: usize,
+    /// Optional conflict budget per solver call.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for SatAttackConfig {
+    fn default() -> Self {
+        SatAttackConfig {
+            max_iterations: 4096,
+            conflict_budget: None,
+        }
+    }
+}
+
+/// The shared plumbing of the SAT-attack family.
+pub(crate) struct AttackContext<'l> {
+    pub locked: &'l LockedCircuit,
+    pub data_inputs: Vec<NetId>,
+    pub outputs: Vec<NetId>,
+    /// Miter solver.
+    pub solver: Solver,
+    pub data_vars: Vec<Var>,
+    pub k1: HashMap<NetId, Lit>,
+    pub k2: HashMap<NetId, Lit>,
+    /// Constraint-only solver for key extraction.
+    pub extraction: Solver,
+    pub ke: HashMap<NetId, Lit>,
+    pub ke_vars: Vec<Var>,
+    /// Observed I/O pairs.
+    pub history: Vec<(Vec<bool>, Vec<bool>)>,
+}
+
+impl<'l> AttackContext<'l> {
+    pub fn new(locked: &'l LockedCircuit) -> Self {
+        let c = &locked.circuit;
+        let data_inputs: Vec<NetId> = c
+            .comb_inputs()
+            .into_iter()
+            .filter(|n| !locked.key_inputs.contains(n))
+            .collect();
+        let outputs = c.comb_outputs();
+
+        let mut solver = Solver::new();
+        let (data_bind, data_vars) = bind_fresh(&mut solver, &data_inputs);
+        let (k1, _) = bind_fresh(&mut solver, &locked.key_inputs);
+        let (k2, _) = bind_fresh(&mut solver, &locked.key_inputs);
+
+        // Two circuit copies sharing X, differing in key bindings.
+        let mut bound1 = data_bind.clone();
+        bound1.extend(k1.iter().map(|(k, v)| (*k, *v)));
+        let lits1 = encode(&mut solver, c, &bound1);
+        let mut bound2 = data_bind;
+        bound2.extend(k2.iter().map(|(k, v)| (*k, *v)));
+        let lits2 = encode(&mut solver, c, &bound2);
+
+        // Miter: at least one output differs.
+        let diffs: Vec<Lit> = outputs
+            .iter()
+            .map(|o| encode_xor(&mut solver, lits1[o.index()], lits2[o.index()]))
+            .collect();
+        solver.add_clause(&diffs);
+
+        let mut extraction = Solver::new();
+        let (ke, ke_vars) = bind_fresh(&mut extraction, &locked.key_inputs);
+
+        AttackContext {
+            locked,
+            data_inputs,
+            outputs,
+            solver,
+            data_vars,
+            k1,
+            k2,
+            extraction,
+            ke,
+            ke_vars,
+            history: Vec::new(),
+        }
+    }
+
+    /// Reads the current DIP from the miter solver's model.
+    pub fn model_dip(&self) -> Vec<bool> {
+        self.data_vars
+            .iter()
+            .map(|&v| self.solver.value(v).unwrap_or(false))
+            .collect()
+    }
+
+    /// Records an oracle response: constrains both miter key copies and the
+    /// extraction key to reproduce it.
+    pub fn learn(&mut self, x: &[bool], y: &[bool]) {
+        let c = &self.locked.circuit;
+        for keys in [&self.k1, &self.k2] {
+            add_io_constraint(
+                &mut self.solver,
+                c,
+                &self.data_inputs,
+                keys,
+                x,
+                y,
+                &self.outputs,
+            );
+        }
+        add_io_constraint(
+            &mut self.extraction,
+            c,
+            &self.data_inputs,
+            &self.ke,
+            x,
+            y,
+            &self.outputs,
+        );
+        self.history.push((x.to_vec(), y.to_vec()));
+    }
+
+    /// Solves the extraction problem: any key consistent with all observed
+    /// I/O pairs.
+    pub fn extract_key(&mut self) -> Option<Vec<bool>> {
+        match self.extraction.solve() {
+            SolveResult::Sat => Some(
+                self.ke_vars
+                    .iter()
+                    .map(|&v| self.extraction.value(v).unwrap_or(false))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the SAT attack.
+pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &mut dyn Oracle,
+    config: &SatAttackConfig,
+) -> AttackOutcome {
+    let mut ctx = AttackContext::new(locked);
+    ctx.solver.set_conflict_budget(config.conflict_budget);
+    let mut iterations = 0usize;
+    loop {
+        if iterations >= config.max_iterations {
+            return AttackOutcome::failed(
+                FailureReason::IterationLimit,
+                iterations,
+                oracle.queries_attempted(),
+            );
+        }
+        match ctx.solver.solve() {
+            SolveResult::Unknown => {
+                return AttackOutcome::failed(
+                    FailureReason::SolverBudget,
+                    iterations,
+                    oracle.queries_attempted(),
+                );
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                iterations += 1;
+                let x = ctx.model_dip();
+                match oracle.query(&x) {
+                    None => {
+                        return AttackOutcome::failed(
+                            FailureReason::OracleUnavailable,
+                            iterations,
+                            oracle.queries_attempted(),
+                        );
+                    }
+                    Some(y) => ctx.learn(&x, &y),
+                }
+            }
+        }
+    }
+    match ctx.extract_key() {
+        Some(key) => AttackOutcome {
+            key: Some(key),
+            failure: None,
+            iterations,
+            oracle_queries: oracle.queries_attempted(),
+        },
+        None => AttackOutcome::failed(
+            FailureReason::Inconclusive,
+            iterations,
+            oracle.queries_attempted(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CombOracle, DeadOracle};
+    use crate::key_is_functionally_correct;
+    use locking::random::RllConfig;
+    use locking::weighted::WllConfig;
+    use netlist::samples;
+
+    #[test]
+    fn breaks_rll_on_adder() {
+        let original = samples::ripple_adder(4);
+        let locked =
+            locking::random::lock(&original, &RllConfig { key_bits: 8, seed: 3 }).unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &SatAttackConfig::default());
+        let key = out.key.expect("SAT attack must break RLL");
+        assert!(key_is_functionally_correct(&locked, &key, 1024).unwrap());
+        assert!(out.iterations <= 256, "RLL should fall quickly");
+    }
+
+    #[test]
+    fn breaks_wll_on_adder() {
+        let original = samples::ripple_adder(4);
+        let locked = locking::weighted::lock(
+            &original,
+            &WllConfig {
+                key_bits: 9,
+                control_width: 3,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &SatAttackConfig::default());
+        let key = out.key.expect("WLL offers no SAT resistance");
+        assert!(key_is_functionally_correct(&locked, &key, 1024).unwrap());
+    }
+
+    #[test]
+    fn breaks_random_circuit_lock() {
+        let original = netlist::generate::random_comb(41, 10, 6, 150).unwrap();
+        let locked =
+            locking::random::lock(&original, &RllConfig { key_bits: 12, seed: 7 }).unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &SatAttackConfig::default());
+        let key = out.key.expect("attack succeeds");
+        assert!(key_is_functionally_correct(&locked, &key, 2048).unwrap());
+    }
+
+    #[test]
+    fn sarlock_costs_exponential_iterations() {
+        // SARLock with k key bits needs ~2^k DIPs; with a tight iteration
+        // cap the attack must hit the limit, demonstrating SAT resistance.
+        let original = samples::ripple_adder(4);
+        let locked = locking::point_function::sarlock(
+            &original,
+            &locking::point_function::SarLockConfig { key_bits: 8, seed: 2 },
+        )
+        .unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(
+            &locked,
+            &mut oracle,
+            &SatAttackConfig {
+                max_iterations: 32,
+                conflict_budget: None,
+            },
+        );
+        assert_eq!(out.failure, Some(FailureReason::IterationLimit));
+
+        // And with enough budget it does finish (2^8 DIPs max).
+        let mut oracle2 = CombOracle::from_locked(&locked).unwrap();
+        let out2 = attack(
+            &locked,
+            &mut oracle2,
+            &SatAttackConfig {
+                max_iterations: 600,
+                conflict_budget: None,
+            },
+        );
+        let key = out2.key.expect("finishes after ~2^k iterations");
+        assert!(out2.iterations > 32, "must need many DIPs");
+        assert!(key_is_functionally_correct(&locked, &key, 4096).unwrap());
+    }
+
+    #[test]
+    fn dead_oracle_defeats_attack() {
+        let original = samples::ripple_adder(4);
+        let locked =
+            locking::random::lock(&original, &RllConfig { key_bits: 8, seed: 3 }).unwrap();
+        let mut oracle = DeadOracle::new(8, 5);
+        let out = attack(&locked, &mut oracle, &SatAttackConfig::default());
+        assert!(!out.succeeded());
+        assert_eq!(out.failure, Some(FailureReason::OracleUnavailable));
+        assert_eq!(out.iterations, 1, "fails at the first query");
+    }
+
+    #[test]
+    fn unlocked_interface_with_zero_information_still_extracts_some_key() {
+        // A locked circuit where the miter is UNSAT immediately (key gates
+        // cancel): any key works, extraction returns one.
+        let mut c = netlist::Circuit::new("t");
+        let a = c.add_input("a");
+        let k = c.add_input("k");
+        // y = a XOR k XOR k == a: the two key gates cancel.
+        let x1 = c.add_gate(netlist::GateKind::Xor, vec![a, k], "x1").unwrap();
+        let y = c.add_gate(netlist::GateKind::Xor, vec![x1, k], "y").unwrap();
+        c.mark_output(y);
+        let locked = LockedCircuit {
+            circuit: c,
+            key_inputs: vec![k],
+            correct_key: vec![false],
+            scheme: "degenerate",
+        };
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &SatAttackConfig::default());
+        assert_eq!(out.iterations, 0, "miter is UNSAT from the start");
+        assert!(out.key.is_some());
+    }
+}

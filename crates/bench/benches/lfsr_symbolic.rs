@@ -1,0 +1,42 @@
+//! Microbenchmark: GF(2) symbolic LFSR analysis (threat-(d) machinery and
+//! the key-sequence solver).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfsr::{KeySequence, LfsrConfig, UnlockSchedule};
+
+fn schedule(width: usize, seeds: usize, gap: usize) -> UnlockSchedule {
+    let cfg = LfsrConfig::with_tap_spacing(width, 8);
+    let mut state = 0x5eedu64;
+    let mut bit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state & 1 == 1
+    };
+    let ss: Vec<Vec<bool>> = (0..seeds)
+        .map(|_| (0..width).map(|_| bit()).collect())
+        .collect();
+    UnlockSchedule::new(cfg, KeySequence::new(ss, vec![gap; seeds]))
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let sched = schedule(128, 8, 4);
+    c.bench_function("symbolic_state_128bit_8seeds", |b| {
+        b.iter(|| lfsr::symbolic::SymbolicState::of_schedule(std::hint::black_box(&sched)));
+    });
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let sched = schedule(128, 4, 2);
+    let target: Vec<bool> = (0..128).map(|i| i % 3 == 0).collect();
+    c.bench_function("solve_key_sequence_128bit", |b| {
+        b.iter(|| {
+            sched
+                .solve_seeds_for_key(std::hint::black_box(&target))
+                .expect("full reseed points")
+        });
+    });
+}
+
+criterion_group!(benches, bench_symbolic, bench_solve);
+criterion_main!(benches);

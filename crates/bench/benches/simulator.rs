@@ -1,0 +1,52 @@
+//! Microbenchmark: bit-parallel simulator throughput (the engine behind the
+//! Table I Hamming-distance measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CbId, Criterion, Throughput};
+use gatesim::CombSim;
+use netlist::generate::{self, BenchmarkId};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comb_sim_eval_words");
+    for (label, scale) in [("b20@0.02", 0.02), ("b20@0.05", 0.05)] {
+        let profile = generate::profile(BenchmarkId::B20).scaled(scale);
+        let circuit = generate::synthesize(&profile).expect("profile valid");
+        let sim = CombSim::new(&circuit).expect("acyclic");
+        let mut rng = netlist::rng::SplitMix64::new(1);
+        let input: Vec<u64> = (0..sim.inputs().len()).map(|_| rng.next_u64()).collect();
+        group.throughput(Throughput::Elements(64 * circuit.num_gates() as u64));
+        group.bench_with_input(CbId::from_parameter(label), &input, |b, input| {
+            b.iter(|| sim.eval_words(std::hint::black_box(input)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hd(c: &mut Criterion) {
+    let profile = generate::profile(BenchmarkId::B20).scaled(0.02);
+    let circuit = generate::synthesize(&profile).expect("profile valid");
+    let locked = locking::weighted::lock(
+        &circuit,
+        &locking::weighted::WllConfig {
+            key_bits: 24,
+            control_width: 3,
+            seed: 1,
+        },
+    )
+    .expect("lockable");
+    c.bench_function("hamming_distance_1k_patterns", |b| {
+        b.iter(|| {
+            gatesim::hd::average_hd_random_keys(
+                &locked.circuit,
+                &locked.key_inputs,
+                &locked.correct_key,
+                2,
+                1024,
+                7,
+            )
+            .expect("simulable")
+        });
+    });
+}
+
+criterion_group!(benches, bench_simulator, bench_hd);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Microbenchmark: the AIG optimization pipeline used for Table I's
+//! area/delay overhead columns.
+
+use aigsynth::{optimize_aig, passes, Aig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn build_aig(gates: usize) -> Aig {
+    let circuit = netlist::generate::random_comb(21, 24, 12, gates).expect("generate");
+    Aig::from_circuit(&circuit).expect("acyclic")
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let aig = build_aig(2000);
+    let mut group = c.benchmark_group("synth_passes_2k_gates");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(aig.num_ands() as u64));
+    group.bench_function("strash", |b| {
+        b.iter(|| passes::strash(std::hint::black_box(&aig)));
+    });
+    group.bench_function("balance", |b| {
+        b.iter(|| passes::balance(std::hint::black_box(&aig)));
+    });
+    group.bench_function("rewrite_k4", |b| {
+        b.iter(|| passes::rewrite(std::hint::black_box(&aig), 4));
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| optimize_aig(std::hint::black_box(&aig)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Regenerates **Table I** of the paper: Hamming distance, area overhead and
+//! delay overhead of OraP + weighted logic locking on the eight benchmark
+//! circuits.
+//!
+//! Methodology (mirroring Section IV):
+//! - circuits are profile-matched synthetic stand-ins (see DESIGN.md §3),
+//!   scaled by `--scale` (default 0.05; `--full` = published gate counts);
+//! - HD: the valid key versus random wrong keys over pseudorandom patterns;
+//! - area/delay: both the original and the protected netlist go through the
+//!   `strash → refactor → rewrite` pipeline (our AIG optimizer); the
+//!   protected side additionally pays the OraP gates (reseeding XORs,
+//!   polynomial XORs, pulse-generator NANDs), as the paper counts them;
+//! - delay overhead is measured in logic levels.
+//!
+//! Run: `cargo run -p orap-bench --release --bin table1 [--scale f|--full|--quick]`
+
+use locking::weighted::WllConfig;
+use netlist::generate::{self, BenchmarkId};
+use orap::{protect, OrapConfig};
+use orap_bench::{control_width, key_bits, write_results, RunOptions};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    circuit: String,
+    gates: usize,
+    comb_outputs: usize,
+    lfsr_size: usize,
+    control_inputs: usize,
+    hd_percent: f64,
+    area_overhead_percent: f64,
+    delay_overhead_percent: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RunOptions::from_args();
+    println!(
+        "Table I reproduction (scale {}, {} HD patterns x {} random keys)\n",
+        opts.scale, opts.hd_patterns, opts.hd_keys
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>6} {:>5} {:>8} {:>10} {:>10}",
+        "Circuit", "#Gates", "#Outs", "LFSR", "Ctrl", "HD(%)", "ArOvhd(%)", "DelOvhd(%)"
+    );
+
+    let mut rows = Vec::new();
+    for id in BenchmarkId::ALL {
+        let profile = generate::profile(id).scaled(opts.scale);
+        let design = generate::synthesize(&profile)?;
+        let cw = control_width(id);
+        // The paper's key-sizing methodology: grow the key until output
+        // corruptibility reaches the optimal HD = 50% or saturates, capped
+        // at the benchmark's Table I key size (scaled with the circuit so
+        // the key-gate density stays comparable).
+        let cap = key_bits(id, opts.scale).max(
+            (design.num_gates_excluding_inverters() / 12).clamp(12, 256),
+        );
+        let mut kb = 12usize;
+        let mut best: Option<(usize, f64, orap::OrapProtected)> = None;
+        loop {
+            let candidate = protect(
+                &design,
+                &WllConfig {
+                    key_bits: kb,
+                    control_width: cw,
+                    seed: 0x7AB1E ^ id as u64,
+                },
+                &OrapConfig::default(),
+            )?;
+            let probe_hd = gatesim::hd::average_hd_random_keys(
+                &candidate.locked.circuit,
+                &candidate.locked.key_inputs,
+                &candidate.locked.correct_key,
+                opts.hd_keys.min(5),
+                (opts.hd_patterns / 4).max(1024),
+                0x4D ^ id as u64,
+            )?;
+            if best.as_ref().map(|&(_, prev, _)| probe_hd > prev).unwrap_or(true) {
+                best = Some((kb, probe_hd, candidate));
+            }
+            if probe_hd >= 49.0 || kb >= cap {
+                break;
+            }
+            kb = (kb * 2).min(cap);
+        }
+        let (kb, _, protected) = best.expect("at least one key size probed");
+        let locked = &protected.locked;
+
+        // Final HD measurement at full pattern count.
+        let hd = gatesim::hd::average_hd_random_keys(
+            &locked.circuit,
+            &locked.key_inputs,
+            &locked.correct_key,
+            opts.hd_keys,
+            opts.hd_patterns,
+            0x4D ^ id as u64,
+        )?;
+
+        // Area/delay after resynthesis of both versions.
+        let base = aigsynth::optimize(&design)?;
+        let prot = aigsynth::optimize(&locked.circuit)?;
+        let prot_area = prot.area + protected.hardware.gates();
+        let area_ovhd = 100.0 * (prot_area as f64 - base.area as f64) / base.area as f64;
+        let delay_ovhd = 100.0 * (prot.depth as f64 - base.depth as f64) / base.depth as f64;
+
+        let row = Row {
+            circuit: id.as_str().to_owned(),
+            gates: design.num_gates_excluding_inverters(),
+            comb_outputs: design.comb_outputs().len(),
+            lfsr_size: kb,
+            control_inputs: cw,
+            hd_percent: hd,
+            area_overhead_percent: area_ovhd,
+            delay_overhead_percent: delay_ovhd.max(0.0),
+        };
+        println!(
+            "{:<10} {:>8} {:>8} {:>6} {:>5} {:>8.2} {:>10.2} {:>10.2}",
+            row.circuit,
+            row.gates,
+            row.comb_outputs,
+            row.lfsr_size,
+            row.control_inputs,
+            row.hd_percent,
+            row.area_overhead_percent,
+            row.delay_overhead_percent
+        );
+        rows.push(row);
+    }
+    let path = write_results("table1", &rows)?;
+    println!("\nresults written to {}", path.display());
+    Ok(())
+}

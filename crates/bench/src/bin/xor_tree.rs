@@ -1,0 +1,112 @@
+//! Experiment E5: the design-space sweep behind the paper's threat-(d)
+//! countermeasure — "by choosing these features carefully, the resulting
+//! linear expressions will be complex enough to require big XOR trees".
+//!
+//! Sweeps the number of seeds, free-run cycles, reseeding points and tap
+//! spacing of a 128-bit key register and reports the attacker's XOR-tree
+//! payload, plus the LFSR-vs-shift-register ablation that justifies using
+//! an LFSR in the first place.
+//!
+//! Run: `cargo run -p orap-bench --release --bin xor_tree`
+
+use lfsr::symbolic::{shift_register_cost, sweep_point};
+use orap_bench::write_results;
+use serde::Serialize;
+
+const WIDTH: usize = 128;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    sweep: String,
+    seeds: usize,
+    free_run: usize,
+    reseed_points: usize,
+    tap_spacing: usize,
+    xor_gates: usize,
+    payload_ge: usize,
+    max_terms_per_cell: usize,
+}
+
+fn record(
+    rows: &mut Vec<Point>,
+    sweep: &str,
+    seeds: usize,
+    gap: usize,
+    points: usize,
+    spacing: usize,
+) {
+    let cost = sweep_point(WIDTH, spacing, points, seeds, gap, 0xE5);
+    rows.push(Point {
+        sweep: sweep.to_owned(),
+        seeds,
+        free_run: gap,
+        reseed_points: points,
+        tap_spacing: spacing,
+        xor_gates: cost.xor_gates,
+        payload_ge: cost.gate_equivalents(),
+        max_terms_per_cell: cost.max_terms_per_cell,
+    });
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+
+    // Sweep 1: number of seeds (more stored seeds = more shadow registers
+    // and denser expressions).
+    for seeds in [1, 2, 4, 8, 16] {
+        record(&mut rows, "seeds", seeds, 4, WIDTH, 8);
+    }
+    // Sweep 2: free-run cycles between seeds (more mixing per seed).
+    for gap in [0, 2, 4, 8, 16] {
+        record(&mut rows, "free_run", 4, gap, WIDTH, 8);
+    }
+    // Sweep 3: number of reseeding points.
+    for points in [16, 32, 64, 128] {
+        record(&mut rows, "reseed_points", 4, 4, points, 8);
+    }
+    // Sweep 4: tap spacing (the paper chose a new tap every 8 cells).
+    for spacing in [4, 8, 16, 32, 64] {
+        record(&mut rows, "tap_spacing", 4, 4, WIDTH, spacing);
+    }
+
+    println!(
+        "{:<14} {:>6} {:>8} {:>7} {:>8} {:>9} {:>11} {:>10}",
+        "sweep", "seeds", "freerun", "points", "spacing", "XOR gates", "payload GE", "max terms"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>6} {:>8} {:>7} {:>8} {:>9} {:>11} {:>10}",
+            r.sweep,
+            r.seeds,
+            r.free_run,
+            r.reseed_points,
+            r.tap_spacing,
+            r.xor_gates,
+            r.payload_ge,
+            r.max_terms_per_cell
+        );
+    }
+
+    // Ablation: why an LFSR (and not a plain shift register)?
+    println!("\nLFSR vs shift-register ablation (4 seeds, gap 4):");
+    let lfsr = sweep_point(WIDTH, 8, WIDTH, 4, 4, 0xE5);
+    let sr = shift_register_cost(WIDTH, 4, 4, 0xE5);
+    println!(
+        "  LFSR (tap/8): {:>6} XOR gates, payload {:>6} GE",
+        lfsr.xor_gates,
+        lfsr.gate_equivalents()
+    );
+    println!(
+        "  shift reg   : {:>6} XOR gates, payload {:>6} GE",
+        sr.xor_gates,
+        sr.gate_equivalents()
+    );
+    println!(
+        "  mixing advantage: {:.1}x more XOR gates for the attacker",
+        lfsr.xor_gates as f64 / sr.xor_gates.max(1) as f64
+    );
+
+    let path = write_results("xor_tree", &rows)?;
+    println!("\nresults written to {}", path.display());
+    Ok(())
+}

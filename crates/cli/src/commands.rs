@@ -1,0 +1,242 @@
+//! Command implementations.
+
+use locking::LockedCircuit;
+use netlist::NetId;
+
+use crate::keyfmt;
+use crate::netio::{
+    flag_bool, flag_num, flag_value, input_path, read_netlist, write_netlist, CliError,
+};
+
+pub fn stats(args: &[String]) -> Result<(), CliError> {
+    let circuit = read_netlist(input_path(args)?)?;
+    print!("{}", netlist::CircuitStats::of(&circuit));
+    Ok(())
+}
+
+pub fn optimize(args: &[String]) -> Result<(), CliError> {
+    let circuit = read_netlist(input_path(args)?)?;
+    let before = aigsynth::Aig::from_circuit(&circuit)?;
+    let report = aigsynth::optimize(&circuit)?;
+    println!(
+        "area : {} AND nodes -> {} after strash/balance/rewrite",
+        before.num_ands(),
+        report.area
+    );
+    println!("depth: {} levels -> {}", before.depth(), report.depth);
+    Ok(())
+}
+
+pub fn atpg(args: &[String]) -> Result<(), CliError> {
+    let circuit = read_netlist(input_path(args)?)?;
+    let cfg = atpg::AtpgConfig {
+        random_patterns: flag_num(args, "--patterns", 2048)?,
+        backtrack_limit: flag_num(args, "--backtrack", 1000)?,
+        seed: flag_num(args, "--seed", 0xA7)? as u64,
+    };
+    let rep = atpg::run_atpg(&circuit, &cfg)?;
+    println!(
+        "fault coverage : {:.2}% ({} / {} faults)",
+        rep.coverage_percent(),
+        rep.detected,
+        rep.total_faults
+    );
+    println!("redundant      : {}", rep.redundant);
+    println!("aborted        : {}", rep.aborted);
+    println!("tests generated: {}", rep.tests.len());
+    Ok(())
+}
+
+pub fn convert(args: &[String]) -> Result<(), CliError> {
+    let circuit = read_netlist(input_path(args)?)?;
+    let out = flag_value(args, "-o").ok_or("convert needs -o <out>")?;
+    write_netlist(out, &circuit)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+pub fn lock(args: &[String]) -> Result<(), CliError> {
+    let circuit = read_netlist(input_path(args)?)?;
+    let out = flag_value(args, "-o").ok_or("lock needs -o <out>")?;
+    let key_bits = flag_num(args, "--key-bits", 32)?;
+    let seed = flag_num(args, "--seed", 1)? as u64;
+    let scheme = flag_value(args, "--scheme").unwrap_or("wll");
+    let locked: LockedCircuit = match scheme {
+        "rll" => locking::random::lock(&circuit, &locking::random::RllConfig { key_bits, seed })?,
+        "fll" => locking::fault_based::lock(
+            &circuit,
+            &locking::fault_based::FllConfig {
+                key_bits,
+                impact_patterns: 256,
+                seed,
+            },
+        )?,
+        "wll" => locking::weighted::lock(
+            &circuit,
+            &locking::weighted::WllConfig {
+                key_bits,
+                control_width: flag_num(args, "--control-width", 3)?,
+                seed,
+            },
+        )?,
+        "sarlock" => locking::point_function::sarlock(
+            &circuit,
+            &locking::point_function::SarLockConfig { key_bits, seed },
+        )?,
+        "antisat" => locking::point_function::anti_sat(
+            &circuit,
+            &locking::point_function::AntiSatConfig {
+                block_width: key_bits / 2,
+                seed,
+            },
+        )?,
+        "sfll" => locking::sfll::sfll_hd(
+            &circuit,
+            &locking::sfll::SfllConfig {
+                key_bits,
+                hamming_distance: flag_num(args, "--hd", 1)?,
+                seed,
+            },
+        )?,
+        other => return Err(format!("unknown scheme `{other}`").into()),
+    };
+    write_netlist(out, &locked.circuit)?;
+    println!("scheme  : {}", locked.scheme);
+    println!("key bits: {}", locked.key_bits());
+    println!("key     : {}", keyfmt::to_hex(&locked.correct_key));
+    println!("wrote {out}");
+    Ok(())
+}
+
+pub fn protect(args: &[String]) -> Result<(), CliError> {
+    let circuit = read_netlist(input_path(args)?)?;
+    let out = flag_value(args, "-o").ok_or("protect needs -o <out>")?;
+    let wll = locking::weighted::WllConfig {
+        key_bits: flag_num(args, "--key-bits", 32)?,
+        control_width: flag_num(args, "--control-width", 3)?,
+        seed: flag_num(args, "--seed", 1)? as u64,
+    };
+    let cfg = orap::OrapConfig {
+        variant: if flag_bool(args, "--modified") {
+            orap::OrapVariant::Modified
+        } else {
+            orap::OrapVariant::Basic
+        },
+        ..orap::OrapConfig::default()
+    };
+    let protected = orap::protect(&circuit, &wll, &cfg)?;
+    write_netlist(out, &protected.locked.circuit)?;
+    println!("variant        : {:?}", protected.variant);
+    println!("key bits (LFSR): {}", protected.key_bits());
+    println!("correct key    : {}", keyfmt::to_hex(&protected.locked.correct_key));
+    println!("unlock cycles  : {}", protected.unlock_cycles());
+    println!("OraP gates     : {}", protected.hardware.gates());
+    println!("key sequence (memory words, hex per cycle):");
+    for (i, word) in protected.key_sequence.iter().enumerate() {
+        println!("  cycle {i:3}: {}", keyfmt::to_hex(word));
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Rebuilds a LockedCircuit view from a locked netlist file: key inputs are
+/// recognised by their `keyin*` name prefix (the convention all our locking
+/// schemes use).
+fn reconstruct_locked(circuit: netlist::Circuit, key_hex: &str) -> Result<LockedCircuit, CliError> {
+    let key_inputs: Vec<NetId> = circuit
+        .primary_inputs()
+        .iter()
+        .copied()
+        .filter(|&n| circuit.net(n).name().starts_with("keyin"))
+        .collect();
+    if key_inputs.is_empty() {
+        return Err("no `keyin*` inputs found — is this a locked netlist?".into());
+    }
+    let correct_key = keyfmt::from_hex(key_hex, key_inputs.len())?;
+    Ok(LockedCircuit {
+        circuit,
+        key_inputs,
+        correct_key,
+        scheme: "file",
+    })
+}
+
+pub fn attack(args: &[String]) -> Result<(), CliError> {
+    let circuit = read_netlist(input_path(args)?)?;
+    let key_hex = flag_value(args, "--key").ok_or(
+        "attack needs --key <hex> (builds the oracle from the activated chip)",
+    )?;
+    let locked = reconstruct_locked(circuit, key_hex)?;
+    let which = flag_value(args, "--attack").unwrap_or("sat");
+    let outcome = match which {
+        "sps" => {
+            let out = attacks::sps::attack(&locked, &attacks::sps::SpsConfig::default())?;
+            match out.recovered {
+                Some(rec) => {
+                    let ok = attacks::sps::recovery_is_correct(&locked, &rec, 4096)?;
+                    println!(
+                        "SPS: removed net with skew {:.3}; recovery correct: {ok}",
+                        out.skew
+                    );
+                }
+                None => println!("SPS: no sufficiently skewed candidate — attack failed"),
+            }
+            return Ok(());
+        }
+        name => {
+            let mut oracle = attacks::CombOracle::from_locked(&locked)?;
+            match name {
+                "sat" => attacks::sat::attack(
+                    &locked,
+                    &mut oracle,
+                    &attacks::sat::SatAttackConfig::default(),
+                ),
+                "appsat" => attacks::appsat::attack(
+                    &locked,
+                    &mut oracle,
+                    &attacks::appsat::AppSatConfig::default(),
+                ),
+                "double-dip" => attacks::double_dip::attack(
+                    &locked,
+                    &mut oracle,
+                    &attacks::double_dip::DoubleDipConfig::default(),
+                ),
+                "hill-climb" => attacks::hill_climbing::attack(
+                    &locked,
+                    &mut oracle,
+                    &attacks::hill_climbing::HillClimbConfig::default(),
+                ),
+                "sensitize" => {
+                    attacks::sensitization::attack(
+                        &locked,
+                        &mut oracle,
+                        &attacks::sensitization::SensitizationConfig::default(),
+                    )
+                    .outcome
+                }
+                other => return Err(format!("unknown attack `{other}`").into()),
+            }
+        }
+    };
+    match &outcome.key {
+        Some(key) => {
+            let ok = attacks::key_is_functionally_correct(&locked, key, 4096)?;
+            println!(
+                "key recovered in {} iterations ({} oracle queries): {}",
+                outcome.iterations,
+                outcome.oracle_queries,
+                keyfmt::to_hex(key)
+            );
+            println!("functionally correct: {ok}");
+        }
+        None => println!(
+            "attack failed after {} iterations: {}",
+            outcome.iterations,
+            outcome
+                .failure
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "unknown".into())
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Key parsing/printing: hex strings, bit 0 = least-significant bit of the
+//! first hex digit pair.
+
+/// Formats a key as hex (bit 0 first).
+pub fn to_hex(bits: &[bool]) -> String {
+    let mut s = String::with_capacity(bits.len().div_ceil(4));
+    for chunk in bits.chunks(4) {
+        let mut v = 0u8;
+        for (i, &b) in chunk.iter().enumerate() {
+            if b {
+                v |= 1 << i;
+            }
+        }
+        s.push(char::from_digit(v as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+/// Parses a hex key into `width` bits.
+pub fn from_hex(hex: &str, width: usize) -> Result<Vec<bool>, String> {
+    let mut bits = Vec::with_capacity(width);
+    for c in hex.trim().chars() {
+        let v = c
+            .to_digit(16)
+            .ok_or_else(|| format!("invalid hex digit `{c}`"))? as u8;
+        for i in 0..4 {
+            bits.push((v >> i) & 1 == 1);
+        }
+    }
+    if bits.len() < width {
+        return Err(format!(
+            "key `{hex}` has {} bits, need {width}",
+            bits.len()
+        ));
+    }
+    bits.truncate(width);
+    Ok(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let bits = vec![true, false, true, true, false, false, true, false, true];
+        let hex = to_hex(&bits);
+        let back = from_hex(&hex, bits.len()).unwrap();
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn known_encoding() {
+        // bits 1,0,1,1 -> nibble 0b1101 = 0xd
+        assert_eq!(to_hex(&[true, false, true, true]), "d");
+        assert_eq!(from_hex("d", 4).unwrap(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn rejects_garbage_and_short_keys() {
+        assert!(from_hex("xyz", 4).is_err());
+        assert!(from_hex("f", 8).is_err());
+    }
+}

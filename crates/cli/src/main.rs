@@ -1,0 +1,74 @@
+//! `orap` — command-line front end to the OraP workspace.
+//!
+//! ```text
+//! orap stats    <netlist>                      circuit statistics
+//! orap optimize <netlist>                      area/delay before and after synthesis
+//! orap atpg     <netlist>                      stuck-at ATPG report
+//! orap lock     <netlist> -o <out> [options]   lock with a chosen scheme
+//! orap protect  <netlist> -o <out> [options]   OraP-protect (WLL + key register)
+//! orap attack   <locked> --key <hex> [options] run an oracle-guided attack
+//! orap convert  <netlist> -o <out>             convert between .bench and .v
+//! ```
+//!
+//! Netlist format is chosen by extension: `.bench` (ISCAS-89) or `.v`
+//! (structural Verilog). Keys print and parse as hex, bit 0 first.
+
+use std::process::ExitCode;
+
+mod commands;
+mod keyfmt;
+mod netio;
+
+fn usage() -> &'static str {
+    "orap — oracle-protection logic locking toolkit
+
+USAGE:
+    orap <command> [args]
+
+COMMANDS:
+    stats    <netlist>                        print circuit statistics
+    optimize <netlist>                        area/delay before vs after synthesis
+    atpg     <netlist> [--patterns N] [--backtrack N]
+                                              stuck-at fault coverage report
+    lock     <netlist> -o <out> [--scheme rll|fll|wll|sarlock|antisat|sfll]
+             [--key-bits N] [--control-width N] [--seed N]
+                                              lock a netlist; prints the key (hex)
+    protect  <netlist> -o <out> [--key-bits N] [--control-width N]
+             [--modified] [--seed N]          OraP-protect; prints the key sequence
+    attack   <locked> --key <hex> [--attack sat|appsat|double-dip|hill-climb|sensitize|sps]
+             [--key-bits N]                   attack a locked netlist (oracle = correct key)
+    convert  <netlist> -o <out>               convert .bench <-> .v
+
+Formats by extension: .bench, .v
+"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "stats" => commands::stats(rest),
+        "optimize" => commands::optimize(rest),
+        "atpg" => commands::atpg(rest),
+        "lock" => commands::lock(rest),
+        "protect" => commands::protect(rest),
+        "attack" => commands::attack(rest),
+        "convert" => commands::convert(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `orap help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Netlist file I/O with format detection by extension.
+
+use std::path::Path;
+
+use netlist::Circuit;
+
+pub type CliError = Box<dyn std::error::Error>;
+
+/// Reads a netlist, picking the parser from the file extension
+/// (`.bench` or `.v`).
+pub fn read_netlist(path: &str) -> Result<Circuit, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    let circuit = match ext {
+        "bench" => netlist::bench::parse_named(&text, name)?,
+        "v" | "verilog" => netlist::verilog::parse(&text)?,
+        other => return Err(format!("unsupported netlist extension `.{other}`").into()),
+    };
+    Ok(circuit)
+}
+
+/// Writes a netlist in the format implied by the output extension.
+pub fn write_netlist(path: &str, circuit: &Circuit) -> Result<(), CliError> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let text = match ext {
+        "bench" => netlist::bench::write(circuit),
+        "v" | "verilog" => netlist::verilog::write(circuit),
+        other => return Err(format!("unsupported output extension `.{other}`").into()),
+    };
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(())
+}
+
+/// Fetches the value following a `--flag`, if present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses a numeric `--flag N` with a default.
+pub fn flag_num(args: &[String], flag: &str, default: usize) -> Result<usize, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got `{v}`").into()),
+    }
+}
+
+/// Whether a bare `--flag` is present.
+pub fn flag_bool(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The first non-flag argument (the input path).
+pub fn input_path(args: &[String]) -> Result<&str, CliError> {
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") || a == "-o" {
+            // All our value flags take exactly one operand.
+            skip_next = !matches!(a.as_str(), "--modified");
+            let _ = i;
+            continue;
+        }
+        return Ok(a);
+    }
+    Err("missing input netlist path".into())
+}

@@ -1,0 +1,61 @@
+//! OraP — oracle-protection logic locking (Kalligeros, Karousos, Karybali,
+//! DATE 2020).
+//!
+//! Conventional defences against oracle-guided attacks harden the *netlist*;
+//! OraP removes the attacker's oracle instead. The key register is an LFSR
+//! whose cells carry per-cell pulse generators that self-clear the register
+//! on every 0→1 transition of `scan_enable` — before the first scan shift —
+//! so a chip is *always locked while it is scannable*:
+//!
+//! - unlocking is a multi-cycle process: the tamper-proof memory feeds a
+//!   *key sequence* (seeds, with free-run gaps) into the LFSR's reseeding
+//!   points; the final LFSR state is the real key ([`scheme`], Fig. 1);
+//! - the *modified* scheme (Fig. 3) drives half of the reseeding points from
+//!   ordinary circuit flip-flops, making the (locked, wrong) responses
+//!   produced during unlocking *necessary* for key generation — which
+//!   defeats the flip-flop-freezing Trojan of threat (e);
+//! - because no oracle-based attack can run, OraP pairs with a
+//!   high-corruptibility scheme (weighted logic locking) instead of a
+//!   SAT-resistant point function.
+//!
+//! Crate layout:
+//!
+//! - [`scheme`]: [`OrapConfig`] / [`protect`] — build an OraP-protected
+//!   design from any netlist (WLL + LFSR + key-sequence solving over GF(2)),
+//! - [`chip`]: [`chip::ProtectedChip`] — the cycle-accurate fabricated-chip model
+//!   (scan chains containing the LFSR cells, pulse generators, unlock
+//!   controller) and [`chip::ProtectedChipOracle`], the [`attacks::Oracle`] view
+//!   of such a chip,
+//! - [`threat`]: executable models of the paper's threat scenarios (a)–(e)
+//!   with Trojan payload-cost accounting and the side-channel detection
+//!   model the countermeasures appeal to.
+//!
+//! # Example
+//!
+//! ```
+//! use orap::{protect, OrapConfig, OrapVariant};
+//! use orap::chip::ProtectedChip;
+//!
+//! # fn main() -> Result<(), orap::OrapError> {
+//! let design = netlist::samples::counter(8);
+//! let protected = protect(
+//!     &design,
+//!     &locking::weighted::WllConfig { key_bits: 12, control_width: 3, seed: 7 },
+//!     &OrapConfig { variant: OrapVariant::Basic, ..OrapConfig::default() },
+//! )?;
+//! let mut chip = ProtectedChip::new(&protected)?;
+//! chip.power_on_and_unlock();
+//! assert!(chip.key_register_holds_correct_key());
+//! // The instant scan mode is entered, the key register self-clears.
+//! chip.set_scan_enable(true);
+//! chip.clock(&[false], &vec![false; chip.num_scan_chains()]);
+//! assert!(!chip.key_register_holds_correct_key());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod chip;
+pub mod scheme;
+pub mod threat;
+
+pub use scheme::{protect, OrapConfig, OrapError, OrapProtected, OrapVariant, UnlockStimulus};

@@ -1,0 +1,44 @@
+//! LFSR key registers, reseeding schedules, and the GF(2) machinery that
+//! powers OraP's security analysis.
+//!
+//! The OraP scheme stores no key directly: the tamper-proof memory holds a
+//! *key sequence* (a series of seeds). During the multi-cycle unlock process
+//! the seeds are XOR-injected into an LFSR at its reseeding points, with
+//! free-run cycles in between; the LFSR's final state is the real key. This
+//! crate models all of that:
+//!
+//! - [`gf2`]: dense bit-vectors and bit-matrices over GF(2) with rank /
+//!   linear solving (LFSRs are linear machines — this is what makes both the
+//!   scheme and threat (d) analyzable).
+//! - [`Lfsr`]: the key register of Fig. 1 — configurable feedback taps and
+//!   reseeding points.
+//! - [`KeySequence`] / [`UnlockSchedule`]: the seed stream with free-run
+//!   gaps, plus solving for a seed stream that produces a desired key.
+//! - [`symbolic`]: symbolic GF(2) simulation — every LFSR cell as a linear
+//!   expression in the seed bits — and the XOR-tree payload cost model the
+//!   paper uses against threat (d).
+//! - [`PulseGenerator`]: the behavioural model of the per-cell reset pulse
+//!   circuit of Fig. 2.
+//!
+//! # Example
+//!
+//! ```
+//! use lfsr::{Lfsr, LfsrConfig};
+//!
+//! let config = LfsrConfig::with_tap_spacing(16, 8); // tap every 8 cells
+//! let mut reg = Lfsr::new(config);
+//! reg.load(&vec![false; 16]);
+//! reg.step(&[true; 16]); // inject a seed at every reseeding point
+//! assert!(reg.state().iter().any(|&b| b));
+//! ```
+
+pub mod gf2;
+pub mod symbolic;
+
+mod pulse;
+mod register;
+mod schedule;
+
+pub use pulse::PulseGenerator;
+pub use register::{Lfsr, LfsrConfig};
+pub use schedule::{KeySequence, UnlockSchedule};

@@ -1,0 +1,96 @@
+/// Behavioural model of the per-cell pulse generator of Fig. 2.
+///
+/// The circuit (an inverter chain plus NAND) outputs 1 at all times except
+/// for a short 0-pulse when `scan_enable` transitions 0→1; that pulse drives
+/// the asynchronous reset of one key-register cell. Crucially there is one
+/// generator *per cell*, so an attacker cannot disable the reset at a single
+/// point (threat (a) of the paper).
+///
+/// At the logic level the relevant behaviour is edge detection; the model
+/// tracks the previous `scan_enable` sample per clock.
+///
+/// # Example
+///
+/// ```
+/// use lfsr::PulseGenerator;
+///
+/// let mut pg = PulseGenerator::new();
+/// assert!(!pg.clock(false)); // idle low: no pulse
+/// assert!(pg.clock(true));   // rising edge: reset pulse fires
+/// assert!(!pg.clock(true));  // held high: no further pulse
+/// assert!(!pg.clock(false)); // falling edge: no pulse
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PulseGenerator {
+    prev: bool,
+    /// When `true`, the generator's output is forced high (no pulses) —
+    /// models a Trojan suppressing the reset (threat (a)); used by the
+    /// threat-scenario simulations in the `orap` crate.
+    suppressed: bool,
+}
+
+impl PulseGenerator {
+    /// A generator that has seen `scan_enable` low.
+    pub fn new() -> Self {
+        PulseGenerator {
+            prev: false,
+            suppressed: false,
+        }
+    }
+
+    /// Samples `scan_enable` for one clock; returns `true` iff the reset
+    /// pulse fires this cycle (a 0→1 transition, unless suppressed).
+    pub fn clock(&mut self, scan_enable: bool) -> bool {
+        let pulse = scan_enable && !self.prev && !self.suppressed;
+        self.prev = scan_enable;
+        pulse
+    }
+
+    /// Whether a Trojan currently suppresses this generator.
+    pub fn is_suppressed(&self) -> bool {
+        self.suppressed
+    }
+
+    /// Enables/disables Trojan suppression of the reset pulse.
+    ///
+    /// The paper estimates this Trojan's payload at roughly one extra gate
+    /// (NAND2→NAND3) per key-register cell; the accounting lives in
+    /// `orap::threat`.
+    pub fn set_suppressed(&mut self, suppressed: bool) {
+        self.suppressed = suppressed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_on_rising_edge() {
+        let mut pg = PulseGenerator::new();
+        let trace = [false, false, true, true, false, true, false, false, true];
+        let expected = [false, false, true, false, false, true, false, false, true];
+        for (i, (&se, &want)) in trace.iter().zip(&expected).enumerate() {
+            assert_eq!(pg.clock(se), want, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn first_cycle_high_counts_as_edge() {
+        let mut pg = PulseGenerator::new();
+        assert!(pg.clock(true));
+    }
+
+    #[test]
+    fn suppression_blocks_pulse() {
+        let mut pg = PulseGenerator::new();
+        pg.set_suppressed(true);
+        assert!(!pg.clock(true));
+        assert!(pg.is_suppressed());
+        // Releasing the Trojan restores normal behaviour on the next edge.
+        pg.set_suppressed(false);
+        assert!(!pg.clock(true)); // still high, no edge
+        pg.clock(false);
+        assert!(pg.clock(true));
+    }
+}

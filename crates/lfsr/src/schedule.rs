@@ -1,0 +1,250 @@
+use crate::gf2::{BitMatrix, BitVec};
+use crate::{Lfsr, LfsrConfig};
+
+/// The secret *key sequence*: the seeds stored in the tamper-proof memory,
+/// with the number of free-run cycles after each one.
+///
+/// Each seed is one injection word (one bit per reseeding point), applied on
+/// a single clock; `free_runs[i]` zero-injection cycles follow seed `i`
+/// (including after the last seed, as the paper allows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySequence {
+    /// Seeds, applied in order.
+    pub seeds: Vec<Vec<bool>>,
+    /// Free-run cycles after each seed (`len == seeds.len()`).
+    pub free_runs: Vec<usize>,
+}
+
+impl KeySequence {
+    /// Creates a sequence, validating shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or `free_runs.len() != seeds.len()`.
+    pub fn new(seeds: Vec<Vec<bool>>, free_runs: Vec<usize>) -> Self {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        assert_eq!(
+            seeds.len(),
+            free_runs.len(),
+            "one free-run count per seed"
+        );
+        KeySequence { seeds, free_runs }
+    }
+
+    /// Total unlock latency in clock cycles.
+    pub fn cycles(&self) -> usize {
+        self.seeds.len() + self.free_runs.iter().sum::<usize>()
+    }
+
+    /// Total seed bits (the quantity stored in tamper-proof memory).
+    pub fn stored_bits(&self) -> usize {
+        self.seeds.iter().map(Vec::len).sum()
+    }
+}
+
+/// Executes a [`KeySequence`] against an LFSR and reasons about it linearly.
+///
+/// The unlock process of the OraP scheme: start from the cleared register,
+/// feed every seed (with its free-run gap), and take the final state as the
+/// circuit key.
+#[derive(Debug, Clone)]
+pub struct UnlockSchedule {
+    config: LfsrConfig,
+    sequence: KeySequence,
+}
+
+impl UnlockSchedule {
+    /// Pairs a key sequence with an LFSR configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed's width differs from the configuration's reseeding
+    /// point count.
+    pub fn new(config: LfsrConfig, sequence: KeySequence) -> Self {
+        for s in &sequence.seeds {
+            assert_eq!(
+                s.len(),
+                config.reseed_points.len(),
+                "seed width must match reseeding points"
+            );
+        }
+        UnlockSchedule { config, sequence }
+    }
+
+    /// The LFSR configuration.
+    pub fn config(&self) -> &LfsrConfig {
+        &self.config
+    }
+
+    /// The key sequence.
+    pub fn sequence(&self) -> &KeySequence {
+        &self.sequence
+    }
+
+    /// Runs the unlock process from the cleared register and returns the
+    /// resulting key (the final LFSR state).
+    pub fn derive_key(&self) -> Vec<bool> {
+        let mut l = Lfsr::new(self.config.clone());
+        for (seed, &gap) in self.sequence.seeds.iter().zip(&self.sequence.free_runs) {
+            l.step(seed);
+            l.free_run(gap);
+        }
+        l.state()
+    }
+
+    /// The linear map from all seed bits (concatenated in order) to the
+    /// final key: returns `(A, c)` with `key = A * seeds + c` (`c` is zero
+    /// here since the register starts cleared, but kept for generality).
+    pub fn seed_to_key_map(&self) -> (BitMatrix, BitVec) {
+        let n = self.config.width;
+        let t = self.config.transition_matrix();
+        let b = self.config.injection_matrix();
+        let total_seed_bits = self.sequence.stored_bits();
+        // A starts as the zero map; state matrix S tracks d(state)/d(seeds).
+        let mut s = BitMatrix::zeros(n, total_seed_bits);
+        let mut offset = 0;
+        for (seed, &gap) in self.sequence.seeds.iter().zip(&self.sequence.free_runs) {
+            // state' = T*state + B*inj  where inj bits are seed variables
+            // [offset, offset + seed.len())
+            s = t.mul(&s);
+            for (j, _) in seed.iter().enumerate() {
+                // column offset+j gains B[:, j]
+                for r in 0..n {
+                    if self.config.injection_matrix_entry(r, j) {
+                        let cur = s.get(r, offset + j);
+                        s.set(r, offset + j, !cur);
+                    }
+                }
+            }
+            for _ in 0..gap {
+                s = t.mul(&s);
+            }
+            offset += seed.len();
+        }
+        let _ = b;
+        (s, BitVec::zeros(n))
+    }
+
+    /// Solves for a key sequence (with the same shape as the current one)
+    /// that produces `target_key`. Returns `None` if the linear map cannot
+    /// reach the target (insufficient controllability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_key.len()` differs from the LFSR width.
+    pub fn solve_seeds_for_key(&self, target_key: &[bool]) -> Option<KeySequence> {
+        assert_eq!(
+            target_key.len(),
+            self.config.width,
+            "key width mismatch"
+        );
+        let (a, c) = self.seed_to_key_map();
+        let mut rhs = BitVec::from_bools(target_key);
+        rhs.xor_assign(&c);
+        let sol = a.solve(&rhs)?;
+        let mut seeds = Vec::with_capacity(self.sequence.seeds.len());
+        let mut offset = 0;
+        for s in &self.sequence.seeds {
+            seeds.push((0..s.len()).map(|j| sol.get(offset + j)).collect());
+            offset += s.len();
+        }
+        Some(KeySequence::new(seeds, self.sequence.free_runs.clone()))
+    }
+}
+
+impl LfsrConfig {
+    fn injection_matrix_entry(&self, row: usize, inj: usize) -> bool {
+        self.reseed_points.get(inj) == Some(&row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schedule(width: usize, seeds: usize, gap: usize) -> UnlockSchedule {
+        let cfg = LfsrConfig::with_tap_spacing(width, 8);
+        let mut rng = 0xabcdefu64;
+        let mut bit = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng >> 37) & 1 == 1
+        };
+        let seeds: Vec<Vec<bool>> = (0..seeds)
+            .map(|_| (0..width).map(|_| bit()).collect())
+            .collect();
+        let free_runs = vec![gap; seeds.len()];
+        UnlockSchedule::new(cfg, KeySequence::new(seeds, free_runs))
+    }
+
+    #[test]
+    fn derive_key_is_deterministic() {
+        let s = demo_schedule(32, 4, 3);
+        assert_eq!(s.derive_key(), s.derive_key());
+    }
+
+    #[test]
+    fn linear_map_matches_simulation() {
+        let s = demo_schedule(24, 3, 2);
+        let (a, c) = s.seed_to_key_map();
+        let concat: Vec<bool> = s.sequence().seeds.iter().flatten().copied().collect();
+        let mut predicted = a.mul_vec(&BitVec::from_bools(&concat));
+        predicted.xor_assign(&c);
+        assert_eq!(predicted.to_bools(), s.derive_key());
+    }
+
+    #[test]
+    fn solve_seeds_reaches_target() {
+        let s = demo_schedule(16, 3, 1);
+        let target: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let solved = s.solve_seeds_for_key(&target).expect("full reseed points");
+        let schedule = UnlockSchedule::new(s.config().clone(), solved);
+        assert_eq!(schedule.derive_key(), target);
+    }
+
+    #[test]
+    fn single_seed_full_points_is_fully_controllable() {
+        // With a reseeding point at every cell and one seed with no free run,
+        // the key equals the seed (full controllability, rank = width).
+        let cfg = LfsrConfig::with_tap_spacing(16, 8);
+        let seed = vec![vec![true; 16]];
+        let sched = UnlockSchedule::new(cfg, KeySequence::new(seed, vec![0]));
+        let (a, _) = sched.seed_to_key_map();
+        assert_eq!(a.rank(), 16);
+    }
+
+    #[test]
+    fn sparse_points_reduce_controllability() {
+        // Only 4 reseeding points and a single seed: rank at most 4.
+        let cfg = LfsrConfig::with_reseed_points(16, 8, vec![0, 4, 8, 12]);
+        let seeds = vec![vec![true; 4]];
+        let sched = UnlockSchedule::new(cfg, KeySequence::new(seeds, vec![0]));
+        let (a, _) = sched.seed_to_key_map();
+        assert!(a.rank() <= 4);
+    }
+
+    #[test]
+    fn more_seeds_restore_controllability() {
+        // The paper's Fig. 3 argument: "the same sequence can be applied from
+        // half the reseeding points in the double number of cycles". With 4
+        // points but 8 seeds (and mixing free-runs), rank recovers.
+        let cfg = LfsrConfig::with_reseed_points(16, 8, vec![0, 4, 8, 12]);
+        let seeds = vec![vec![false; 4]; 8];
+        let sched = UnlockSchedule::new(cfg, KeySequence::new(seeds, vec![1; 8]));
+        let (a, _) = sched.seed_to_key_map();
+        assert!(a.rank() > 4, "rank {} should exceed point count", a.rank());
+    }
+
+    #[test]
+    fn cycles_and_stored_bits() {
+        let ks = KeySequence::new(vec![vec![false; 8]; 3], vec![2, 0, 5]);
+        assert_eq!(ks.cycles(), 3 + 7);
+        assert_eq!(ks.stored_bits(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed width")]
+    fn wrong_seed_width_panics() {
+        let cfg = LfsrConfig::with_tap_spacing(8, 4);
+        UnlockSchedule::new(cfg, KeySequence::new(vec![vec![true; 3]], vec![0]));
+    }
+}

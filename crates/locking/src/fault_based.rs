@@ -1,0 +1,361 @@
+//! Fault-analysis-based logic locking (FLL-style): key gates are placed on
+//! the nets whose corruption disturbs the most output bits, estimated by
+//! toggle-impact simulation. This is the selection philosophy behind
+//! fault-analysis locking [Rajendran et al.] and the basis on which weighted
+//! logic locking picks its insertion points.
+
+use netlist::rng::SplitMix64;
+use netlist::{Circuit, Error, NetId};
+
+use gatesim::CombSim;
+
+use crate::insert::{lockable_nets, splice_key_gate};
+use crate::LockedCircuit;
+
+/// Configuration for fault-impact locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FllConfig {
+    /// Number of key bits (= key gates).
+    pub key_bits: usize,
+    /// Patterns used for the impact estimate (rounded up to 64).
+    pub impact_patterns: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for FllConfig {
+    fn default() -> Self {
+        FllConfig {
+            key_bits: 32,
+            impact_patterns: 512,
+            seed: 0xF11,
+        }
+    }
+}
+
+/// Estimates, for every net, how many output bits flip when the net is
+/// inverted, over `patterns` pseudorandom input patterns. Returns one score
+/// per net id.
+///
+/// Cost is `O(nets × candidates × patterns/64)`; for large circuits score
+/// only a sample of candidates via [`toggle_impact_of`].
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+pub fn toggle_impact(circuit: &Circuit, patterns: usize, seed: u64) -> Result<Vec<u64>, Error> {
+    let candidates: Vec<NetId> = circuit
+        .net_ids()
+        .filter(|&id| circuit.gate(id).is_some())
+        .collect();
+    let per_candidate = toggle_impact_of(circuit, &candidates, patterns, seed)?;
+    let mut scores = vec![0u64; circuit.num_nets()];
+    for (c, s) in candidates.iter().zip(per_candidate) {
+        scores[c.index()] = s;
+    }
+    Ok(scores)
+}
+
+/// Like [`toggle_impact`] but scores only the given candidate nets,
+/// returning scores aligned with `candidates`.
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+pub fn toggle_impact_of(
+    circuit: &Circuit,
+    candidates: &[NetId],
+    patterns: usize,
+    seed: u64,
+) -> Result<Vec<u64>, Error> {
+    let sim = CombSim::new(circuit)?;
+    let lv = netlist::Levelization::build(circuit)?;
+    let mut rng = SplitMix64::new(seed);
+    let words = patterns.div_ceil(64).max(1);
+    let mut scores = vec![0u64; candidates.len()];
+    let outputs = circuit.comb_outputs();
+    let mut base = Vec::new();
+    for _ in 0..words {
+        let input: Vec<u64> = (0..sim.inputs().len()).map(|_| rng.next_u64()).collect();
+        sim.eval_words_into(&input, &mut base);
+        // For each candidate net, re-simulate with the net inverted and
+        // count flipped output bits.
+        for (ci, &id) in candidates.iter().enumerate() {
+            let mut values = base.clone();
+            values[id.index()] = !values[id.index()];
+            for &g in lv.order() {
+                if g == id {
+                    continue;
+                }
+                if let Some(gate) = circuit.gate(g) {
+                    let v = eval_gate_words(gate, &values);
+                    values[g.index()] = v;
+                }
+            }
+            let mut flips = 0u64;
+            for &o in &outputs {
+                flips += (values[o.index()] ^ base[o.index()]).count_ones() as u64;
+            }
+            scores[ci] += flips;
+        }
+    }
+    Ok(scores)
+}
+
+fn eval_gate_words(gate: &netlist::Gate, values: &[u64]) -> u64 {
+    use netlist::GateKind::*;
+    let f = &gate.fanin;
+    match gate.kind {
+        And => f.iter().fold(!0u64, |a, x| a & values[x.index()]),
+        Nand => !f.iter().fold(!0u64, |a, x| a & values[x.index()]),
+        Or => f.iter().fold(0u64, |a, x| a | values[x.index()]),
+        Nor => !f.iter().fold(0u64, |a, x| a | values[x.index()]),
+        Xor => f.iter().fold(0u64, |a, x| a ^ values[x.index()]),
+        Xnor => !f.iter().fold(0u64, |a, x| a ^ values[x.index()]),
+        Not => !values[f[0].index()],
+        Buf => values[f[0].index()],
+        Const0 => 0,
+        Const1 => !0,
+    }
+}
+
+/// Per-candidate *output coverage*: which combinational outputs flip (on any
+/// pattern) when the candidate net is inverted. Returned as one bitmask word
+/// vector per candidate (bit `o` of word `o / 64` = output `o` disturbed).
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+pub fn output_coverage(
+    circuit: &Circuit,
+    candidates: &[NetId],
+    patterns: usize,
+    seed: u64,
+) -> Result<Vec<Vec<u64>>, Error> {
+    let sim = CombSim::new(circuit)?;
+    let lv = netlist::Levelization::build(circuit)?;
+    let mut rng = SplitMix64::new(seed);
+    let words = patterns.div_ceil(64).max(1);
+    let outputs = circuit.comb_outputs();
+    let mask_words = outputs.len().div_ceil(64);
+    let mut coverage = vec![vec![0u64; mask_words]; candidates.len()];
+    let mut base = Vec::new();
+    for _ in 0..words {
+        let input: Vec<u64> = (0..sim.inputs().len()).map(|_| rng.next_u64()).collect();
+        sim.eval_words_into(&input, &mut base);
+        for (ci, &id) in candidates.iter().enumerate() {
+            let mut values = base.clone();
+            values[id.index()] = !values[id.index()];
+            for &g in lv.order() {
+                if g == id {
+                    continue;
+                }
+                if let Some(gate) = circuit.gate(g) {
+                    values[g.index()] = eval_gate_words(gate, &values);
+                }
+            }
+            for (oi, &o) in outputs.iter().enumerate() {
+                if values[o.index()] != base[o.index()] {
+                    coverage[ci][oi / 64] |= 1u64 << (oi % 64);
+                }
+            }
+        }
+    }
+    Ok(coverage)
+}
+
+/// Greedily selects `count` nets maximising the *union* of disturbed
+/// outputs (ties broken by toggle impact, then net id) — the selection that
+/// actually pushes the average Hamming distance towards 50%: key gates with
+/// overlapping cones corrupt the same outputs and waste budget.
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+pub fn coverage_ranked_nets(
+    circuit: &Circuit,
+    candidates: &[NetId],
+    count: usize,
+    patterns: usize,
+    seed: u64,
+) -> Result<Vec<NetId>, Error> {
+    let coverage = output_coverage(circuit, candidates, patterns, seed)?;
+    let impact = toggle_impact_of(circuit, candidates, patterns, seed ^ 0x9A)?;
+    let mask_words = coverage.first().map(Vec::len).unwrap_or(0);
+    let mut covered = vec![0u64; mask_words];
+    let mut picked = Vec::with_capacity(count);
+    let mut used = vec![false; candidates.len()];
+    for _ in 0..count.min(candidates.len()) {
+        let mut best: Option<(usize, u64, usize)> = None; // (new_outputs, impact, idx)
+        for (ci, cov) in coverage.iter().enumerate() {
+            if used[ci] {
+                continue;
+            }
+            let new_outputs: usize = cov
+                .iter()
+                .zip(&covered)
+                .map(|(c, k)| (c & !k).count_ones() as usize)
+                .sum();
+            let better = match best {
+                None => true,
+                Some((bn, bi, _)) => (new_outputs, impact[ci]) > (bn, bi),
+            };
+            if better {
+                best = Some((new_outputs, impact[ci], ci));
+            }
+        }
+        let (_, _, ci) = best.expect("candidates remain");
+        used[ci] = true;
+        for (k, c) in covered.iter_mut().zip(&coverage[ci]) {
+            *k |= c;
+        }
+        picked.push(candidates[ci]);
+    }
+    Ok(picked)
+}
+
+/// Selects the `count` highest-impact lockable nets (ties broken by id).
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+pub fn top_impact_nets(
+    circuit: &Circuit,
+    count: usize,
+    patterns: usize,
+    seed: u64,
+) -> Result<Vec<NetId>, Error> {
+    let scores = toggle_impact(circuit, patterns, seed)?;
+    let mut nets = lockable_nets(circuit);
+    nets.sort_by_key(|n| (std::cmp::Reverse(scores[n.index()]), n.index()));
+    nets.truncate(count);
+    Ok(nets)
+}
+
+/// Locks `original` with key gates on its highest-impact nets.
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] if there are fewer lockable nets than key
+/// bits, or propagates netlist errors.
+pub fn lock(original: &Circuit, config: &FllConfig) -> Result<LockedCircuit, Error> {
+    let nets = lockable_nets(original);
+    if nets.len() < config.key_bits {
+        return Err(Error::BadProfile(format!(
+            "{} lockable nets < {} key bits",
+            nets.len(),
+            config.key_bits
+        )));
+    }
+    let targets = top_impact_nets(original, config.key_bits, config.impact_patterns, config.seed)?;
+    let mut rng = SplitMix64::new(config.seed ^ 0xF417);
+    let mut circuit = original.clone();
+    circuit.set_name(format!("{}_fll{}", original.name(), config.key_bits));
+    let mut key_inputs = Vec::with_capacity(config.key_bits);
+    let mut correct_key = Vec::with_capacity(config.key_bits);
+    for (i, &net) in targets.iter().enumerate() {
+        let k = circuit.add_input(format!("keyin{i}"));
+        let bit = rng.bool();
+        splice_key_gate(&mut circuit, net, k, bit, i)?;
+        key_inputs.push(k);
+        correct_key.push(bit);
+    }
+    circuit.validate()?;
+    Ok(LockedCircuit {
+        circuit,
+        key_inputs,
+        correct_key,
+        scheme: "fll",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn impact_ranks_wide_cones_higher() {
+        // In c17, net 11 feeds both outputs (via 16/19); inverting it should
+        // disturb more output bits than inverting output-adjacent nets'
+        // siblings with a single cone.
+        let c = samples::c17();
+        let scores = toggle_impact(&c, 512, 1).unwrap();
+        let n11 = c.find("11").unwrap();
+        let n10 = c.find("10").unwrap();
+        assert!(
+            scores[n11.index()] > scores[n10.index()],
+            "11: {} vs 10: {}",
+            scores[n11.index()],
+            scores[n10.index()]
+        );
+    }
+
+    #[test]
+    fn lock_preserves_function() {
+        let original = samples::ripple_adder(4);
+        let locked = lock(
+            &original,
+            &FllConfig {
+                key_bits: 6,
+                impact_patterns: 128,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(locked.verify_against(&original, 512).unwrap());
+    }
+
+    #[test]
+    fn fll_corrupts_more_than_rll_on_average() {
+        // The point of fault-analysis insertion: higher HD than random
+        // placement for the same key budget.
+        let original = netlist::generate::random_comb(21, 10, 8, 200).unwrap();
+        let fll = lock(
+            &original,
+            &FllConfig {
+                key_bits: 8,
+                impact_patterns: 256,
+                seed: 4,
+            },
+        )
+        .unwrap();
+        let rll = crate::random::lock(
+            &original,
+            &crate::random::RllConfig {
+                key_bits: 8,
+                seed: 4,
+            },
+        )
+        .unwrap();
+        let hd_f = gatesim::hd::average_hd_random_keys(
+            &fll.circuit,
+            &fll.key_inputs,
+            &fll.correct_key,
+            8,
+            512,
+            9,
+        )
+        .unwrap();
+        let hd_r = gatesim::hd::average_hd_random_keys(
+            &rll.circuit,
+            &rll.key_inputs,
+            &rll.correct_key,
+            8,
+            512,
+            9,
+        )
+        .unwrap();
+        assert!(
+            hd_f >= hd_r * 0.8,
+            "fault-based HD {hd_f:.2}% unexpectedly far below random {hd_r:.2}%"
+        );
+    }
+
+    #[test]
+    fn top_impact_net_count() {
+        let c = samples::c17();
+        let nets = top_impact_nets(&c, 3, 128, 0).unwrap();
+        assert_eq!(nets.len(), 3);
+    }
+}

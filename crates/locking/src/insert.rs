@@ -1,0 +1,77 @@
+//! Shared key-gate insertion machinery.
+
+use netlist::{Circuit, Error, Gate, GateKind, NetId};
+
+/// Splices a key gate onto `net`: the net's old driver moves to a fresh
+/// internal net, and `net` is re-driven by `XOR(old, control)` (when the
+/// correct value of `control` is 0) or `XNOR(old, control)` (correct value
+/// 1), so the function is preserved exactly when `control` carries its
+/// correct value.
+///
+/// # Errors
+///
+/// Returns a netlist error if `net` has no driver (inputs cannot carry key
+/// gates).
+pub(crate) fn splice_key_gate(
+    circuit: &mut Circuit,
+    net: NetId,
+    control: NetId,
+    correct_control_value: bool,
+    tag: usize,
+) -> Result<(), Error> {
+    let moved = circuit.split_net(net, format!("pre_kg{tag}"))?;
+    let kind = if correct_control_value {
+        GateKind::Xnor
+    } else {
+        GateKind::Xor
+    };
+    circuit.set_driver(net, Gate::new(kind, vec![moved, control])?)
+}
+
+/// Nets eligible for key-gate insertion: gate-driven nets (splicing onto a
+/// primary input or flip-flop output is impossible — they have no driver).
+pub(crate) fn lockable_nets(circuit: &Circuit) -> Vec<NetId> {
+    circuit
+        .net_ids()
+        .filter(|&id| circuit.gate(id).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn splice_preserves_function_under_correct_control() {
+        for correct in [false, true] {
+            let original = samples::full_adder();
+            let mut locked = original.clone();
+            let target = locked.find("axb").unwrap();
+            let k = locked.add_input("k0");
+            splice_key_gate(&mut locked, target, k, correct, 0).unwrap();
+            locked.validate().unwrap();
+            let sim_o = gatesim::CombSim::new(&original).unwrap();
+            let sim_l = gatesim::CombSim::new(&locked).unwrap();
+            for m in 0..8u32 {
+                let data: Vec<bool> = (0..3).map(|k| (m >> k) & 1 == 1).collect();
+                let mut input = data.clone();
+                input.push(correct);
+                assert_eq!(sim_l.eval_bools(&input), sim_o.eval_bools(&data));
+                // And the wrong control value must flip the spliced net's
+                // contribution for at least some pattern (checked globally in
+                // scheme tests).
+            }
+        }
+    }
+
+    #[test]
+    fn lockable_excludes_inputs() {
+        let c = samples::c17();
+        let nets = lockable_nets(&c);
+        assert_eq!(nets.len(), 6);
+        for n in nets {
+            assert!(c.gate(n).is_some());
+        }
+    }
+}

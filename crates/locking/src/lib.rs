@@ -1,0 +1,236 @@
+//! Combinational logic-locking schemes.
+//!
+//! OraP is an *oracle-protection* layer: it does not itself corrupt the
+//! circuit function, so it is combined with a conventional locking scheme.
+//! The paper pairs it with **weighted logic locking** (WLL, ref.\ [26\] of the paper) because —
+//! with the oracle gone and SAT attacks off the table — a designer is free
+//! to choose a scheme with *high output corruptibility* instead of a
+//! SAT-resistant point-function scheme. This crate implements:
+//!
+//! - [`random`]: random XOR/XNOR key-gate insertion (RLL / EPIC-style), the
+//!   classic baseline,
+//! - [`fault_based`]: fault-impact-guided insertion (FLL-style),
+//! - [`weighted`]: weighted logic locking — an AND/NAND control gate over
+//!   `w` key inputs drives each XOR/XNOR key gate, raising the key gate's
+//!   actuation probability under a random wrong key to `1 − 2^−w`,
+//! - [`point_function`]: SARLock and Anti-SAT, the SAT-resistant baselines
+//!   whose low corruptibility the paper contrasts against,
+//! - [`sfll`]: stripped-functionality locking (SFLL-HD / TTLock), the
+//!   state-of-the-art point-function scheme in the paper's related work.
+//!
+//! All schemes produce a [`LockedCircuit`]: the locked netlist, the key
+//! input nets, and the correct key.
+//!
+//! # Example
+//!
+//! ```
+//! use locking::weighted::{self, WllConfig};
+//! use netlist::samples;
+//!
+//! let original = samples::c17();
+//! let locked = weighted::lock(&original, &WllConfig { key_bits: 6, control_width: 3, seed: 1 })
+//!     .expect("c17 has enough nets");
+//! assert_eq!(locked.key_inputs.len(), 6);
+//! assert!(locked.verify_against(&original, 256).expect("simulable"));
+//! ```
+
+pub mod fault_based;
+pub mod point_function;
+pub mod random;
+pub mod sfll;
+pub mod weighted;
+
+mod insert;
+
+use netlist::{Circuit, Error, GateKind, NetId};
+
+/// A locked netlist together with its key metadata.
+#[derive(Debug, Clone)]
+pub struct LockedCircuit {
+    /// The locked netlist; key inputs are ordinary primary inputs of the
+    /// combinational part.
+    pub circuit: Circuit,
+    /// The key input nets, in key-bit order.
+    pub key_inputs: Vec<NetId>,
+    /// The correct key.
+    pub correct_key: Vec<bool>,
+    /// Human-readable scheme name.
+    pub scheme: &'static str,
+}
+
+impl LockedCircuit {
+    /// Key width in bits.
+    pub fn key_bits(&self) -> usize {
+        self.key_inputs.len()
+    }
+
+    /// Builds a copy of the locked circuit with the key inputs replaced by
+    /// constants carrying `key` — the *activated* chip as a plain netlist
+    /// (used to build oracles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors (none expected for a well-formed lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn with_key_constants(&self, key: &[bool]) -> Result<Circuit, Error> {
+        assert_eq!(key.len(), self.key_bits(), "key width mismatch");
+        let mut c = self.circuit.clone();
+        // Key inputs must stop being primary inputs: rebuild as a fresh
+        // circuit where key nets are constant gates. We achieve this by
+        // creating const drivers and rewiring every reader.
+        let mut const_net = Vec::with_capacity(key.len());
+        for (i, &bit) in key.iter().enumerate() {
+            let kind = if bit { GateKind::Const1 } else { GateKind::Const0 };
+            let n = c.add_gate(kind, vec![], format!("key_const{i}"))?;
+            const_net.push(n);
+        }
+        let remap: std::collections::HashMap<NetId, NetId> = self
+            .key_inputs
+            .iter()
+            .copied()
+            .zip(const_net.iter().copied())
+            .collect();
+        let ids: Vec<NetId> = c.net_ids().collect();
+        for id in ids {
+            if let Some(g) = c.gate(id) {
+                if g.fanin.iter().any(|f| remap.contains_key(f)) {
+                    let mut g2 = g.clone();
+                    for f in g2.fanin.iter_mut() {
+                        if let Some(&r) = remap.get(f) {
+                            *f = r;
+                        }
+                    }
+                    c.set_driver(id, g2)?;
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Randomized check that the locked circuit under the correct key
+    /// matches `original` on `patterns` pseudorandom inputs.
+    ///
+    /// Inputs are matched positionally: the locked circuit's non-key
+    /// combinational inputs must appear in the same order as the original's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a netlist error if either circuit is cyclic.
+    pub fn verify_against(&self, original: &Circuit, patterns: usize) -> Result<bool, Error> {
+        let report = gatesim::hd::hamming_between_keys(
+            &self.circuit,
+            &self.key_inputs,
+            &self.correct_key,
+            &self.correct_key,
+            1,
+            0,
+        )?;
+        debug_assert_eq!(report.flipped, 0);
+        // Compare against the original via keyed evaluation.
+        let sim_lock = gatesim::CombSim::new(&self.circuit)?;
+        let sim_orig = gatesim::CombSim::new(original)?;
+        let key_set: std::collections::HashSet<NetId> =
+            self.key_inputs.iter().copied().collect();
+        let data_pos: Vec<usize> = sim_lock
+            .inputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !key_set.contains(n))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            data_pos.len(),
+            sim_orig.inputs().len(),
+            "data interface mismatch"
+        );
+        let mut rng = netlist::rng::SplitMix64::new(0x10c0_fee1);
+        let words = patterns.div_ceil(64).max(1);
+        let mut lock_in = vec![0u64; sim_lock.inputs().len()];
+        for (k, &pos) in self.key_inputs.iter().enumerate() {
+            let i = sim_lock
+                .inputs()
+                .iter()
+                .position(|n| *n == pos)
+                .expect("key input present");
+            lock_in[i] = if self.correct_key[k] { !0 } else { 0 };
+        }
+        for _ in 0..words {
+            let mut orig_in = Vec::with_capacity(data_pos.len());
+            for &d in &data_pos {
+                let w = rng.next_u64();
+                lock_in[d] = w;
+                orig_in.push(w);
+            }
+            if sim_lock.eval_words(&lock_in) != sim_orig.eval_words(&orig_in) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn with_key_constants_freezes_key() {
+        let original = samples::c17();
+        let locked = random::lock(
+            &original,
+            &random::RllConfig {
+                key_bits: 4,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let activated = locked.with_key_constants(&locked.correct_key).unwrap();
+        // The activated circuit has the same data interface as the original.
+        assert_eq!(
+            activated.comb_inputs().len(),
+            original.comb_inputs().len() + locked.key_bits()
+        );
+        // Key inputs remain as (now unread) primary inputs; function matches
+        // the original regardless of their values.
+        let sim_a = gatesim::CombSim::new(&activated).unwrap();
+        let sim_o = gatesim::CombSim::new(&original).unwrap();
+        let mut rng = netlist::rng::SplitMix64::new(9);
+        for _ in 0..32 {
+            let data: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+            let mut input = data.clone();
+            input.extend((0..4).map(|_| rng.next_u64())); // junk key values
+            assert_eq!(sim_a.eval_words(&input), sim_o.eval_words(&data));
+        }
+    }
+
+    #[test]
+    fn wrong_key_changes_function() {
+        let original = samples::c17();
+        let locked = random::lock(
+            &original,
+            &random::RllConfig {
+                key_bits: 4,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let mut wrong = locked.correct_key.clone();
+        for b in wrong.iter_mut() {
+            *b = !*b;
+        }
+        let rep = gatesim::hd::hamming_between_keys(
+            &locked.circuit,
+            &locked.key_inputs,
+            &locked.correct_key,
+            &wrong,
+            512,
+            1,
+        )
+        .unwrap();
+        assert!(rep.flipped > 0, "all-flipped key must corrupt outputs");
+    }
+}

@@ -1,0 +1,285 @@
+//! Point-function (SAT-resistant) locking baselines: SARLock and Anti-SAT.
+//!
+//! These schemes corrupt the output on (at most) one input pattern per wrong
+//! key, forcing the SAT attack through exponentially many iterations — at
+//! the price of near-zero output corruptibility. The paper cites exactly
+//! this trade-off as the reason OraP + a high-corruption scheme is
+//! preferable once the oracle is protected; these implementations provide
+//! the comparison points for the attack-resistance experiment (E3).
+
+use netlist::{Circuit, Error, Gate, GateKind, NetId};
+
+use crate::LockedCircuit;
+
+/// Builds an AND tree over `nets` (returns the single net if one).
+fn and_tree(c: &mut Circuit, nets: &[NetId], tag: &str) -> Result<NetId, Error> {
+    assert!(!nets.is_empty(), "AND tree needs at least one input");
+    if nets.len() == 1 {
+        return Ok(nets[0]);
+    }
+    c.add_gate(GateKind::And, nets.to_vec(), tag)
+}
+
+/// Builds an OR tree over `nets`.
+fn or_tree(c: &mut Circuit, nets: &[NetId], tag: &str) -> Result<NetId, Error> {
+    assert!(!nets.is_empty(), "OR tree needs at least one input");
+    if nets.len() == 1 {
+        return Ok(nets[0]);
+    }
+    c.add_gate(GateKind::Or, nets.to_vec(), tag)
+}
+
+/// SARLock configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SarLockConfig {
+    /// Key bits; equals the number of protected input bits.
+    pub key_bits: usize,
+    /// PRNG seed (selects the correct key).
+    pub seed: u64,
+}
+
+/// Locks `original` with a SARLock comparator on its first primary output.
+///
+/// The flip signal is `AND_i(x_i XNOR k_i) AND (k != k*)`: a wrong key `k`
+/// corrupts the output only on the single input pattern `x == k`, so each
+/// SAT-attack iteration eliminates exactly one key — the scheme's defining
+/// property (and the source of its ~2^-n corruptibility).
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] if the circuit has fewer data inputs than
+/// `key_bits` or no primary output.
+pub fn sarlock(original: &Circuit, config: &SarLockConfig) -> Result<LockedCircuit, Error> {
+    let data_inputs = original.comb_inputs();
+    if data_inputs.len() < config.key_bits {
+        return Err(Error::BadProfile(format!(
+            "{} inputs < {} key bits",
+            data_inputs.len(),
+            config.key_bits
+        )));
+    }
+    let Some(&target) = original.comb_outputs().first() else {
+        return Err(Error::BadProfile("circuit has no outputs".into()));
+    };
+    let mut rng = netlist::rng::SplitMix64::new(config.seed);
+    let mut circuit = original.clone();
+    circuit.set_name(format!("{}_sarlock{}", original.name(), config.key_bits));
+    let correct_key: Vec<bool> = (0..config.key_bits).map(|_| rng.bool()).collect();
+
+    let mut key_inputs = Vec::with_capacity(config.key_bits);
+    let mut cmp_bits = Vec::with_capacity(config.key_bits);
+    let mut wrong_bits = Vec::with_capacity(config.key_bits);
+    for i in 0..config.key_bits {
+        let k = circuit.add_input(format!("keyin{i}"));
+        key_inputs.push(k);
+        // x_i XNOR k_i
+        let x = data_inputs[i];
+        let eq = circuit.add_gate(GateKind::Xnor, vec![x, k], format!("sareq{i}"))?;
+        cmp_bits.push(eq);
+        // k_i differs from the correct bit?
+        let diff = if correct_key[i] {
+            circuit.add_gate(GateKind::Not, vec![k], format!("sardiff{i}"))?
+        } else {
+            circuit.add_gate(GateKind::Buf, vec![k], format!("sardiff{i}"))?
+        };
+        wrong_bits.push(diff);
+    }
+    let x_eq_k = and_tree(&mut circuit, &cmp_bits, "sar_xeqk")?;
+    let k_wrong = or_tree(&mut circuit, &wrong_bits, "sar_kwrong")?;
+    let flip = circuit.add_gate(GateKind::And, vec![x_eq_k, k_wrong], "sar_flip")?;
+    // Splice the flip into the target output.
+    let moved = circuit.split_net(target, "sar_pre")?;
+    circuit.set_driver(target, Gate::new(GateKind::Xor, vec![moved, flip])?)?;
+    circuit.validate()?;
+    Ok(LockedCircuit {
+        circuit,
+        key_inputs,
+        correct_key,
+        scheme: "sarlock",
+    })
+}
+
+/// Anti-SAT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AntiSatConfig {
+    /// Input width `n` of the Anti-SAT block; total key bits = `2n`.
+    pub block_width: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+/// Locks `original` with an Anti-SAT block on its first primary output.
+///
+/// The block computes `g(X ⊕ KA) AND !g(X ⊕ KB)` with `g = AND`: for the
+/// correct key (`KA = KB = K*`) the two halves cancel and the output is
+/// untouched; a wrong key raises the flip signal on a tiny input subspace,
+/// again yielding SAT resistance at negligible corruptibility.
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] if the circuit has fewer data inputs than
+/// `block_width` or no primary output.
+pub fn anti_sat(original: &Circuit, config: &AntiSatConfig) -> Result<LockedCircuit, Error> {
+    let n = config.block_width;
+    let data_inputs = original.comb_inputs();
+    if data_inputs.len() < n {
+        return Err(Error::BadProfile(format!(
+            "{} inputs < {} block width",
+            data_inputs.len(),
+            n
+        )));
+    }
+    let Some(&target) = original.comb_outputs().first() else {
+        return Err(Error::BadProfile("circuit has no outputs".into()));
+    };
+    let mut rng = netlist::rng::SplitMix64::new(config.seed);
+    let mut circuit = original.clone();
+    circuit.set_name(format!("{}_antisat{}", original.name(), 2 * n));
+    // Correct key: KA = KB = random value (any shared value unlocks).
+    let shared: Vec<bool> = (0..n).map(|_| rng.bool()).collect();
+    let mut correct_key = shared.clone();
+    correct_key.extend(shared.iter().copied());
+
+    let mut key_inputs = Vec::with_capacity(2 * n);
+    let mut ga_bits = Vec::with_capacity(n);
+    let mut gb_bits = Vec::with_capacity(n);
+    for half in 0..2 {
+        for i in 0..n {
+            let k = circuit.add_input(format!("keyin{}_{i}", ["a", "b"][half]));
+            key_inputs.push(k);
+            let x = data_inputs[i];
+            let xo = circuit.add_gate(
+                GateKind::Xor,
+                vec![x, k],
+                format!("as_x{}_{i}", ["a", "b"][half]),
+            )?;
+            if half == 0 {
+                ga_bits.push(xo);
+            } else {
+                gb_bits.push(xo);
+            }
+        }
+    }
+    let g_a = and_tree(&mut circuit, &ga_bits, "as_ga")?;
+    let g_b = and_tree(&mut circuit, &gb_bits, "as_gb")?;
+    let not_gb = circuit.add_gate(GateKind::Not, vec![g_b], "as_ngb")?;
+    let flip = circuit.add_gate(GateKind::And, vec![g_a, not_gb], "as_flip")?;
+    let moved = circuit.split_net(target, "as_pre")?;
+    circuit.set_driver(target, Gate::new(GateKind::Xor, vec![moved, flip])?)?;
+    circuit.validate()?;
+    Ok(LockedCircuit {
+        circuit,
+        key_inputs,
+        correct_key,
+        scheme: "antisat",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn sarlock_correct_key_preserves_function() {
+        let original = samples::ripple_adder(4);
+        let locked = sarlock(&original, &SarLockConfig { key_bits: 6, seed: 2 }).unwrap();
+        assert!(locked.verify_against(&original, 2048).unwrap());
+    }
+
+    #[test]
+    fn sarlock_wrong_key_flips_exactly_one_pattern() {
+        let original = samples::ripple_adder(3); // 6 data inputs
+        let locked = sarlock(&original, &SarLockConfig { key_bits: 6, seed: 4 }).unwrap();
+        let mut wrong = locked.correct_key.clone();
+        wrong[0] = !wrong[0];
+        // Exhaustively count corrupted input patterns.
+        let sim = gatesim::CombSim::new(&locked.circuit).unwrap();
+        let orig = gatesim::CombSim::new(&original).unwrap();
+        let mut corrupted = 0;
+        for m in 0..64u32 {
+            let data: Vec<bool> = (0..6).map(|k| (m >> k) & 1 == 1).collect();
+            let mut input = data.clone();
+            input.extend(wrong.iter().copied());
+            if sim.eval_bools(&input) != orig.eval_bools(&data) {
+                corrupted += 1;
+            }
+        }
+        assert_eq!(corrupted, 1, "SARLock corrupts exactly one pattern");
+    }
+
+    #[test]
+    fn sarlock_corruptibility_is_tiny() {
+        let original = samples::ripple_adder(4);
+        let locked = sarlock(&original, &SarLockConfig { key_bits: 8, seed: 3 }).unwrap();
+        let hd = gatesim::hd::average_hd_random_keys(
+            &locked.circuit,
+            &locked.key_inputs,
+            &locked.correct_key,
+            10,
+            4096,
+            5,
+        )
+        .unwrap();
+        assert!(hd < 1.0, "SARLock HD should be near zero, got {hd:.3}%");
+    }
+
+    #[test]
+    fn antisat_correct_key_preserves_function() {
+        let original = samples::ripple_adder(4);
+        let locked = anti_sat(&original, &AntiSatConfig { block_width: 5, seed: 2 }).unwrap();
+        assert_eq!(locked.key_bits(), 10);
+        assert!(locked.verify_against(&original, 2048).unwrap());
+    }
+
+    #[test]
+    fn antisat_any_shared_key_unlocks() {
+        // The Anti-SAT property: KA == KB (any value) makes the flip signal
+        // identically zero.
+        let original = samples::ripple_adder(3);
+        let locked = anti_sat(&original, &AntiSatConfig { block_width: 4, seed: 7 }).unwrap();
+        let sim = gatesim::CombSim::new(&locked.circuit).unwrap();
+        let orig = gatesim::CombSim::new(&original).unwrap();
+        let mut rng = netlist::rng::SplitMix64::new(1);
+        for _ in 0..8 {
+            let alt: Vec<bool> = (0..4).map(|_| rng.bool()).collect();
+            let mut key = alt.clone();
+            key.extend(alt.iter().copied());
+            for m in 0..64u32 {
+                let data: Vec<bool> = (0..6).map(|k| (m >> k) & 1 == 1).collect();
+                let mut input = data.clone();
+                input.extend(key.iter().copied());
+                assert_eq!(sim.eval_bools(&input), orig.eval_bools(&data));
+            }
+        }
+    }
+
+    #[test]
+    fn antisat_wrong_key_corrupts_somewhere() {
+        let original = samples::ripple_adder(3);
+        let locked = anti_sat(&original, &AntiSatConfig { block_width: 4, seed: 7 }).unwrap();
+        // KA != KB: flip signal fires on some input.
+        let mut key = locked.correct_key.clone();
+        key[0] = !key[0]; // KA changes, KB stays
+        let sim = gatesim::CombSim::new(&locked.circuit).unwrap();
+        let orig = gatesim::CombSim::new(&original).unwrap();
+        let mut corrupted = 0;
+        for m in 0..64u32 {
+            let data: Vec<bool> = (0..6).map(|k| (m >> k) & 1 == 1).collect();
+            let mut input = data.clone();
+            input.extend(key.iter().copied());
+            if sim.eval_bools(&input) != orig.eval_bools(&data) {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted >= 1);
+        assert!(corrupted <= 4, "Anti-SAT corrupts a tiny subspace");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let c = samples::c17(); // 5 inputs
+        assert!(sarlock(&c, &SarLockConfig { key_bits: 9, seed: 0 }).is_err());
+        assert!(anti_sat(&c, &AntiSatConfig { block_width: 9, seed: 0 }).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Random logic locking (RLL / EPIC): one key input per XOR/XNOR key gate on
+//! randomly chosen internal nets — the original combinational locking scheme
+//! and the usual SAT-attack demonstration target.
+
+use netlist::rng::SplitMix64;
+use netlist::{Circuit, Error};
+
+use crate::insert::{lockable_nets, splice_key_gate};
+use crate::LockedCircuit;
+
+/// Configuration for random locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RllConfig {
+    /// Number of key bits (= key gates).
+    pub key_bits: usize,
+    /// PRNG seed for net selection and key generation.
+    pub seed: u64,
+}
+
+/// Locks `original` with random XOR/XNOR key gates.
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] if the circuit has fewer lockable nets than
+/// requested key bits, or propagates netlist errors.
+pub fn lock(original: &Circuit, config: &RllConfig) -> Result<LockedCircuit, Error> {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut circuit = original.clone();
+    circuit.set_name(format!("{}_rll{}", original.name(), config.key_bits));
+    let nets = lockable_nets(&circuit);
+    if nets.len() < config.key_bits {
+        return Err(Error::BadProfile(format!(
+            "{} lockable nets < {} key bits",
+            nets.len(),
+            config.key_bits
+        )));
+    }
+    let chosen = rng.sample_indices(nets.len(), config.key_bits);
+    let mut key_inputs = Vec::with_capacity(config.key_bits);
+    let mut correct_key = Vec::with_capacity(config.key_bits);
+    for (i, &net_idx) in chosen.iter().enumerate() {
+        let k = circuit.add_input(format!("keyin{i}"));
+        let bit = rng.bool();
+        splice_key_gate(&mut circuit, nets[net_idx], k, bit, i)?;
+        key_inputs.push(k);
+        correct_key.push(bit);
+    }
+    circuit.validate()?;
+    Ok(LockedCircuit {
+        circuit,
+        key_inputs,
+        correct_key,
+        scheme: "rll",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn correct_key_preserves_function() {
+        let original = samples::ripple_adder(4);
+        let locked = lock(&original, &RllConfig { key_bits: 8, seed: 2 }).unwrap();
+        assert!(locked.verify_against(&original, 512).unwrap());
+        assert_eq!(locked.scheme, "rll");
+    }
+
+    #[test]
+    fn single_bit_flips_matter() {
+        let original = samples::ripple_adder(4);
+        let locked = lock(&original, &RllConfig { key_bits: 8, seed: 2 }).unwrap();
+        // Every single-bit-wrong key must corrupt at least one pattern
+        // (key gates sit on live nets).
+        for flip in 0..8 {
+            let mut key = locked.correct_key.clone();
+            key[flip] = !key[flip];
+            let rep = gatesim::hd::hamming_between_keys(
+                &locked.circuit,
+                &locked.key_inputs,
+                &locked.correct_key,
+                &key,
+                1024,
+                7,
+            )
+            .unwrap();
+            assert!(rep.flipped > 0, "key bit {flip} is dead");
+        }
+    }
+
+    #[test]
+    fn too_many_key_bits_rejected() {
+        let original = samples::c17();
+        assert!(lock(&original, &RllConfig { key_bits: 100, seed: 0 }).is_err());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let original = samples::c17();
+        let a = lock(&original, &RllConfig { key_bits: 4, seed: 5 }).unwrap();
+        let b = lock(&original, &RllConfig { key_bits: 4, seed: 5 }).unwrap();
+        assert_eq!(a.correct_key, b.correct_key);
+        assert_eq!(
+            netlist::bench::write(&a.circuit),
+            netlist::bench::write(&b.circuit)
+        );
+    }
+}

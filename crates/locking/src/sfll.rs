@@ -1,0 +1,286 @@
+//! Stripped-functionality logic locking, SFLL-HD (Yasin et al., CCS 2017) —
+//! with `h = 0` this degenerates to TTLock. The last word in SAT-resistant
+//! locking before the FALL attacks, and the reference point for the paper's
+//! related-work discussion: provable SAT resistance, but corruptibility
+//! limited to the `C(k, h)` protected cubes.
+//!
+//! Construction: the *stripped* circuit inverts the first output on every
+//! input whose protected bits lie at Hamming distance exactly `h` from the
+//! hard-coded secret key (the perturb unit); the *restore unit* re-inverts
+//! the output whenever the protected bits lie at distance `h` from the
+//! runtime key inputs. With the correct key both flips cancel everywhere;
+//! a wrong key leaves a sparse double-error pattern.
+
+use netlist::{Circuit, Error, Gate, GateKind, NetId};
+
+use crate::LockedCircuit;
+
+/// SFLL-HD configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SfllConfig {
+    /// Protected input bits (= key bits).
+    pub key_bits: usize,
+    /// The Hamming distance of the protected cubes (`0` = TTLock).
+    pub hamming_distance: usize,
+    /// PRNG seed (selects the secret key).
+    pub seed: u64,
+}
+
+/// Builds a popcount-equality comparator: output is 1 iff exactly `target`
+/// of `bits` are 1. Constructed as a tree of full/half adders followed by a
+/// constant compare.
+fn popcount_equals(
+    c: &mut Circuit,
+    bits: &[NetId],
+    target: usize,
+    tag: &str,
+) -> Result<NetId, Error> {
+    assert!(!bits.is_empty(), "comparator needs inputs");
+    // Ripple accumulation: maintain the sum as a little-endian vector of
+    // nets, adding one bit at a time (sum width grows logarithmically).
+    let mut sum: Vec<NetId> = vec![bits[0]];
+    for (i, &b) in bits.iter().enumerate().skip(1) {
+        let mut carry = b;
+        for (j, s) in sum.iter_mut().enumerate() {
+            let new_s = c.add_gate(GateKind::Xor, vec![*s, carry], format!("{tag}_s{i}_{j}"))?;
+            let new_c = c.add_gate(GateKind::And, vec![*s, carry], format!("{tag}_c{i}_{j}"))?;
+            *s = new_s;
+            carry = new_c;
+        }
+        sum.push(carry);
+    }
+    // Compare against the constant `target`.
+    let mut literals = Vec::with_capacity(sum.len());
+    for (j, &s) in sum.iter().enumerate() {
+        let want = (target >> j) & 1 == 1;
+        literals.push(if want {
+            s
+        } else {
+            c.add_gate(GateKind::Not, vec![s], format!("{tag}_n{j}"))?
+        });
+    }
+    if literals.len() == 1 {
+        Ok(literals[0])
+    } else {
+        c.add_gate(GateKind::And, literals, format!("{tag}_eq"))
+    }
+}
+
+/// Distance-h detector against fixed constants: 1 iff `HD(xs, key) == h`.
+fn hd_detector_const(
+    c: &mut Circuit,
+    xs: &[NetId],
+    key: &[bool],
+    h: usize,
+    tag: &str,
+) -> Result<NetId, Error> {
+    let diffs: Vec<NetId> = xs
+        .iter()
+        .zip(key)
+        .enumerate()
+        .map(|(i, (&x, &k))| {
+            if k {
+                c.add_gate(GateKind::Not, vec![x], format!("{tag}_d{i}"))
+            } else {
+                c.add_gate(GateKind::Buf, vec![x], format!("{tag}_d{i}"))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    popcount_equals(c, &diffs, h, tag)
+}
+
+/// Distance-h detector against key *nets*: 1 iff `HD(xs, keys) == h`.
+fn hd_detector_keyed(
+    c: &mut Circuit,
+    xs: &[NetId],
+    keys: &[NetId],
+    h: usize,
+    tag: &str,
+) -> Result<NetId, Error> {
+    let diffs: Vec<NetId> = xs
+        .iter()
+        .zip(keys)
+        .enumerate()
+        .map(|(i, (&x, &k))| c.add_gate(GateKind::Xor, vec![x, k], format!("{tag}_d{i}")))
+        .collect::<Result<_, _>>()?;
+    popcount_equals(c, &diffs, h, tag)
+}
+
+/// Locks `original` with SFLL-HD on its first primary output.
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] if the circuit has fewer combinational
+/// inputs than key bits, no output, or `hamming_distance > key_bits`.
+pub fn sfll_hd(original: &Circuit, config: &SfllConfig) -> Result<LockedCircuit, Error> {
+    let inputs = original.comb_inputs();
+    if inputs.len() < config.key_bits {
+        return Err(Error::BadProfile(format!(
+            "{} inputs < {} key bits",
+            inputs.len(),
+            config.key_bits
+        )));
+    }
+    if config.hamming_distance > config.key_bits {
+        return Err(Error::BadProfile(format!(
+            "hamming distance {} > key width {}",
+            config.hamming_distance, config.key_bits
+        )));
+    }
+    let Some(&target) = original.comb_outputs().first() else {
+        return Err(Error::BadProfile("circuit has no outputs".into()));
+    };
+    let mut rng = netlist::rng::SplitMix64::new(config.seed);
+    let mut circuit = original.clone();
+    circuit.set_name(format!(
+        "{}_sfll{}h{}",
+        original.name(),
+        config.key_bits,
+        config.hamming_distance
+    ));
+    let protected: Vec<NetId> = inputs[..config.key_bits].to_vec();
+    let correct_key: Vec<bool> = (0..config.key_bits).map(|_| rng.bool()).collect();
+
+    // Perturb unit (functionality stripping): hard-coded detector.
+    let perturb = hd_detector_const(
+        &mut circuit,
+        &protected,
+        &correct_key,
+        config.hamming_distance,
+        "sfll_p",
+    )?;
+    // Restore unit: keyed detector.
+    let key_inputs: Vec<NetId> = (0..config.key_bits)
+        .map(|i| circuit.add_input(format!("keyin{i}")))
+        .collect();
+    let restore = hd_detector_keyed(
+        &mut circuit,
+        &protected,
+        &key_inputs,
+        config.hamming_distance,
+        "sfll_r",
+    )?;
+    let flip = circuit.add_gate(GateKind::Xor, vec![perturb, restore], "sfll_flip")?;
+    let moved = circuit.split_net(target, "sfll_pre")?;
+    circuit.set_driver(target, Gate::new(GateKind::Xor, vec![moved, flip])?)?;
+    circuit.validate()?;
+    Ok(LockedCircuit {
+        circuit,
+        key_inputs,
+        correct_key,
+        scheme: "sfll-hd",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn popcount_comparator_truth() {
+        for n in 1..=5usize {
+            for target in 0..=n {
+                let mut c = Circuit::new("pc");
+                let bits: Vec<NetId> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect();
+                let y = popcount_equals(&mut c, &bits, target, "t").unwrap();
+                c.mark_output(y);
+                let sim = gatesim::CombSim::new(&c).unwrap();
+                for m in 0..(1u32 << n) {
+                    let input: Vec<bool> = (0..n).map(|k| (m >> k) & 1 == 1).collect();
+                    let ones = input.iter().filter(|&&b| b).count();
+                    assert_eq!(
+                        sim.eval_bools(&input)[0],
+                        ones == target,
+                        "n={n} target={target} m={m:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correct_key_preserves_function() {
+        for h in [0usize, 1, 2] {
+            let original = samples::ripple_adder(4);
+            let locked = sfll_hd(
+                &original,
+                &SfllConfig {
+                    key_bits: 6,
+                    hamming_distance: h,
+                    seed: 3,
+                },
+            )
+            .unwrap();
+            assert!(
+                locked.verify_against(&original, 4096).unwrap(),
+                "h = {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts_exactly_the_protected_cubes() {
+        // SFLL-HD with h=0 (TTLock): a wrong key corrupts at most two input
+        // cubes per output pattern over the protected bits (the stripped
+        // cube and the wrongly restored one).
+        let original = samples::ripple_adder(3); // 6 inputs
+        let locked = sfll_hd(
+            &original,
+            &SfllConfig {
+                key_bits: 6,
+                hamming_distance: 0,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let mut wrong = locked.correct_key.clone();
+        wrong[0] = !wrong[0];
+        let sim = gatesim::CombSim::new(&locked.circuit).unwrap();
+        let orig = gatesim::CombSim::new(&original).unwrap();
+        let mut corrupted = 0;
+        for m in 0..64u32 {
+            let data: Vec<bool> = (0..6).map(|k| (m >> k) & 1 == 1).collect();
+            let mut input = data.clone();
+            input.extend(wrong.iter().copied());
+            if sim.eval_bools(&input) != orig.eval_bools(&data) {
+                corrupted += 1;
+            }
+        }
+        assert_eq!(corrupted, 2, "TTLock corrupts exactly 2 patterns");
+    }
+
+    #[test]
+    fn corruptibility_is_tiny() {
+        let original = samples::ripple_adder(4);
+        let locked = sfll_hd(
+            &original,
+            &SfllConfig {
+                key_bits: 8,
+                hamming_distance: 2,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let hd = gatesim::hd::average_hd_random_keys(
+            &locked.circuit,
+            &locked.key_inputs,
+            &locked.correct_key,
+            10,
+            8192,
+            2,
+        )
+        .unwrap();
+        // h=2 over 8 protected bits corrupts 2*C(8,2)/2^8 ≈ 22% of the
+        // protected patterns on one output — a few percent of total output
+        // bits, still far from WLL's tens of percent.
+        assert!(hd < 8.0, "SFLL HD should be small, got {hd:.3}%");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let c = samples::c17();
+        assert!(sfll_hd(&c, &SfllConfig { key_bits: 9, hamming_distance: 0, seed: 0 }).is_err());
+        assert!(sfll_hd(&c, &SfllConfig { key_bits: 4, hamming_distance: 5, seed: 0 }).is_err());
+    }
+}

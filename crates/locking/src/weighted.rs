@@ -1,0 +1,287 @@
+//! Weighted logic locking (WLL) — Karousos et al., IOLTS 2017, the paper's ref. \[26\] — the
+//! high-output-corruptibility scheme the paper combines with OraP.
+//!
+//! Each XOR/XNOR key gate is preceded by a *control gate*: an AND (or NAND)
+//! over `w` key inputs, with inverters so that only the correct sub-key
+//! produces the pass-through value. Under a random wrong key the control
+//! gate therefore *actuates* (flips the locked signal) with probability
+//! `1 − 2^{−w}` instead of the plain key gate's `1/2`, which is what pushes
+//! the output Hamming distance towards the optimal 50% in Table I.
+//!
+//! Insertion points are chosen fault-analysis style: the highest
+//! toggle-impact nets (sampled for large circuits).
+
+use netlist::rng::SplitMix64;
+use netlist::{Circuit, Error, GateKind, NetId};
+
+
+use crate::insert::{lockable_nets, splice_key_gate};
+use crate::LockedCircuit;
+
+/// Configuration of weighted logic locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WllConfig {
+    /// Total key bits; the paper uses up to 256.
+    pub key_bits: usize,
+    /// Key inputs per control gate (the paper: 3, or 5 for b18/b19).
+    pub control_width: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl WllConfig {
+    /// Number of key gates this configuration inserts.
+    pub fn num_key_gates(&self) -> usize {
+        self.key_bits.div_ceil(self.control_width)
+    }
+}
+
+/// Locks `original` with WLL, choosing insertion points by sampled
+/// toggle-impact analysis.
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] if the circuit has fewer lockable nets than
+/// key gates, or if `control_width == 0` / `key_bits == 0`.
+pub fn lock(original: &Circuit, config: &WllConfig) -> Result<LockedCircuit, Error> {
+    let nets = lockable_nets(original);
+    let gates_needed = config.num_key_gates();
+    if nets.len() < gates_needed {
+        return Err(Error::BadProfile(format!(
+            "{} lockable nets < {} key gates",
+            nets.len(),
+            gates_needed
+        )));
+    }
+    // Sample candidates to keep impact analysis tractable on large
+    // circuits, then pick insertion points that maximise the union of
+    // disturbed outputs (fault-analysis selection).
+    let mut rng = SplitMix64::new(config.seed ^ 0x311);
+    let sample = (gates_needed * 4).clamp(gates_needed, 1024).min(nets.len());
+    let idxs = rng.sample_indices(nets.len(), sample);
+    let candidates: Vec<NetId> = idxs.into_iter().map(|i| nets[i]).collect();
+    let targets = crate::fault_based::coverage_ranked_nets(
+        original,
+        &candidates,
+        gates_needed,
+        128,
+        config.seed ^ 0x1337,
+    )?;
+    lock_on_nets(original, config, &targets)
+}
+
+/// Locks `original` with WLL on explicit target nets (one key gate per
+/// target).
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] on a zero-width configuration or a target
+/// count mismatch, and propagates netlist errors.
+pub fn lock_on_nets(
+    original: &Circuit,
+    config: &WllConfig,
+    targets: &[NetId],
+) -> Result<LockedCircuit, Error> {
+    if config.key_bits == 0 || config.control_width == 0 {
+        return Err(Error::BadProfile(
+            "key_bits and control_width must be positive".into(),
+        ));
+    }
+    if targets.len() != config.num_key_gates() {
+        return Err(Error::BadProfile(format!(
+            "{} targets != {} key gates",
+            targets.len(),
+            config.num_key_gates()
+        )));
+    }
+    let mut rng = SplitMix64::new(config.seed);
+    let mut circuit = original.clone();
+    circuit.set_name(format!("{}_wll{}", original.name(), config.key_bits));
+    let mut key_inputs = Vec::with_capacity(config.key_bits);
+    let mut correct_key = Vec::with_capacity(config.key_bits);
+    let mut remaining = config.key_bits;
+    for (gi, &target) in targets.iter().enumerate() {
+        let w = remaining.min(config.control_width);
+        remaining -= w;
+        // Fresh key inputs + their correct values.
+        let mut literal_nets = Vec::with_capacity(w);
+        for b in 0..w {
+            let k = circuit.add_input(format!("keyin{}_{}", gi, b));
+            let bit = rng.bool();
+            key_inputs.push(k);
+            correct_key.push(bit);
+            // Literal is k when the correct bit is 1, !k when it is 0, so the
+            // conjunction is 1 exactly under the correct sub-key.
+            let lit = if bit {
+                k
+            } else {
+                circuit.add_gate(GateKind::Not, vec![k], format!("kinv{}_{}", gi, b))?
+            };
+            literal_nets.push(lit);
+        }
+        // Control gate: AND → XNOR key gate, or NAND → XOR key gate.
+        let use_nand = rng.bool();
+        if w == 1 {
+            // Degenerate control gate: the literal itself drives the key
+            // gate (correct control value is 1).
+            splice_key_gate(&mut circuit, target, literal_nets[0], true, gi)?;
+        } else {
+            let kind = if use_nand { GateKind::Nand } else { GateKind::And };
+            let ctrl = circuit.add_gate(kind, literal_nets, format!("ctrl{gi}"))?;
+            // AND control is 1 under the correct key (XNOR passes); NAND
+            // control is 0 (XOR passes).
+            splice_key_gate(&mut circuit, target, ctrl, !use_nand, gi)?;
+        }
+    }
+    circuit.validate()?;
+    Ok(LockedCircuit {
+        circuit,
+        key_inputs,
+        correct_key,
+        scheme: "wll",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn correct_key_preserves_function() {
+        let original = samples::ripple_adder(6);
+        let locked = lock(
+            &original,
+            &WllConfig {
+                key_bits: 12,
+                control_width: 3,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(locked.key_bits(), 12);
+        assert!(locked.verify_against(&original, 1024).unwrap());
+    }
+
+    #[test]
+    fn actuation_probability_beats_plain_xor() {
+        // With w=3, a random wrong key actuates each key gate w.p. 7/8 vs
+        // 1/2 for RLL, so WLL's average HD should be at least RLL's on the
+        // same circuit with the same key budget.
+        let original = netlist::generate::random_comb(31, 12, 10, 250).unwrap();
+        let wll = lock(
+            &original,
+            &WllConfig {
+                key_bits: 12,
+                control_width: 3,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let rll = crate::random::lock(
+            &original,
+            &crate::random::RllConfig {
+                key_bits: 12,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let hd_w = gatesim::hd::average_hd_random_keys(
+            &wll.circuit,
+            &wll.key_inputs,
+            &wll.correct_key,
+            12,
+            1024,
+            3,
+        )
+        .unwrap();
+        let hd_r = gatesim::hd::average_hd_random_keys(
+            &rll.circuit,
+            &rll.key_inputs,
+            &rll.correct_key,
+            12,
+            1024,
+            3,
+        )
+        .unwrap();
+        assert!(
+            hd_w > hd_r,
+            "weighted HD {hd_w:.2}% should exceed random HD {hd_r:.2}%"
+        );
+    }
+
+    #[test]
+    fn control_width_one_degenerates_to_rll_style() {
+        let original = samples::ripple_adder(4);
+        let locked = lock(
+            &original,
+            &WllConfig {
+                key_bits: 4,
+                control_width: 1,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert!(locked.verify_against(&original, 512).unwrap());
+        assert_eq!(locked.key_bits(), 4);
+    }
+
+    #[test]
+    fn uneven_key_bits_handled() {
+        let original = samples::ripple_adder(6);
+        let locked = lock(
+            &original,
+            &WllConfig {
+                key_bits: 7,
+                control_width: 3,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        // 3 + 3 + 1 bits over 3 key gates.
+        assert_eq!(locked.key_bits(), 7);
+        assert!(locked.verify_against(&original, 512).unwrap());
+    }
+
+    #[test]
+    fn zero_config_rejected() {
+        let original = samples::c17();
+        assert!(lock(
+            &original,
+            &WllConfig {
+                key_bits: 0,
+                control_width: 3,
+                seed: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn every_subkey_bit_matters() {
+        let original = samples::ripple_adder(8);
+        let locked = lock(
+            &original,
+            &WllConfig {
+                key_bits: 9,
+                control_width: 3,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        for flip in 0..9 {
+            let mut key = locked.correct_key.clone();
+            key[flip] = !key[flip];
+            let rep = gatesim::hd::hamming_between_keys(
+                &locked.circuit,
+                &locked.key_inputs,
+                &locked.correct_key,
+                &key,
+                2048,
+                13,
+            )
+            .unwrap();
+            assert!(rep.flipped > 0, "key bit {flip} is dead");
+        }
+    }
+}

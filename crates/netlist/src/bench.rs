@@ -1,0 +1,446 @@
+//! Reader and writer for the ISCAS-89 `.bench` netlist format.
+//!
+//! The `.bench` format is the lingua franca of the ISCAS'85/'89 and ITC'99
+//! benchmark distributions used by the paper:
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! Sequential circuits use `q = DFF(d)` lines; we map those onto the
+//! [`Circuit`](crate::Circuit) flip-flop boundary. As an extension, `CONST0()`
+//! and `CONST1()` gates are accepted so optimized circuits round-trip.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), netlist::Error> {
+//! let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+//! let c = netlist::bench::parse(text)?;
+//! assert_eq!(c.num_gates(), 1);
+//! let round = netlist::bench::write(&c);
+//! let c2 = netlist::bench::parse(&round)?;
+//! assert_eq!(c2.num_gates(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::{Circuit, Error, GateKind, Levelization, NetId};
+
+#[derive(Debug)]
+enum Stmt {
+    Input(String),
+    Output(String),
+    Assign {
+        target: String,
+        kind: Kind,
+        args: Vec<String>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Gate(GateKind),
+    Dff,
+}
+
+fn parse_kind(word: &str, line: usize) -> Result<Kind, Error> {
+    let up = word.to_ascii_uppercase();
+    let k = match up.as_str() {
+        "AND" => Kind::Gate(GateKind::And),
+        "NAND" => Kind::Gate(GateKind::Nand),
+        "OR" => Kind::Gate(GateKind::Or),
+        "NOR" => Kind::Gate(GateKind::Nor),
+        "XOR" => Kind::Gate(GateKind::Xor),
+        "XNOR" => Kind::Gate(GateKind::Xnor),
+        "NOT" | "INV" => Kind::Gate(GateKind::Not),
+        "BUF" | "BUFF" => Kind::Gate(GateKind::Buf),
+        "CONST0" => Kind::Gate(GateKind::Const0),
+        "CONST1" => Kind::Gate(GateKind::Const1),
+        "DFF" => Kind::Dff,
+        other => {
+            return Err(Error::BenchSyntax {
+                line,
+                msg: format!("unknown gate type `{other}`"),
+            })
+        }
+    };
+    Ok(k)
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Stmt)>, Error> {
+    let mut stmts = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let syntax = |msg: String| Error::BenchSyntax { line: lineno, msg };
+        if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim().to_owned();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| syntax(format!("expected `(` in `{rhs}`")))?;
+            let close = rhs
+                .rfind(')')
+                .ok_or_else(|| syntax(format!("expected `)` in `{rhs}`")))?;
+            if close < open {
+                return Err(syntax("mismatched parentheses".to_owned()));
+            }
+            let kind = parse_kind(rhs[..open].trim(), lineno)?;
+            let inner = rhs[open + 1..close].trim();
+            let args: Vec<String> = if inner.is_empty() {
+                Vec::new()
+            } else {
+                inner.split(',').map(|a| a.trim().to_owned()).collect()
+            };
+            if args.iter().any(|a| a.is_empty()) {
+                return Err(syntax("empty fanin name".to_owned()));
+            }
+            if target.is_empty() {
+                return Err(syntax("empty assignment target".to_owned()));
+            }
+            stmts.push((lineno, Stmt::Assign { target, kind, args }));
+        } else {
+            let up = line.to_ascii_uppercase();
+            let grab = |prefix: &str| -> Option<String> {
+                if up.starts_with(prefix) {
+                    let rest = line[prefix.len()..].trim();
+                    let rest = rest.strip_prefix('(')?.trim_end();
+                    let rest = rest.strip_suffix(')')?.trim();
+                    if rest.is_empty() {
+                        None
+                    } else {
+                        Some(rest.to_owned())
+                    }
+                } else {
+                    None
+                }
+            };
+            if let Some(name) = grab("INPUT") {
+                stmts.push((lineno, Stmt::Input(name)));
+            } else if let Some(name) = grab("OUTPUT") {
+                stmts.push((lineno, Stmt::Output(name)));
+            } else {
+                return Err(syntax(format!("unrecognized statement `{line}`")));
+            }
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parses a `.bench` netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`Error::BenchSyntax`] for malformed lines,
+/// [`Error::DuplicateName`] / [`Error::UndefinedName`] for name problems and
+/// [`Error::CombinationalCycle`] if the combinational part is cyclic.
+pub fn parse(text: &str) -> Result<Circuit, Error> {
+    parse_named(text, "bench")
+}
+
+/// Like [`parse`], giving the circuit an explicit name.
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_named(text: &str, name: &str) -> Result<Circuit, Error> {
+    let stmts = tokenize(text)?;
+    let mut circuit = Circuit::new(name);
+    let mut ids: HashMap<String, NetId> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut assigns: Vec<(usize, String, Kind, Vec<String>)> = Vec::new();
+
+    // Pass 1: create all defined nets. Inputs and DFF outputs become inputs
+    // immediately (DFF q converted to a flip-flop at the end); gate outputs
+    // are recorded for topological creation in pass 2.
+    for (line, stmt) in stmts {
+        match stmt {
+            Stmt::Input(n) => {
+                if ids.contains_key(&n) {
+                    return Err(Error::DuplicateName(n));
+                }
+                let id = circuit.add_input(&n);
+                ids.insert(n, id);
+            }
+            Stmt::Output(n) => outputs.push(n),
+            Stmt::Assign { target, kind, args } => {
+                if ids.contains_key(&target) || assigns.iter().any(|(_, t, _, _)| *t == target) {
+                    return Err(Error::DuplicateName(target));
+                }
+                if kind == Kind::Dff {
+                    if args.len() != 1 {
+                        return Err(Error::BenchSyntax {
+                            line,
+                            msg: format!("DFF takes one fanin, got {}", args.len()),
+                        });
+                    }
+                    let id = circuit.add_input(&target);
+                    ids.insert(target.clone(), id);
+                }
+                assigns.push((line, target, kind, args));
+            }
+        }
+    }
+
+    // Pass 2: create gates in dependency order via a worklist.
+    let mut pending: Vec<(usize, String, GateKind, Vec<String>)> = Vec::new();
+    let mut dffs: Vec<(String, String)> = Vec::new();
+    for (line, target, kind, args) in assigns {
+        match kind {
+            Kind::Dff => dffs.push((target, args.into_iter().next().expect("arity checked"))),
+            Kind::Gate(g) => pending.push((line, target, g, args)),
+        }
+    }
+    loop {
+        let before = pending.len();
+        let mut still = Vec::new();
+        for (line, target, kind, args) in pending {
+            if args.iter().all(|a| ids.contains_key(a)) {
+                let fanin: Vec<NetId> = args.iter().map(|a| ids[a]).collect();
+                let id = circuit
+                    .add_gate(kind, fanin, &target)
+                    .map_err(|e| Error::BenchSyntax {
+                        line,
+                        msg: e.to_string(),
+                    })?;
+                ids.insert(target, id);
+            } else {
+                still.push((line, target, kind, args));
+            }
+        }
+        pending = still;
+        if pending.is_empty() {
+            break;
+        }
+        if pending.len() == before {
+            // Either an undefined name or a combinational cycle.
+            let (line, _, _, args) = &pending[0];
+            let missing = args
+                .iter()
+                .find(|a| !ids.contains_key(*a))
+                .cloned()
+                .unwrap_or_default();
+            // Distinguish: if the missing name is defined by another pending
+            // assignment, it is a cycle; otherwise it is undefined.
+            let defined_later = pending.iter().any(|(_, t, _, _)| *t == missing);
+            return Err(if defined_later {
+                Error::CombinationalCycle(missing)
+            } else {
+                Error::BenchSyntax {
+                    line: *line,
+                    msg: format!("undefined net `{missing}`"),
+                }
+            });
+        }
+    }
+
+    // Pass 3: wire flip-flops and outputs.
+    for (q_name, d_name) in dffs {
+        let d = *ids
+            .get(&d_name)
+            .ok_or_else(|| Error::UndefinedName(d_name.clone()))?;
+        let q = ids[&q_name];
+        circuit
+            .convert_input_to_dff(q, d)
+            .expect("q created as input in pass 1");
+    }
+    for out in outputs {
+        let id = *ids.get(&out).ok_or(Error::UndefinedName(out))?;
+        circuit.mark_output(id);
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+/// Serializes a circuit to `.bench` text.
+///
+/// Gates are emitted in topological order so the output parses in one
+/// streaming pass with single-definition-before-use tools.
+///
+/// # Panics
+///
+/// Panics if the circuit fails [`Circuit::validate`] (cyclic or undriven
+/// nets); write only validated circuits.
+pub fn write(circuit: &Circuit) -> String {
+    let lv = Levelization::build(circuit).expect("circuit must be acyclic to serialize");
+    let mut s = String::new();
+    s.push_str(&format!("# {}\n", circuit.name()));
+    s.push_str(&format!(
+        "# {} inputs, {} outputs, {} DFFs, {} gates\n",
+        circuit.primary_inputs().len(),
+        circuit.primary_outputs().len(),
+        circuit.dffs().len(),
+        circuit.num_gates()
+    ));
+    for &pi in circuit.primary_inputs() {
+        s.push_str(&format!("INPUT({})\n", circuit.net(pi).name()));
+    }
+    for &po in circuit.primary_outputs() {
+        s.push_str(&format!("OUTPUT({})\n", circuit.net(po).name()));
+    }
+    for dff in circuit.dffs() {
+        s.push_str(&format!(
+            "{} = DFF({})\n",
+            circuit.net(dff.q).name(),
+            circuit.net(dff.d).name()
+        ));
+    }
+    for &id in lv.order() {
+        if let Some(g) = circuit.gate(id) {
+            let fanins: Vec<&str> = g.fanin.iter().map(|&f| circuit.net(f).name()).collect();
+            s.push_str(&format!(
+                "{} = {}({})\n",
+                circuit.net(id).name(),
+                g.kind.as_str(),
+                fanins.join(", ")
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parse_c17() {
+        let c = parse(C17).unwrap();
+        assert_eq!(c.primary_inputs().len(), 5);
+        assert_eq!(c.primary_outputs().len(), 2);
+        assert_eq!(c.num_gates(), 6);
+        assert_eq!(c.dffs().len(), 0);
+    }
+
+    #[test]
+    fn parse_out_of_order_definitions() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = BUFF(a)\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn parse_sequential() {
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = XOR(a, q)
+y = NOT(q)
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.dffs().len(), 1);
+        assert_eq!(c.comb_inputs().len(), 2);
+        assert_eq!(c.comb_outputs().len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let c = parse(C17).unwrap();
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c.num_gates(), c2.num_gates());
+        assert_eq!(c.primary_inputs().len(), c2.primary_inputs().len());
+        assert_eq!(c.primary_outputs().len(), c2.primary_outputs().len());
+    }
+
+    #[test]
+    fn roundtrip_sequential() {
+        let text = "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(a, q)\ny = NOT(q)\n";
+        let c = parse(text).unwrap();
+        let c2 = parse(&write(&c)).unwrap();
+        assert_eq!(c2.dffs().len(), 1);
+        assert_eq!(c2.num_gates(), c.num_gates());
+    }
+
+    #[test]
+    fn const_extension() {
+        let text = "OUTPUT(y)\nc = CONST1()\ny = NOT(c)\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_gates(), 2);
+        let c2 = parse(&write(&c)).unwrap();
+        assert_eq!(c2.num_gates(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hello\nINPUT(a)  # trailing\n\nOUTPUT(a)\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.primary_inputs().len(), 1);
+        assert_eq!(c.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn error_unknown_gate() {
+        let e = parse("INPUT(a)\ny = FROB(a)\n").unwrap_err();
+        assert!(matches!(e, Error::BenchSyntax { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn error_undefined_net() {
+        let e = parse("INPUT(a)\nOUTPUT(y)\ny = AND(a, zz)\n").unwrap_err();
+        assert!(matches!(e, Error::BenchSyntax { .. }), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_definition() {
+        let e = parse("INPUT(a)\na = NOT(a)\n").unwrap_err();
+        assert!(matches!(e, Error::DuplicateName(_)), "{e}");
+    }
+
+    #[test]
+    fn error_cycle() {
+        let e = parse("INPUT(a)\nx = NOT(y)\ny = NOT(x)\n").unwrap_err();
+        assert!(matches!(e, Error::CombinationalCycle(_)), "{e}");
+    }
+
+    #[test]
+    fn error_output_of_undefined() {
+        let e = parse("INPUT(a)\nOUTPUT(nope)\n").unwrap_err();
+        assert!(matches!(e, Error::UndefinedName(_)), "{e}");
+    }
+
+    #[test]
+    fn error_dff_bad_arity() {
+        let e = parse("INPUT(a)\nq = DFF(a, a)\n").unwrap_err();
+        assert!(matches!(e, Error::BenchSyntax { .. }), "{e}");
+    }
+
+    #[test]
+    fn dialect_buf_and_inv() {
+        let c = parse("INPUT(a)\nOUTPUT(y)\nx = BUF(a)\ny = INV(x)\n").unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+}

@@ -1,0 +1,677 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::Error;
+
+/// Identifier of a net (signal) inside one [`Circuit`].
+///
+/// Net ids are dense indices: they index into the circuit's net table and are
+/// only meaningful for the circuit that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the dense index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a dense index.
+    ///
+    /// Useful when iterating `0..circuit.num_nets()`; the id is only valid for
+    /// the circuit whose net count bounds `index`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The logic function computed by a [`Gate`].
+///
+/// `And`, `Nand`, `Or`, `Nor`, `Xor` and `Xnor` accept two or more fanins
+/// (`Xor`/`Xnor` are n-ary parity / inverted parity). `Not` and `Buf` accept
+/// exactly one. `Const0`/`Const1` accept none and exist so synthesis passes
+/// can express constant propagation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// n-ary AND.
+    And,
+    /// n-ary NAND.
+    Nand,
+    /// n-ary OR.
+    Or,
+    /// n-ary NOR.
+    Nor,
+    /// n-ary parity (XOR).
+    Xor,
+    /// n-ary inverted parity (XNOR).
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Buffer.
+    Buf,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+}
+
+impl GateKind {
+    /// Human-readable upper-case name, matching `.bench` keywords.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        }
+    }
+
+    /// Whether `n` fanins is a legal arity for this kind.
+    pub fn accepts_arity(self, n: usize) -> bool {
+        match self {
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => n >= 2,
+            GateKind::Xor | GateKind::Xnor => n >= 2,
+            GateKind::Not | GateKind::Buf => n == 1,
+            GateKind::Const0 | GateKind::Const1 => n == 0,
+        }
+    }
+
+    /// Whether this kind is an inverter or buffer (excluded from the paper's
+    /// gate counts, which report "number of gates without inverters").
+    pub fn is_inverter_like(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// Evaluates the gate function over boolean fanin values.
+    pub fn eval(self, fanin: impl IntoIterator<Item = bool>) -> bool {
+        let mut it = fanin.into_iter();
+        match self {
+            GateKind::And => it.all(|b| b),
+            GateKind::Nand => !it.all(|b| b),
+            GateKind::Or => it.any(|b| b),
+            GateKind::Nor => !it.any(|b| b),
+            GateKind::Xor => it.fold(false, |acc, b| acc ^ b),
+            GateKind::Xnor => !it.fold(false, |acc, b| acc ^ b),
+            GateKind::Not => !it.next().expect("NOT takes one fanin"),
+            GateKind::Buf => it.next().expect("BUFF takes one fanin"),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+        }
+    }
+
+    /// All kinds, in a stable order.
+    pub const ALL: [GateKind; 10] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A logic gate: a kind plus ordered fanin nets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gate {
+    /// The logic function.
+    pub kind: GateKind,
+    /// Ordered fanin nets.
+    pub fanin: Vec<NetId>,
+}
+
+impl Gate {
+    /// Creates a gate, validating arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadArity`] if `fanin.len()` is not legal for `kind`.
+    pub fn new(kind: GateKind, fanin: Vec<NetId>) -> Result<Self, Error> {
+        if !kind.accepts_arity(fanin.len()) {
+            return Err(Error::BadArity {
+                kind: kind.as_str(),
+                got: fanin.len(),
+            });
+        }
+        Ok(Gate { kind, fanin })
+    }
+}
+
+/// One net of the circuit: a name plus, for gate outputs, its driving gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) driver: Option<Gate>,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The gate driving this net, or `None` for primary inputs and flip-flop
+    /// outputs.
+    pub fn driver(&self) -> Option<&Gate> {
+        self.driver.as_ref()
+    }
+}
+
+/// A D flip-flop at the sequential boundary of the circuit.
+///
+/// The combinational part treats `q` as an extra input (pseudo primary input)
+/// and `d` as an extra output (pseudo primary output), exactly how scan-based
+/// testing — and therefore every combinational logic-locking paper — views a
+/// sequential design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dff {
+    /// The flip-flop output net (state bit, pseudo primary input).
+    pub q: NetId,
+    /// The flip-flop input net (next state, pseudo primary output).
+    pub d: NetId,
+}
+
+/// A gate-level netlist with flip-flops kept at the boundary.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    nets: Vec<Net>,
+    pis: Vec<NetId>,
+    pos: Vec<NetId>,
+    dffs: Vec<Dff>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nets: Vec::new(),
+            pis: Vec::new(),
+            pos: Vec::new(),
+            dffs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn intern_name(&mut self, want: &str, id: NetId) -> String {
+        let mut name = want.to_owned();
+        let mut i = 0u32;
+        while self.by_name.contains_key(&name) {
+            name = format!("{want}${}_{i}", id.0);
+            i += 1;
+        }
+        self.by_name.insert(name.clone(), id);
+        name
+    }
+
+    /// Adds a primary input and returns its net id.
+    ///
+    /// If `name` is already taken the input is given a fresh, deterministic
+    /// variant of the name (`name$<id>_<n>`).
+    pub fn add_input(&mut self, name: impl AsRef<str>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        let name = self.intern_name(name.as_ref(), id);
+        self.nets.push(Net { name, driver: None });
+        self.pis.push(id);
+        id
+    }
+
+    /// Adds a gate driving a fresh net and returns the new net's id.
+    ///
+    /// Duplicate names are uniquified the same way as [`add_input`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadArity`] if the fanin count is illegal for `kind`
+    /// and [`Error::UnknownNet`] if any fanin id is out of range.
+    ///
+    /// [`add_input`]: Circuit::add_input
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        fanin: Vec<NetId>,
+        name: impl AsRef<str>,
+    ) -> Result<NetId, Error> {
+        for &f in &fanin {
+            if f.index() >= self.nets.len() {
+                return Err(Error::UnknownNet(f.0));
+            }
+        }
+        let gate = Gate::new(kind, fanin)?;
+        let id = NetId(self.nets.len() as u32);
+        let name = self.intern_name(name.as_ref(), id);
+        self.nets.push(Net {
+            name,
+            driver: Some(gate),
+        });
+        Ok(id)
+    }
+
+    /// Marks a net as a primary output. A net may be marked more than once;
+    /// duplicates are ignored.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.pos.contains(&net) {
+            self.pos.push(net);
+        }
+    }
+
+    /// Adds a D flip-flop: creates the `q` net (state output, behaves like an
+    /// input of the combinational part) fed by the existing net `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNet`] if `d` is out of range.
+    pub fn add_dff(&mut self, q_name: impl AsRef<str>, d: NetId) -> Result<NetId, Error> {
+        if d.index() >= self.nets.len() {
+            return Err(Error::UnknownNet(d.0));
+        }
+        let q = NetId(self.nets.len() as u32);
+        let name = self.intern_name(q_name.as_ref(), q);
+        self.nets.push(Net { name, driver: None });
+        self.dffs.push(Dff { q, d });
+        Ok(q)
+    }
+
+    /// Reclassifies a primary input as a flip-flop output fed by `d`.
+    ///
+    /// This is used when a circuit's state elements are discovered after its
+    /// nets were created (e.g. the two-pass `.bench` parser), or when a model
+    /// wants to turn free inputs into state bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNet`] if `d` is out of range, or
+    /// [`Error::Undriven`] if `q` is not currently a primary input.
+    pub fn convert_input_to_dff(&mut self, q: NetId, d: NetId) -> Result<(), Error> {
+        if d.index() >= self.nets.len() {
+            return Err(Error::UnknownNet(d.0));
+        }
+        let pos = self
+            .pis
+            .iter()
+            .position(|&p| p == q)
+            .ok_or_else(|| Error::Undriven(format!("{q} is not a primary input")))?;
+        self.pis.remove(pos);
+        self.dffs.push(Dff { q, d });
+        Ok(())
+    }
+
+    /// Detaches the driver of `net`, moving it onto a freshly created net, and
+    /// returns the new net's id. `net` is left undriven; the caller must give
+    /// it a new driver via [`set_driver`](Circuit::set_driver) (this is the
+    /// primitive used to splice key gates into a signal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNet`] if `net` is out of range, or
+    /// [`Error::Undriven`] if `net` has no driver (inputs cannot be split).
+    pub fn split_net(&mut self, net: NetId, new_name: impl AsRef<str>) -> Result<NetId, Error> {
+        if net.index() >= self.nets.len() {
+            return Err(Error::UnknownNet(net.0));
+        }
+        let driver = self.nets[net.index()]
+            .driver
+            .take()
+            .ok_or_else(|| Error::Undriven(self.nets[net.index()].name.clone()))?;
+        let id = NetId(self.nets.len() as u32);
+        let name = self.intern_name(new_name.as_ref(), id);
+        self.nets.push(Net {
+            name,
+            driver: Some(driver),
+        });
+        Ok(id)
+    }
+
+    /// Installs `gate` as the driver of `net`, replacing any existing driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNet`] if `net` or any fanin is out of range.
+    /// Installing a driver on a primary input is allowed only for nets that
+    /// are *not* listed as inputs; attempting it on a primary input or
+    /// flip-flop output returns [`Error::Undriven`] (those nets must stay
+    /// driverless).
+    pub fn set_driver(&mut self, net: NetId, gate: Gate) -> Result<(), Error> {
+        if net.index() >= self.nets.len() {
+            return Err(Error::UnknownNet(net.0));
+        }
+        for &f in &gate.fanin {
+            if f.index() >= self.nets.len() {
+                return Err(Error::UnknownNet(f.0));
+            }
+        }
+        if self.is_comb_input(net) {
+            return Err(Error::Undriven(self.nets[net.index()].name.clone()));
+        }
+        self.nets[net.index()].driver = Some(gate);
+        Ok(())
+    }
+
+    /// Number of nets (inputs + gate outputs).
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gates (nets with a driver).
+    pub fn num_gates(&self) -> usize {
+        self.nets.iter().filter(|n| n.driver.is_some()).count()
+    }
+
+    /// Number of gates excluding inverters and buffers — the metric the paper
+    /// reports in Table I ("# Gates ... without inverters").
+    pub fn num_gates_excluding_inverters(&self) -> usize {
+        self.nets
+            .iter()
+            .filter_map(|n| n.driver.as_ref())
+            .filter(|g| !g.kind.is_inverter_like())
+            .count()
+    }
+
+    /// The primary inputs, in creation order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.pis
+    }
+
+    /// The primary outputs, in creation order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.pos
+    }
+
+    /// The flip-flops, in creation order.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// All inputs of the *combinational part*: primary inputs followed by
+    /// flip-flop outputs (pseudo primary inputs).
+    pub fn comb_inputs(&self) -> Vec<NetId> {
+        let mut v = self.pis.clone();
+        v.extend(self.dffs.iter().map(|d| d.q));
+        v
+    }
+
+    /// All outputs of the *combinational part*: primary outputs followed by
+    /// flip-flop inputs (pseudo primary outputs).
+    pub fn comb_outputs(&self) -> Vec<NetId> {
+        let mut v = self.pos.clone();
+        v.extend(self.dffs.iter().map(|d| d.d));
+        v
+    }
+
+    /// Whether `net` is an input of the combinational part (primary input or
+    /// flip-flop output).
+    pub fn is_comb_input(&self, net: NetId) -> bool {
+        self.pis.contains(&net) || self.dffs.iter().any(|d| d.q == net)
+    }
+
+    /// Returns the net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn net(&self, net: NetId) -> &Net {
+        &self.nets[net.index()]
+    }
+
+    /// Returns the gate driving `net`, or `None` for inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn gate(&self, net: NetId) -> Option<&Gate> {
+        self.nets[net.index()].driver.as_ref()
+    }
+
+    /// Looks a net up by name.
+    pub fn find(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all net ids in dense order.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Iterates over `(id, net)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Builds the fanout list of every net: `fanouts[n]` lists the nets whose
+    /// driving gate reads net `n`.
+    pub fn fanouts(&self) -> Vec<Vec<NetId>> {
+        let mut out = vec![Vec::new(); self.nets.len()];
+        for (i, net) in self.nets.iter().enumerate() {
+            if let Some(g) = &net.driver {
+                for &f in &g.fanin {
+                    out[f.index()].push(NetId(i as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks structural sanity: every non-input net is driven with a legal
+    /// arity, all fanins are in range, and the combinational part is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), Error> {
+        for (i, net) in self.nets.iter().enumerate() {
+            let id = NetId(i as u32);
+            match &net.driver {
+                Some(g) => {
+                    if !g.kind.accepts_arity(g.fanin.len()) {
+                        return Err(Error::BadArity {
+                            kind: g.kind.as_str(),
+                            got: g.fanin.len(),
+                        });
+                    }
+                    for &f in &g.fanin {
+                        if f.index() >= self.nets.len() {
+                            return Err(Error::UnknownNet(f.0));
+                        }
+                    }
+                }
+                None => {
+                    let is_pi = self.pis.contains(&id);
+                    let is_q = self.dffs.iter().any(|d| d.q == id);
+                    if !is_pi && !is_q {
+                        return Err(Error::Undriven(net.name.clone()));
+                    }
+                }
+            }
+        }
+        // Acyclicity via the levelization routine.
+        crate::topo::Levelization::build(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kind_eval_truth_tables() {
+        use GateKind::*;
+        let tt = |k: GateKind, a: bool, b: bool| k.eval([a, b]);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(tt(And, a, b), a & b);
+            assert_eq!(tt(Nand, a, b), !(a & b));
+            assert_eq!(tt(Or, a, b), a | b);
+            assert_eq!(tt(Nor, a, b), !(a | b));
+            assert_eq!(tt(Xor, a, b), a ^ b);
+            assert_eq!(tt(Xnor, a, b), !(a ^ b));
+        }
+        assert!(!Not.eval([true]));
+        assert!(Buf.eval([true]));
+        assert!(!Const0.eval([]));
+        assert!(Const1.eval([]));
+    }
+
+    #[test]
+    fn nary_eval() {
+        use GateKind::*;
+        assert!(And.eval([true, true, true]));
+        assert!(!And.eval([true, false, true]));
+        assert!(Xor.eval([true, true, true]));
+        assert!(!Xor.eval([true, true]));
+        assert!(Xnor.eval([true, true]));
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(5));
+        assert!(!GateKind::And.accepts_arity(1));
+        assert!(GateKind::Const0.accepts_arity(0));
+        assert!(!GateKind::Const1.accepts_arity(1));
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b], "g").unwrap();
+        c.mark_output(g);
+        assert_eq!(c.num_nets(), 3);
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.primary_inputs(), &[a, b]);
+        assert_eq!(c.primary_outputs(), &[g]);
+        assert_eq!(c.find("g"), Some(g));
+        assert!(c.is_comb_input(a));
+        assert!(!c.is_comb_input(g));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_uniquified() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("x");
+        let b = c.add_input("x");
+        assert_ne!(c.net(a).name(), c.net(b).name());
+        assert_eq!(c.find("x"), Some(a));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let err = c.add_gate(GateKind::And, vec![a], "g").unwrap_err();
+        assert!(matches!(err, Error::BadArity { .. }));
+    }
+
+    #[test]
+    fn unknown_fanin_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let bogus = NetId(99);
+        let err = c.add_gate(GateKind::Not, vec![bogus], "g").unwrap_err();
+        assert!(matches!(err, Error::UnknownNet(99)));
+        let _ = a;
+    }
+
+    #[test]
+    fn dff_boundary() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let q = c.add_dff("q", a).unwrap();
+        let g = c.add_gate(GateKind::Xor, vec![a, q], "g").unwrap();
+        c.mark_output(g);
+        assert_eq!(c.comb_inputs(), vec![a, q]);
+        assert_eq!(c.comb_outputs(), vec![g, a]);
+        assert!(c.is_comb_input(q));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn split_net_moves_driver() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b], "g").unwrap();
+        let moved = c.split_net(g, "g_orig").unwrap();
+        assert!(c.gate(g).is_none());
+        assert_eq!(c.gate(moved).unwrap().kind, GateKind::And);
+        // Re-drive g with an XOR of the moved net and a new key input.
+        let k = c.add_input("k");
+        c.set_driver(g, Gate::new(GateKind::Xor, vec![moved, k]).unwrap())
+            .unwrap();
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn split_input_fails() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        assert!(matches!(c.split_net(a, "x"), Err(Error::Undriven(_))));
+    }
+
+    #[test]
+    fn set_driver_on_input_fails() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = Gate::new(GateKind::Const1, vec![]).unwrap();
+        assert!(matches!(c.set_driver(a, g), Err(Error::Undriven(_))));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::Not, vec![a], "g").unwrap();
+        let h = c.split_net(g, "h").unwrap();
+        let _ = h;
+        // g now has no driver and is not an input.
+        assert!(matches!(c.validate(), Err(Error::Undriven(_))));
+    }
+
+    #[test]
+    fn mark_output_dedupes() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        c.mark_output(a);
+        c.mark_output(a);
+        assert_eq!(c.primary_outputs().len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors produced while constructing, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A gate was given a fanin count its kind does not accept.
+    BadArity {
+        /// The offending gate kind.
+        kind: &'static str,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// A net id referenced a net that does not exist in the circuit.
+    UnknownNet(u32),
+    /// A net name was referenced before being defined (bench parsing).
+    UndefinedName(String),
+    /// The same net name was defined twice.
+    DuplicateName(String),
+    /// The combinational part contains a cycle through the listed net.
+    CombinationalCycle(String),
+    /// A net has no driver and is not an input.
+    Undriven(String),
+    /// A syntax error in a `.bench` file.
+    BenchSyntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A generator profile was inconsistent (e.g. zero outputs).
+    BadProfile(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} fanins")
+            }
+            Error::UnknownNet(id) => write!(f, "net id {id} does not exist"),
+            Error::UndefinedName(n) => write!(f, "net name `{n}` used but never defined"),
+            Error::DuplicateName(n) => write!(f, "net name `{n}` defined twice"),
+            Error::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through net `{n}`")
+            }
+            Error::Undriven(n) => write!(f, "net `{n}` has no driver and is not an input"),
+            Error::BenchSyntax { line, msg } => write!(f, "bench syntax error on line {line}: {msg}"),
+            Error::BadProfile(msg) => write!(f, "invalid generator profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,186 @@
+//! Small embedded circuits with known-good behaviour, used as ground truth
+//! throughout the workspace's tests and examples.
+
+use crate::{bench, Circuit, GateKind, NetId};
+
+/// The ISCAS-85 `c17` benchmark (5 inputs, 2 outputs, 6 NAND gates) — the
+/// classic smallest "real" benchmark circuit.
+pub fn c17() -> Circuit {
+    const TEXT: &str = "\
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+    bench::parse_named(TEXT, "c17").expect("embedded c17 is valid")
+}
+
+/// A 1-bit full adder: inputs `a`, `b`, `cin`; outputs `sum`, `cout`.
+pub fn full_adder() -> Circuit {
+    let mut c = Circuit::new("full_adder");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let cin = c.add_input("cin");
+    let axb = c.add_gate(GateKind::Xor, vec![a, b], "axb").unwrap();
+    let sum = c.add_gate(GateKind::Xor, vec![axb, cin], "sum").unwrap();
+    let t1 = c.add_gate(GateKind::And, vec![axb, cin], "t1").unwrap();
+    let t2 = c.add_gate(GateKind::And, vec![a, b], "t2").unwrap();
+    let cout = c.add_gate(GateKind::Or, vec![t1, t2], "cout").unwrap();
+    c.mark_output(sum);
+    c.mark_output(cout);
+    c
+}
+
+/// An n-bit ripple-carry adder: inputs `a0..`, `b0..`, output `s0..` plus
+/// final carry `cout`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_adder(bits: usize) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut c = Circuit::new(format!("ripple_adder_{bits}"));
+    let a: Vec<NetId> = (0..bits).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..bits).map(|i| c.add_input(format!("b{i}"))).collect();
+    let mut carry: Option<NetId> = None;
+    for i in 0..bits {
+        let axb = c
+            .add_gate(GateKind::Xor, vec![a[i], b[i]], format!("axb{i}"))
+            .unwrap();
+        let (sum, cnext) = match carry {
+            None => {
+                let sum = c.add_gate(GateKind::Buf, vec![axb], format!("s{i}")).unwrap();
+                let cn = c
+                    .add_gate(GateKind::And, vec![a[i], b[i]], format!("c{i}"))
+                    .unwrap();
+                (sum, cn)
+            }
+            Some(cin) => {
+                let sum = c
+                    .add_gate(GateKind::Xor, vec![axb, cin], format!("s{i}"))
+                    .unwrap();
+                let t1 = c
+                    .add_gate(GateKind::And, vec![axb, cin], format!("t1_{i}"))
+                    .unwrap();
+                let t2 = c
+                    .add_gate(GateKind::And, vec![a[i], b[i]], format!("t2_{i}"))
+                    .unwrap();
+                let cn = c
+                    .add_gate(GateKind::Or, vec![t1, t2], format!("c{i}"))
+                    .unwrap();
+                (sum, cn)
+            }
+        };
+        c.mark_output(sum);
+        carry = Some(cnext);
+    }
+    let cout = c
+        .add_gate(GateKind::Buf, vec![carry.unwrap()], "cout")
+        .unwrap();
+    c.mark_output(cout);
+    c
+}
+
+/// 3-input majority gate built from NAND gates: output is 1 iff at least two
+/// inputs are 1.
+pub fn majority3() -> Circuit {
+    let mut c = Circuit::new("majority3");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let d = c.add_input("d");
+    let n1 = c.add_gate(GateKind::Nand, vec![a, b], "n1").unwrap();
+    let n2 = c.add_gate(GateKind::Nand, vec![a, d], "n2").unwrap();
+    let n3 = c.add_gate(GateKind::Nand, vec![b, d], "n3").unwrap();
+    let y = c.add_gate(GateKind::Nand, vec![n1, n2, n3], "y").unwrap();
+    c.mark_output(y);
+    c
+}
+
+/// A 2-to-1 multiplexer: `y = s ? b : a`.
+pub fn mux2() -> Circuit {
+    let mut c = Circuit::new("mux2");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let s = c.add_input("s");
+    let ns = c.add_gate(GateKind::Not, vec![s], "ns").unwrap();
+    let t0 = c.add_gate(GateKind::And, vec![a, ns], "t0").unwrap();
+    let t1 = c.add_gate(GateKind::And, vec![b, s], "t1").unwrap();
+    let y = c.add_gate(GateKind::Or, vec![t0, t1], "y").unwrap();
+    c.mark_output(y);
+    c
+}
+
+/// An n-bit binary up-counter with enable: a small *sequential* sample for
+/// scan-chain and unlock-controller tests. Inputs: `en`; outputs: the count
+/// bits `q0..`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn counter(bits: usize) -> Circuit {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut c = Circuit::new(format!("counter_{bits}"));
+    let en = c.add_input("en");
+    // q bits start as placeholder inputs, converted to DFFs once the next-
+    // state logic exists.
+    let q: Vec<NetId> = (0..bits).map(|i| c.add_input(format!("q{i}"))).collect();
+    let mut carry = en;
+    for i in 0..bits {
+        let d = c
+            .add_gate(GateKind::Xor, vec![q[i], carry], format!("d{i}"))
+            .unwrap();
+        if i + 1 < bits {
+            carry = c
+                .add_gate(GateKind::And, vec![q[i], carry], format!("cy{i}"))
+                .unwrap();
+        }
+        c.convert_input_to_dff(q[i], d).unwrap();
+        c.mark_output(q[i]);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_samples_validate() {
+        for c in [c17(), full_adder(), ripple_adder(4), majority3(), mux2(), counter(3)] {
+            c.validate().unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        }
+    }
+
+    #[test]
+    fn c17_shape() {
+        let c = c17();
+        assert_eq!(c.primary_inputs().len(), 5);
+        assert_eq!(c.primary_outputs().len(), 2);
+        assert_eq!(c.num_gates(), 6);
+    }
+
+    #[test]
+    fn counter_shape() {
+        let c = counter(4);
+        assert_eq!(c.dffs().len(), 4);
+        assert_eq!(c.primary_inputs().len(), 1);
+        assert_eq!(c.primary_outputs().len(), 4);
+        assert_eq!(c.comb_inputs().len(), 5);
+    }
+
+    #[test]
+    fn ripple_adder_shape() {
+        let c = ripple_adder(8);
+        assert_eq!(c.primary_inputs().len(), 16);
+        assert_eq!(c.primary_outputs().len(), 9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Structural circuit statistics in the form the paper reports them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Circuit, GateKind, Levelization};
+
+/// Summary statistics of a circuit.
+///
+/// `gates_excluding_inverters` matches Table I's "# Gates" column ("number of
+/// gates without inverters"); `depth` (logic levels) is the paper's delay
+/// metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub primary_inputs: usize,
+    /// Number of primary outputs.
+    pub primary_outputs: usize,
+    /// Number of D flip-flops.
+    pub dffs: usize,
+    /// Inputs of the combinational part (PIs + FF outputs).
+    pub comb_inputs: usize,
+    /// Outputs of the combinational part (POs + FF inputs).
+    pub comb_outputs: usize,
+    /// Total gate count.
+    pub gates: usize,
+    /// Gate count excluding inverters and buffers (paper's metric).
+    pub gates_excluding_inverters: usize,
+    /// Logic depth in levels (paper's delay metric).
+    pub depth: u32,
+    /// Gate histogram by kind.
+    pub by_kind: BTreeMap<GateKind, usize>,
+}
+
+impl CircuitStats {
+    /// Gathers statistics for a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic (depth is undefined); validate first.
+    pub fn of(circuit: &Circuit) -> Self {
+        let lv = Levelization::build(circuit).expect("stats require an acyclic circuit");
+        let mut by_kind = BTreeMap::new();
+        for id in circuit.net_ids() {
+            if let Some(g) = circuit.gate(id) {
+                *by_kind.entry(g.kind).or_insert(0) += 1;
+            }
+        }
+        CircuitStats {
+            name: circuit.name().to_owned(),
+            primary_inputs: circuit.primary_inputs().len(),
+            primary_outputs: circuit.primary_outputs().len(),
+            dffs: circuit.dffs().len(),
+            comb_inputs: circuit.comb_inputs().len(),
+            comb_outputs: circuit.comb_outputs().len(),
+            gates: circuit.num_gates(),
+            gates_excluding_inverters: circuit.num_gates_excluding_inverters(),
+            depth: lv.depth(),
+            by_kind,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} PI, {} PO, {} DFF ({} comb in / {} comb out)",
+            self.name,
+            self.primary_inputs,
+            self.primary_outputs,
+            self.dffs,
+            self.comb_inputs,
+            self.comb_outputs
+        )?;
+        writeln!(
+            f,
+            "  {} gates ({} excl. inverters), depth {}",
+            self.gates, self.gates_excluding_inverters, self.depth
+        )?;
+        for (kind, count) in &self.by_kind {
+            writeln!(f, "  {:6} {}", kind.as_str(), count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b], "g").unwrap();
+        let n = c.add_gate(GateKind::Not, vec![g], "n").unwrap();
+        c.mark_output(n);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.primary_inputs, 2);
+        assert_eq!(s.primary_outputs, 1);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.gates_excluding_inverters, 1);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.by_kind[&GateKind::And], 1);
+        assert_eq!(s.by_kind[&GateKind::Not], 1);
+        let shown = s.to_string();
+        assert!(shown.contains("2 gates"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Topological ordering, levelization and cone analysis.
+
+use crate::{Circuit, Error, NetId};
+
+/// A topological ordering of a circuit's combinational part, with the logic
+/// level (longest-path depth) of every net.
+///
+/// Inputs sit at level 0; a gate's level is `1 + max(level of fanins)`.
+/// The level metric is what the paper uses for delay-overhead estimation
+/// ("delay overhead (in terms of number of levels)").
+#[derive(Debug, Clone)]
+pub struct Levelization {
+    order: Vec<NetId>,
+    level: Vec<u32>,
+}
+
+impl Levelization {
+    /// Computes a topological order using Kahn's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CombinationalCycle`] if the combinational part is
+    /// cyclic, naming a net on the cycle.
+    pub fn build(circuit: &Circuit) -> Result<Self, Error> {
+        let n = circuit.num_nets();
+        let mut indeg = vec![0u32; n];
+        let mut level = vec![0u32; n];
+        for id in circuit.net_ids() {
+            if let Some(g) = circuit.gate(id) {
+                indeg[id.index()] = g.fanin.len() as u32;
+            }
+        }
+        let fanouts = circuit.fanouts();
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<NetId> = circuit
+            .net_ids()
+            .filter(|id| indeg[id.index()] == 0)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &succ in &fanouts[id.index()] {
+                let s = succ.index();
+                let cand = level[id.index()] + 1;
+                if cand > level[s] {
+                    level[s] = cand;
+                }
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        if order.len() != n {
+            let on_cycle = circuit
+                .net_ids()
+                .find(|id| indeg[id.index()] > 0)
+                .expect("cycle implies a net with leftover indegree");
+            return Err(Error::CombinationalCycle(
+                circuit.net(on_cycle).name().to_owned(),
+            ));
+        }
+        Ok(Levelization { order, level })
+    }
+
+    /// The nets in topological order (fanins always before fanouts).
+    pub fn order(&self) -> &[NetId] {
+        &self.order
+    }
+
+    /// The level of a net.
+    pub fn level(&self, net: NetId) -> u32 {
+        self.level[net.index()]
+    }
+
+    /// The depth of the circuit: the maximum level over all nets.
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The transitive fanin cone of a set of nets.
+#[derive(Debug, Clone)]
+pub struct TransitiveFanin {
+    member: Vec<bool>,
+    count: usize,
+}
+
+impl TransitiveFanin {
+    /// Computes the transitive fanin of `roots` in `circuit` (the roots are
+    /// included).
+    pub fn of(circuit: &Circuit, roots: impl IntoIterator<Item = NetId>) -> Self {
+        let mut member = vec![false; circuit.num_nets()];
+        let mut stack: Vec<NetId> = roots.into_iter().collect();
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            if member[id.index()] {
+                continue;
+            }
+            member[id.index()] = true;
+            count += 1;
+            if let Some(g) = circuit.gate(id) {
+                stack.extend(g.fanin.iter().copied());
+            }
+        }
+        TransitiveFanin { member, count }
+    }
+
+    /// Whether `net` lies in the cone.
+    pub fn contains(&self, net: NetId) -> bool {
+        self.member.get(net.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of nets in the cone.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the cone is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates over the member nets in dense id order.
+    pub fn iter(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| NetId::from_index(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn chain(len: usize) -> (Circuit, Vec<NetId>) {
+        let mut c = Circuit::new("chain");
+        let mut ids = vec![c.add_input("i")];
+        for k in 0..len {
+            let prev = *ids.last().unwrap();
+            ids.push(c.add_gate(GateKind::Not, vec![prev], format!("g{k}")).unwrap());
+        }
+        c.mark_output(*ids.last().unwrap());
+        (c, ids)
+    }
+
+    #[test]
+    fn levels_of_chain() {
+        let (c, ids) = chain(5);
+        let lv = Levelization::build(&c).unwrap();
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(lv.level(id), k as u32);
+        }
+        assert_eq!(lv.depth(), 5);
+        assert_eq!(lv.order().len(), c.num_nets());
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let (c, _) = chain(10);
+        let lv = Levelization::build(&c).unwrap();
+        let mut seen = vec![false; c.num_nets()];
+        for &id in lv.order() {
+            if let Some(g) = c.gate(id) {
+                for &f in &g.fanin {
+                    assert!(seen[f.index()], "fanin after fanout in order");
+                }
+            }
+            seen[id.index()] = true;
+        }
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let mut c = Circuit::new("d");
+        let a = c.add_input("a");
+        let l = c.add_gate(GateKind::Not, vec![a], "l").unwrap();
+        let r = c.add_gate(GateKind::Buf, vec![a], "r").unwrap();
+        let r2 = c.add_gate(GateKind::Not, vec![r], "r2").unwrap();
+        let out = c.add_gate(GateKind::And, vec![l, r2], "out").unwrap();
+        c.mark_output(out);
+        let lv = Levelization::build(&c).unwrap();
+        assert_eq!(lv.level(out), 3); // longest path a -> r -> r2 -> out
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // Build a cycle by splicing a driver whose fanin is its own output.
+        let mut c = Circuit::new("cyc");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::And, vec![a, a], "g").unwrap();
+        let h = c.add_gate(GateKind::Not, vec![g], "h").unwrap();
+        // redirect g's driver to read h -> cycle g -> h -> g
+        c.set_driver(g, crate::Gate::new(GateKind::And, vec![a, h]).unwrap())
+            .unwrap();
+        assert!(matches!(
+            Levelization::build(&c),
+            Err(Error::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn transitive_fanin_cone() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("x");
+        let g = c.add_gate(GateKind::And, vec![a, b], "g").unwrap();
+        let h = c.add_gate(GateKind::Or, vec![g, b], "h").unwrap();
+        let unrelated = c.add_gate(GateKind::Not, vec![x], "u").unwrap();
+        let cone = TransitiveFanin::of(&c, [h]);
+        assert!(cone.contains(h));
+        assert!(cone.contains(g));
+        assert!(cone.contains(a));
+        assert!(cone.contains(b));
+        assert!(!cone.contains(x));
+        assert!(!cone.contains(unrelated));
+        assert_eq!(cone.len(), 4);
+        assert_eq!(cone.iter().count(), 4);
+    }
+
+    #[test]
+    fn empty_cone() {
+        let c = Circuit::new("e");
+        let cone = TransitiveFanin::of(&c, []);
+        assert!(cone.is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Structural Verilog reading and writing (gate-level subset).
+//!
+//! Real EDA flows exchange gate-level netlists as structural Verilog at
+//! least as often as `.bench`; this module supports the subset those
+//! netlists use — one module, `input`/`output`/`wire` declarations, and
+//! primitive gate instantiations:
+//!
+//! ```text
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire N10, N11, N16, N19;
+//!   nand g0 (N10, N1, N3);
+//!   nand g1 (N11, N3, N6);
+//!   dff  q0 (Q, D);         // sequential extension: q, d
+//! endmodule
+//! ```
+//!
+//! Primitive names map to [`GateKind`]; the first port is the output. `dff`
+//! instances become boundary flip-flops. As with the `.bench` reader,
+//! definitions may appear in any order.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), netlist::Error> {
+//! let c = netlist::samples::c17();
+//! let text = netlist::verilog::write(&c);
+//! let back = netlist::verilog::parse(&text)?;
+//! assert_eq!(back.num_gates(), c.num_gates());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::{Circuit, Error, GateKind, Levelization, NetId};
+
+fn kind_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::And => "and",
+        GateKind::Nand => "nand",
+        GateKind::Or => "or",
+        GateKind::Nor => "nor",
+        GateKind::Xor => "xor",
+        GateKind::Xnor => "xnor",
+        GateKind::Not => "not",
+        GateKind::Buf => "buf",
+        GateKind::Const0 => "const0",
+        GateKind::Const1 => "const1",
+    }
+}
+
+fn kind_of(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "and" => GateKind::And,
+        "nand" => GateKind::Nand,
+        "or" => GateKind::Or,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "not" | "inv" => GateKind::Not,
+        "buf" => GateKind::Buf,
+        "const0" => GateKind::Const0,
+        "const1" => GateKind::Const1,
+        _ => return None,
+    })
+}
+
+/// Serializes the circuit as a single structural Verilog module.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic (serialize validated circuits).
+pub fn write(circuit: &Circuit) -> String {
+    let lv = Levelization::build(circuit).expect("write requires an acyclic circuit");
+    let mut s = String::new();
+    let name = |n: NetId| sanitize(circuit.net(n).name());
+    let mut ports: Vec<String> = circuit.primary_inputs().iter().map(|&n| name(n)).collect();
+    ports.extend(circuit.primary_outputs().iter().map(|&n| name(n)));
+    s.push_str(&format!(
+        "module {} ({});\n",
+        sanitize(circuit.name()),
+        ports.join(", ")
+    ));
+    let ins: Vec<String> = circuit.primary_inputs().iter().map(|&n| name(n)).collect();
+    if !ins.is_empty() {
+        s.push_str(&format!("  input {};\n", ins.join(", ")));
+    }
+    let outs: Vec<String> = circuit.primary_outputs().iter().map(|&n| name(n)).collect();
+    if !outs.is_empty() {
+        s.push_str(&format!("  output {};\n", outs.join(", ")));
+    }
+    let wires: Vec<String> = circuit
+        .net_ids()
+        .filter(|&n| {
+            circuit.gate(n).is_some() && !circuit.primary_outputs().contains(&n)
+                || circuit.dffs().iter().any(|d| d.q == n)
+        })
+        .map(name)
+        .collect();
+    if !wires.is_empty() {
+        s.push_str(&format!("  wire {};\n", wires.join(", ")));
+    }
+    for (i, dff) in circuit.dffs().iter().enumerate() {
+        s.push_str(&format!(
+            "  dff ff{i} ({}, {});\n",
+            name(dff.q),
+            name(dff.d)
+        ));
+    }
+    for (gi, &id) in lv.order().iter().enumerate() {
+        if let Some(g) = circuit.gate(id) {
+            let mut args = vec![name(id)];
+            args.extend(g.fanin.iter().map(|&f| name(f)));
+            s.push_str(&format!(
+                "  {} g{gi} ({});\n",
+                kind_name(g.kind),
+                args.join(", ")
+            ));
+        }
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+#[derive(Debug)]
+enum Item {
+    Input(Vec<String>),
+    Output(Vec<String>),
+    Wire,
+    Gate {
+        kind: GateKind,
+        out: String,
+        fanin: Vec<String>,
+    },
+    Dff {
+        q: String,
+        d: String,
+    },
+}
+
+/// Parses a single structural Verilog module into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`Error::BenchSyntax`] (shared with the `.bench` reader) for
+/// malformed input, plus the usual name/cycle errors.
+pub fn parse(text: &str) -> Result<Circuit, Error> {
+    // Strip comments.
+    let mut clean = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = match line.find("//") {
+            Some(p) => &line[..p],
+            None => line,
+        };
+        clean.push_str(line);
+        clean.push('\n');
+    }
+
+    // Tokenize into `;`-terminated statements.
+    let mut module_name = String::from("verilog");
+    let mut items: Vec<Item> = Vec::new();
+    let lineno_of_offset = |off: usize| clean[..off].matches('\n').count() + 1;
+    let mut rest = clean.as_str();
+    let mut offset = 0usize;
+    while let Some(semi) = rest.find(';') {
+        let stmt = rest[..semi].trim();
+        let line = lineno_of_offset(offset);
+        offset += semi + 1;
+        rest = &rest[semi + 1..];
+        if stmt.is_empty() {
+            continue;
+        }
+        let syntax = |msg: String| Error::BenchSyntax { line, msg };
+        let mut words = stmt.split_whitespace();
+        let head = words.next().ok_or_else(|| syntax("empty statement".into()))?;
+        match head {
+            "module" => {
+                let rest_of = stmt["module".len()..].trim();
+                let name_end = rest_of
+                    .find(|c: char| c == '(' || c.is_whitespace())
+                    .unwrap_or(rest_of.len());
+                module_name = rest_of[..name_end].to_owned();
+                // Port list is redundant with input/output declarations.
+            }
+            "input" | "output" | "wire" => {
+                let names: Vec<String> = stmt[head.len()..]
+                    .split(',')
+                    .map(|n| n.trim().to_owned())
+                    .filter(|n| !n.is_empty())
+                    .collect();
+                if names.is_empty() {
+                    return Err(syntax(format!("empty {head} declaration")));
+                }
+                items.push(match head {
+                    "input" => Item::Input(names),
+                    "output" => Item::Output(names),
+                    _ => Item::Wire,
+                });
+            }
+            "endmodule" => break,
+            prim => {
+                let kind = kind_of(prim);
+                let open = stmt
+                    .find('(')
+                    .ok_or_else(|| syntax(format!("expected `(` after `{prim}`")))?;
+                let close = stmt
+                    .rfind(')')
+                    .ok_or_else(|| syntax("expected `)`".into()))?;
+                if close < open {
+                    return Err(syntax("mismatched parentheses".into()));
+                }
+                let args: Vec<String> = stmt[open + 1..close]
+                    .split(',')
+                    .map(|a| a.trim().to_owned())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                if prim == "dff" {
+                    if args.len() != 2 {
+                        return Err(syntax(format!(
+                            "dff takes (q, d), got {} ports",
+                            args.len()
+                        )));
+                    }
+                    items.push(Item::Dff {
+                        q: args[0].clone(),
+                        d: args[1].clone(),
+                    });
+                } else if let Some(kind) = kind {
+                    if args.is_empty() {
+                        return Err(syntax(format!("`{prim}` needs an output port")));
+                    }
+                    items.push(Item::Gate {
+                        kind,
+                        out: args[0].clone(),
+                        fanin: args[1..].to_vec(),
+                    });
+                } else {
+                    return Err(syntax(format!("unknown primitive `{prim}`")));
+                }
+            }
+        }
+    }
+    // Handle `endmodule` without semicolon (normal Verilog).
+    // (Already handled: the loop breaks on the keyword or runs out of `;`.)
+
+    // Build the circuit: inputs and DFF q's first, then gates topologically.
+    let mut circuit = Circuit::new(module_name);
+    let mut ids: HashMap<String, NetId> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut dffs: Vec<(String, String)> = Vec::new();
+    let mut gates: Vec<(GateKind, String, Vec<String>)> = Vec::new();
+    for item in items {
+        match item {
+            Item::Input(names) => {
+                for n in names {
+                    if ids.contains_key(&n) {
+                        return Err(Error::DuplicateName(n));
+                    }
+                    let id = circuit.add_input(&n);
+                    ids.insert(n, id);
+                }
+            }
+            Item::Output(names) => outputs.extend(names),
+            Item::Wire => {}
+            Item::Dff { q, d } => {
+                if ids.contains_key(&q) {
+                    return Err(Error::DuplicateName(q));
+                }
+                let id = circuit.add_input(&q);
+                ids.insert(q.clone(), id);
+                dffs.push((q, d));
+            }
+            Item::Gate { kind, out, fanin } => {
+                if ids.contains_key(&out) || gates.iter().any(|(_, o, _)| *o == out) {
+                    return Err(Error::DuplicateName(out));
+                }
+                gates.push((kind, out, fanin));
+            }
+        }
+    }
+    // Worklist creation in dependency order (same strategy as the bench
+    // reader).
+    let mut pending = gates;
+    loop {
+        let before = pending.len();
+        let mut still = Vec::new();
+        for (kind, out, fanin) in pending {
+            if fanin.iter().all(|a| ids.contains_key(a)) {
+                let f: Vec<NetId> = fanin.iter().map(|a| ids[a]).collect();
+                let id = circuit.add_gate(kind, f, &out)?;
+                ids.insert(out, id);
+            } else {
+                still.push((kind, out, fanin));
+            }
+        }
+        pending = still;
+        if pending.is_empty() {
+            break;
+        }
+        if pending.len() == before {
+            let (_, _, fanin) = &pending[0];
+            let missing = fanin
+                .iter()
+                .find(|a| !ids.contains_key(*a))
+                .cloned()
+                .unwrap_or_default();
+            let defined_later = pending.iter().any(|(_, o, _)| *o == missing);
+            return Err(if defined_later {
+                Error::CombinationalCycle(missing)
+            } else {
+                Error::UndefinedName(missing)
+            });
+        }
+    }
+    for (q, d) in dffs {
+        let d_id = *ids.get(&d).ok_or(Error::UndefinedName(d))?;
+        let q_id = ids[&q];
+        circuit
+            .convert_input_to_dff(q_id, d_id)
+            .expect("q created as input");
+    }
+    for out in outputs {
+        let id = *ids.get(&out).ok_or(Error::UndefinedName(out))?;
+        circuit.mark_output(id);
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn roundtrip_c17() {
+        let c = samples::c17();
+        let text = write(&c);
+        assert!(text.contains("module c17"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_gates(), c.num_gates());
+        assert_eq!(back.primary_inputs().len(), 5);
+        assert_eq!(back.primary_outputs().len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let c = crate::generate::random_comb(33, 8, 5, 120).unwrap();
+        let back = parse(&write(&c)).unwrap();
+        // Positional equivalence over the comb interface.
+        let rng = &mut crate::rng::SplitMix64::new(1);
+        let lv_a = Levelization::build(&c).unwrap();
+        let lv_b = Levelization::build(&back).unwrap();
+        let eval = |c: &Circuit, lv: &Levelization, input: &[bool]| -> Vec<bool> {
+            let mut vals = vec![false; c.num_nets()];
+            for (net, &v) in c.comb_inputs().iter().zip(input) {
+                vals[net.index()] = v;
+            }
+            for &id in lv.order() {
+                if let Some(g) = c.gate(id) {
+                    vals[id.index()] = g.kind.eval(g.fanin.iter().map(|f| vals[f.index()]));
+                }
+            }
+            c.comb_outputs().iter().map(|o| vals[o.index()]).collect()
+        };
+        for _ in 0..64 {
+            let input: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
+            assert_eq!(eval(&c, &lv_a, &input), eval(&back, &lv_b, &input));
+        }
+    }
+
+    #[test]
+    fn roundtrip_sequential() {
+        let c = samples::counter(4);
+        let back = parse(&write(&c)).unwrap();
+        assert_eq!(back.dffs().len(), 4);
+        assert_eq!(back.primary_inputs().len(), 1);
+        assert_eq!(back.primary_outputs().len(), 4);
+    }
+
+    #[test]
+    fn parse_handwritten_module() {
+        let text = "\
+// a comment
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  xor g0 (s, a, b);
+  and g1 (c, a, b);
+endmodule
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.name(), "half_adder");
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn parse_out_of_order_gates() {
+        let text = "\
+module t (a, y);
+  input a;
+  output y;
+  wire w;
+  not g1 (y, w);
+  buf g0 (w, a);
+endmodule
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn error_unknown_primitive() {
+        let e = parse("module t (a); input a; frob g (a, a); endmodule").unwrap_err();
+        assert!(matches!(e, Error::BenchSyntax { .. }), "{e}");
+    }
+
+    #[test]
+    fn error_cycle() {
+        let text = "module t (a); input a; not g0 (x, y); not g1 (y, x); endmodule";
+        let e = parse(text).unwrap_err();
+        assert!(matches!(e, Error::CombinationalCycle(_)), "{e}");
+    }
+
+    #[test]
+    fn error_undefined_output() {
+        let e = parse("module t (a, z); input a; output z; endmodule").unwrap_err();
+        assert!(matches!(e, Error::UndefinedName(_)), "{e}");
+    }
+
+    #[test]
+    fn sanitize_leading_digit() {
+        let c = samples::c17(); // nets named 1, 2, 3...
+        let text = write(&c);
+        assert!(text.contains("n1"), "digit-leading names prefixed");
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn locked_netlist_roundtrip() {
+        // The practical interop case: export a locked design.
+        let c = crate::generate::random_comb(5, 8, 4, 80).unwrap();
+        let text = write(&c);
+        let back = parse(&text).unwrap();
+        back.validate().unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard interchange format for SAT instances; useful for dumping the
+//! attack's miter CNFs and debugging them with external tools.
+
+use std::fmt::Write as _;
+
+use crate::{Lit, SolveResult, Solver, Var};
+
+/// Error from parsing a DIMACS file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A CNF formula as clause lists over dense variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh solver and returns it.
+    pub fn into_solver(self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input (bad header, literal out
+/// of range, clause not terminated by 0).
+pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    msg: "expected `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            let nv: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseDimacsError {
+                    line: lineno,
+                    msg: "bad variable count".into(),
+                })?;
+            num_vars = Some(nv);
+            continue;
+        }
+        let nv = num_vars.ok_or_else(|| ParseDimacsError {
+            line: lineno,
+            msg: "clause before `p cnf` header".into(),
+        })?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                msg: format!("bad literal `{tok}`"),
+            })?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var = v.unsigned_abs() as usize - 1;
+                if var >= nv {
+                    return Err(ParseDimacsError {
+                        line: lineno,
+                        msg: format!("literal {v} out of range (p cnf {nv})"),
+                    });
+                }
+                current.push(Var::from_index(var).lit(v > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Cnf {
+        num_vars: num_vars.unwrap_or(0),
+        clauses,
+    })
+}
+
+/// Serializes a CNF to DIMACS text.
+pub fn write(cnf: &Cnf) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for &l in c {
+            let v = l.var().index() as i64 + 1;
+            let _ = write!(s, "{} ", if l.is_positive() { v } else { -v });
+        }
+        let _ = writeln!(s, "0");
+    }
+    s
+}
+
+/// Convenience: parse, solve, and report (`true` = satisfiable).
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] if the text is malformed.
+pub fn solve_text(text: &str) -> Result<bool, ParseDimacsError> {
+    let mut solver = parse(text)?.into_solver();
+    Ok(solver.solve() == SolveResult::Sat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0][1], Var::from_index(1).negative());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = parse("p cnf 4 3\n1 2 0\n-3 4 0\n-1 0\n").unwrap();
+        let again = parse(&write(&cnf)).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn solve_sat_text() {
+        assert!(solve_text("p cnf 2 2\n1 2 0\n-1 0\n").unwrap());
+    }
+
+    #[test]
+    fn solve_unsat_text() {
+        assert!(!solve_text("p cnf 1 2\n1 0\n-1 0\n").unwrap());
+    }
+
+    #[test]
+    fn error_before_header() {
+        assert!(parse("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn error_out_of_range() {
+        assert!(parse("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let cnf = parse("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! A from-scratch CDCL SAT solver.
+//!
+//! The SAT attack on logic locking (Subramanyan et al., HOST 2015) is the
+//! central adversary the OraP paper defends against; it needs an incremental
+//! SAT solver at its core. This crate implements a MiniSat-class solver:
+//!
+//! - two-watched-literal unit propagation,
+//! - first-UIP conflict-driven clause learning,
+//! - exponential VSIDS branching with phase saving,
+//! - Luby-sequence restarts,
+//! - activity-driven learnt-clause deletion,
+//! - incremental solving under assumptions, with clause addition between
+//!   calls (exactly what the attack's query loop needs),
+//! - optional conflict budgets (returning [`SolveResult::Unknown`]), used by
+//!   the approximate attacks,
+//! - DIMACS CNF I/O ([`dimacs`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cdcl::{Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[a.positive(), b.positive()]);
+//! s.add_clause(&[a.negative()]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.value(a), Some(false));
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+pub mod dimacs;
+mod solver;
+mod types;
+
+pub use solver::{SolveResult, Solver};
+pub use types::{Lit, Var};

@@ -1,0 +1,747 @@
+use crate::types::{Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+const UNDEF: i8 = 0;
+const TRUE: i8 = 1;
+const FALSE: i8 = -1;
+
+type ClauseRef = u32;
+const REASON_NONE: ClauseRef = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f32,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver. See the [crate documentation](crate) for an overview
+/// and example.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>, // indexed by Lit::code of the *falsified* literal
+    assigns: Vec<i8>,         // indexed by var
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: IndexedHeap,
+    saved_phase: Vec<bool>,
+
+    cla_inc: f32,
+    learnt_count: usize,
+    max_learnts: f64,
+
+    ok: bool,
+    conflicts_total: u64,
+    budget: Option<u64>,
+
+    // scratch for analyze
+    seen: Vec<bool>,
+
+    /// Model snapshot from the last successful solve (empty otherwise).
+    assigns_model: Vec<i8>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: IndexedHeap::new(),
+            saved_phase: Vec::new(),
+            cla_inc: 1.0,
+            learnt_count: 0,
+            max_learnts: 4000.0,
+            ok: true,
+            conflicts_total: 0,
+            budget: None,
+            seen: Vec::new(),
+            assigns_model: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(UNDEF);
+        self.level.push(0);
+        self.reason.push(REASON_NONE);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        if !self.assigns_model.is_empty() {
+            self.assigns_model.push(UNDEF);
+        }
+        self.heap.insert(v.index(), &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of (non-deleted) clauses, including learnt ones.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Total conflicts encountered so far (monotone across calls).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts_total
+    }
+
+    /// Limits the *next* solve calls to `budget` additional conflicts each;
+    /// `None` removes the limit. When the budget runs out, `solve` returns
+    /// [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> i8 {
+        let a = self.assigns[l.var().index()];
+        if l.is_positive() {
+            a
+        } else {
+            -a
+        }
+    }
+
+    /// The value of `v` in the model found by the last successful solve
+    /// (valid until the next `solve` call), or its root-level assignment
+    /// otherwise. `None` if unassigned.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        let a = if self.assigns_model.is_empty() {
+            self.assigns[v.index()]
+        } else {
+            self.assigns_model[v.index()]
+        };
+        match a {
+            TRUE => Some(true),
+            FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state (including via this clause being empty after
+    /// simplification); the solver stays unusable from then on.
+    ///
+    /// Must be called at decision level 0 (i.e. not from inside a solve —
+    /// which is always the case for external callers; after a solve returns,
+    /// the solver backtracks to level 0 automatically).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty());
+        if !self.ok {
+            return false;
+        }
+        // Simplify: dedupe, drop falsified-at-root literals, detect
+        // tautologies and satisfied clauses.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable_by_key(|l| l.code());
+        ls.dedup();
+        let mut simplified = Vec::with_capacity(ls.len());
+        let mut i = 0;
+        while i < ls.len() {
+            let l = ls[i];
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: x | !x
+            }
+            match self.lit_value(l) {
+                TRUE => return true, // already satisfied at root
+                FALSE => {}          // drop root-falsified literal
+                _ => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], REASON_NONE);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
+        if learnt {
+            self.learnt_count += 1;
+        }
+        self.watches[(!w0).code()].push(Watch { cref, blocker: w1 });
+        self.watches[(!w1).code()].push(Watch { cref, blocker: w0 });
+        cref
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_value(l), UNDEF);
+        let v = l.var().index();
+        self.assigns[v] = if l.is_positive() { TRUE } else { FALSE };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Take the watch list for the falsified literal !p... we watch
+            // on (!w) so the list for p.code() holds clauses where `p`'s
+            // negation is watched; following MiniSat convention: watches
+            // indexed by the literal that just became TRUE's negation.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict: Option<ClauseRef> = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                // Quick skip via blocker.
+                if self.lit_value(w.blocker) == TRUE {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.clauses[cref as usize].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Make sure the falsified watch is at position 1.
+                let false_lit = !p;
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != w.blocker && self.lit_value(first) == TRUE {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != FALSE {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[i].blocker = first;
+                if self.lit_value(first) == FALSE {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    // keep remaining watches
+                    i += 1;
+                    while i < ws.len() {
+                        i += 1;
+                    }
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, cref);
+                    i += 1;
+                }
+            }
+            let slot = &mut self.watches[p.code()];
+            if slot.is_empty() {
+                *slot = ws;
+            } else {
+                // New watches were appended for p while we processed; merge.
+                let mut merged = ws;
+                merged.append(slot);
+                *slot = merged;
+            }
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(conflict);
+            let start = usize::from(p.is_some());
+            let clen = self.clauses[conflict as usize].lits.len();
+            for k in start..clen {
+                let q = self.clauses[conflict as usize].lits[k];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand from the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found above").var().index();
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("found above");
+                break;
+            }
+            conflict = self.reason[pv];
+            debug_assert_ne!(conflict, REASON_NONE, "UIP literal must have a reason");
+        }
+
+        // Clause minimization: drop literals implied by the rest (the `seen`
+        // flags currently mark exactly the variables of `learnt[1..]`).
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.is_redundant(l))
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(keep);
+
+        // Clear seen flags.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backtrack level: second-highest level in the clause.
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, bt)
+    }
+
+    /// Local (non-recursive) redundancy test: a literal is redundant if its
+    /// reason clause's other literals are all already in the learnt clause
+    /// (marked `seen`) or assigned at level 0.
+    fn is_redundant(&self, l: Lit) -> bool {
+        let r = self.reason[l.var().index()];
+        if r == REASON_NONE {
+            return false;
+        }
+        self.clauses[r as usize]
+            .lits
+            .iter()
+            .skip(1)
+            .all(|&q| self.level[q.var().index()] == 0 || self.seen[q.var().index()])
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.saved_phase[v] = l.is_positive();
+            self.assigns[v] = UNDEF;
+            self.reason[v] = REASON_NONE;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v] == UNDEF {
+                return Some(Var(v as u32).lit(self.saved_phase[v]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect learnt, non-reason clauses sorted by activity.
+        let mut cands: Vec<(f32, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(*i as ClauseRef)
+            })
+            .map(|(i, c)| (c.activity, i))
+            .collect();
+        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let to_delete = cands.len() / 2;
+        for &(_, i) in cands.iter().take(to_delete) {
+            self.clauses[i].deleted = true;
+            self.learnt_count -= 1;
+        }
+    }
+
+    fn is_reason(&self, cref: ClauseRef) -> bool {
+        let c = &self.clauses[cref as usize];
+        if let Some(&first) = c.lits.first() {
+            let v = first.var().index();
+            self.assigns[v] != UNDEF && self.reason[v] == cref
+        } else {
+            false
+        }
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumptions. On [`SolveResult::Sat`] the model
+    /// is available through [`value`](Solver::value) until the next
+    /// mutation. On return the solver is back at decision level 0, keeping
+    /// all learnt clauses (incremental use).
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        debug_assert!(self.trail_lim.is_empty());
+
+        let budget_end = self.budget.map(|b| self.conflicts_total + b);
+        let mut restart_idx = 0u32;
+        let mut conflicts_until_restart = luby(restart_idx) * 100;
+        let result;
+
+        'main: loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts_total += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        result = SolveResult::Unsat;
+                        break 'main;
+                    }
+                    // Conflict below/at the assumption prefix: under these
+                    // assumptions the formula is UNSAT.
+                    let (learnt, bt) = self.analyze(conflict);
+                    if (self.decision_level() as usize) <= assumptions.len() {
+                        // Learn the clause anyway if it is at root level.
+                        self.backtrack_to(0);
+                        if learnt.len() == 1 {
+                            if self.lit_value(learnt[0]) == UNDEF {
+                                self.unchecked_enqueue(learnt[0], REASON_NONE);
+                            } else if self.lit_value(learnt[0]) == FALSE {
+                                self.ok = false;
+                            }
+                        } else {
+                            let cref = self.attach_clause(learnt, true);
+                            self.bump_clause(cref);
+                        }
+                        result = SolveResult::Unsat;
+                        break 'main;
+                    }
+                    self.backtrack_to(bt);
+                    if learnt.len() == 1 {
+                        // Unit clauses are asserted at the root; any
+                        // assumptions above `bt` are re-applied by the main
+                        // loop as it rebuilds the decision prefix.
+                        debug_assert_eq!(bt, 0);
+                        if self.lit_value(learnt[0]) == UNDEF {
+                            self.unchecked_enqueue(learnt[0], REASON_NONE);
+                        } else if self.lit_value(learnt[0]) == FALSE {
+                            result = SolveResult::Unsat;
+                            break 'main;
+                        }
+                    } else {
+                        let cref = self.attach_clause(learnt.clone(), true);
+                        self.bump_clause(cref);
+                        if self.lit_value(learnt[0]) == UNDEF {
+                            self.unchecked_enqueue(learnt[0], cref);
+                        }
+                    }
+                    self.var_inc /= 0.95;
+                    self.cla_inc /= 0.999;
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                    if let Some(end) = budget_end {
+                        if self.conflicts_total >= end {
+                            result = SolveResult::Unknown;
+                            break 'main;
+                        }
+                    }
+                    if self.learnt_count as f64 > self.max_learnts {
+                        self.reduce_db();
+                        self.max_learnts *= 1.3;
+                    }
+                }
+                None => {
+                    if conflicts_until_restart == 0 && (self.decision_level() as usize) > assumptions.len() {
+                        restart_idx += 1;
+                        conflicts_until_restart = luby(restart_idx) * 100;
+                        self.backtrack_to(assumptions.len() as u32);
+                        continue;
+                    }
+                    // Apply pending assumptions as decisions.
+                    let dl = self.decision_level() as usize;
+                    if dl < assumptions.len() {
+                        let a = assumptions[dl];
+                        match self.lit_value(a) {
+                            TRUE => {
+                                // Already implied: introduce an empty decision
+                                // level to keep the prefix aligned.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            FALSE => {
+                                result = SolveResult::Unsat;
+                                break 'main;
+                            }
+                            _ => {
+                                self.trail_lim.push(self.trail.len());
+                                self.unchecked_enqueue(a, REASON_NONE);
+                            }
+                        }
+                        continue;
+                    }
+                    match self.pick_branch() {
+                        None => {
+                            result = SolveResult::Sat;
+                            break 'main;
+                        }
+                        Some(l) => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(l, REASON_NONE);
+                        }
+                    }
+                }
+            }
+        }
+
+        if result == SolveResult::Sat {
+            // Leave the model readable, then backtrack lazily on next use:
+            // we must backtrack now but keep assigns for value(). MiniSat
+            // copies the model; we do the same.
+            // (assigns are reset by backtrack, so snapshot first)
+            let model: Vec<i8> = self.assigns.clone();
+            self.backtrack_to(0);
+            self.assigns_model = model;
+            // Restore: `value` reads from assigns_model when set.
+        } else {
+            self.backtrack_to(0);
+            self.assigns_model.clear();
+        }
+        result
+    }
+}
+
+/// Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, ...
+fn luby(mut x: u32) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x as u64 + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x as u64 {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x = (x as u64 % size) as u32;
+    }
+    1u64 << seq
+}
+
+/// Indexed max-heap over variable activities.
+#[derive(Debug, Clone, Default)]
+struct IndexedHeap {
+    heap: Vec<usize>,      // heap of var indices
+    pos: Vec<i32>,         // var -> heap position or -1
+}
+
+impl IndexedHeap {
+    fn new() -> Self {
+        IndexedHeap::default()
+    }
+
+    fn ensure(&mut self, v: usize) {
+        if v >= self.pos.len() {
+            self.pos.resize(v + 1, -1);
+        }
+    }
+
+    fn insert(&mut self, v: usize, act: &[f64]) {
+        self.ensure(v);
+        if self.pos[v] >= 0 {
+            return;
+        }
+        self.pos[v] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: usize, act: &[f64]) {
+        self.ensure(v);
+        if self.pos[v] >= 0 {
+            self.sift_up(self.pos[v] as usize, act);
+        }
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top] = -1;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i]] > act[self.heap[parent]] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l]] > act[self.heap[best]] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r]] > act[self.heap[best]] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i]] = i as i32;
+        self.pos[self.heap[j]] = j as i32;
+    }
+}

@@ -1,0 +1,254 @@
+use netlist::{Circuit, Error, GateKind, Levelization, NetId};
+
+/// A compiled, levelized simulator for the combinational part of a circuit.
+///
+/// Construction flattens the netlist into a linear instruction stream in
+/// topological order; evaluation then runs 64 patterns at a time, one bit per
+/// lane of a `u64` word.
+///
+/// Inputs and outputs follow the circuit's *combinational* interface:
+/// [`Circuit::comb_inputs`] order in, [`Circuit::comb_outputs`] order out.
+#[derive(Debug, Clone)]
+pub struct CombSim {
+    num_nets: usize,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    instrs: Vec<Instr>,
+    /// Flattened fanin id pool referenced by the instructions.
+    fanin_pool: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    kind: GateKind,
+    out: u32,
+    fanin_start: u32,
+    fanin_len: u16,
+}
+
+impl CombSim {
+    /// Compiles a simulator for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CombinationalCycle`] if the circuit is cyclic.
+    pub fn new(circuit: &Circuit) -> Result<Self, Error> {
+        let lv = Levelization::build(circuit)?;
+        let mut instrs = Vec::with_capacity(circuit.num_gates());
+        let mut fanin_pool = Vec::new();
+        for &id in lv.order() {
+            if let Some(g) = circuit.gate(id) {
+                let start = fanin_pool.len() as u32;
+                fanin_pool.extend(g.fanin.iter().map(|f| f.index() as u32));
+                instrs.push(Instr {
+                    kind: g.kind,
+                    out: id.index() as u32,
+                    fanin_start: start,
+                    fanin_len: g.fanin.len() as u16,
+                });
+            }
+        }
+        Ok(CombSim {
+            num_nets: circuit.num_nets(),
+            inputs: circuit.comb_inputs(),
+            outputs: circuit.comb_outputs(),
+            instrs,
+            fanin_pool,
+        })
+    }
+
+    /// The combinational inputs this simulator expects, in order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The combinational outputs this simulator produces, in order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of nets in the compiled circuit.
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    #[inline]
+    fn exec(&self, values: &mut [u64]) {
+        for ins in &self.instrs {
+            let f = &self.fanin_pool
+                [ins.fanin_start as usize..ins.fanin_start as usize + ins.fanin_len as usize];
+            let v = match ins.kind {
+                GateKind::And => f.iter().fold(!0u64, |a, &x| a & values[x as usize]),
+                GateKind::Nand => !f.iter().fold(!0u64, |a, &x| a & values[x as usize]),
+                GateKind::Or => f.iter().fold(0u64, |a, &x| a | values[x as usize]),
+                GateKind::Nor => !f.iter().fold(0u64, |a, &x| a | values[x as usize]),
+                GateKind::Xor => f.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
+                GateKind::Xnor => !f.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
+                GateKind::Not => !values[f[0] as usize],
+                GateKind::Buf => values[f[0] as usize],
+                GateKind::Const0 => 0,
+                GateKind::Const1 => !0,
+            };
+            values[ins.out as usize] = v;
+        }
+    }
+
+    /// Evaluates 64 patterns in parallel: `input_words[i]` carries one bit
+    /// per pattern for the i-th combinational input. Returns one word per
+    /// combinational output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn eval_words(&self, input_words: &[u64]) -> Vec<u64> {
+        let mut values = vec![0u64; self.num_nets];
+        self.eval_words_into(input_words, &mut values);
+        self.outputs
+            .iter()
+            .map(|o| values[o.index()])
+            .collect()
+    }
+
+    /// Like [`eval_words`](CombSim::eval_words) but exposes the value of
+    /// *every* net through the caller-provided buffer (used by fault
+    /// analysis and the locking heuristics). The buffer is resized as
+    /// needed; index it by [`NetId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn eval_words_into(&self, input_words: &[u64], values: &mut Vec<u64>) {
+        assert_eq!(
+            input_words.len(),
+            self.inputs.len(),
+            "expected {} input words, got {}",
+            self.inputs.len(),
+            input_words.len()
+        );
+        values.clear();
+        values.resize(self.num_nets, 0);
+        for (net, &w) in self.inputs.iter().zip(input_words) {
+            values[net.index()] = w;
+        }
+        self.exec(values);
+    }
+
+    /// Evaluates a single pattern of booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the number of inputs.
+    pub fn eval_bools(&self, input: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = input.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        self.eval_words(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::rng::SplitMix64;
+    use netlist::{samples, Circuit};
+
+    fn brute_force_output(c: &Circuit, input: &[bool]) -> Vec<bool> {
+        // Recursive reference evaluation.
+        fn eval(c: &Circuit, id: NetId, env: &std::collections::HashMap<NetId, bool>) -> bool {
+            if let Some(&v) = env.get(&id) {
+                return v;
+            }
+            let g = c.gate(id).expect("non-input must have driver");
+            let vals: Vec<bool> = g.fanin.iter().map(|&f| eval(c, f, env)).collect();
+            g.kind.eval(vals)
+        }
+        let env: std::collections::HashMap<NetId, bool> = c
+            .comb_inputs()
+            .iter()
+            .copied()
+            .zip(input.iter().copied())
+            .collect();
+        c.comb_outputs().iter().map(|&o| eval(c, o, &env)).collect()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let c = samples::full_adder();
+        let sim = CombSim::new(&c).unwrap();
+        for bits in 0..8u32 {
+            let input = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let out = sim.eval_bools(&input);
+            let total = input.iter().filter(|&&b| b).count();
+            assert_eq!(out[0], total % 2 == 1, "sum for {input:?}");
+            assert_eq!(out[1], total >= 2, "carry for {input:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_circuit() {
+        let c = netlist::generate::random_comb(11, 10, 6, 120).unwrap();
+        let sim = CombSim::new(&c).unwrap();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..50 {
+            let input: Vec<bool> = (0..10).map(|_| rng.bool()).collect();
+            assert_eq!(sim.eval_bools(&input), brute_force_output(&c, &input));
+        }
+    }
+
+    #[test]
+    fn word_lanes_are_independent() {
+        let c = samples::c17();
+        let sim = CombSim::new(&c).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let words: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        let out_words = sim.eval_words(&words);
+        for lane in 0..64 {
+            let input: Vec<bool> = words.iter().map(|w| (w >> lane) & 1 == 1).collect();
+            let expect = sim.eval_bools(&input);
+            for (o, &w) in out_words.iter().enumerate() {
+                assert_eq!((w >> lane) & 1 == 1, expect[o], "lane {lane} output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn counter_comb_part() {
+        let c = samples::counter(3);
+        let sim = CombSim::new(&c).unwrap();
+        // inputs: en, q0, q1, q2 -> outputs: po q0,q1,q2 then d0,d1,d2
+        let out = sim.eval_bools(&[true, true, true, false]);
+        // q=011 + 1 = 100 -> d = [false, false, true]
+        assert_eq!(&out[3..], &[false, false, true]);
+    }
+
+    #[test]
+    fn exposes_internal_nets() {
+        let c = samples::majority3();
+        let sim = CombSim::new(&c).unwrap();
+        let mut values = Vec::new();
+        sim.eval_words_into(&[!0u64, !0u64, 0u64], &mut values);
+        let n1 = c.find("n1").unwrap(); // NAND(a,b) with a=b=1 -> 0
+        assert_eq!(values[n1.index()], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input words")]
+    fn wrong_input_count_panics() {
+        let c = samples::c17();
+        let sim = CombSim::new(&c).unwrap();
+        let _ = sim.eval_words(&[0, 0]);
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut c = Circuit::new("k");
+        let a = c.add_input("a");
+        let one = c.add_gate(netlist::GateKind::Const1, vec![], "one").unwrap();
+        let y = c.add_gate(netlist::GateKind::And, vec![a, one], "y").unwrap();
+        c.mark_output(y);
+        let sim = CombSim::new(&c).unwrap();
+        assert_eq!(sim.eval_bools(&[true]), vec![true]);
+        assert_eq!(sim.eval_bools(&[false]), vec![false]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Randomized combinational equivalence checking.
+//!
+//! Used throughout the workspace to validate that synthesis passes and
+//! locking transforms preserve function: two circuits with the same
+//! combinational interface are simulated on the same pseudorandom patterns
+//! and the first mismatching pattern, if any, is reported.
+
+use netlist::rng::SplitMix64;
+use netlist::{Circuit, Error};
+
+use crate::CombSim;
+
+/// A counterexample found by [`check_random`]: the inputs (in comb-input
+/// order) plus the differing output index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Input assignment that distinguishes the circuits.
+    pub inputs: Vec<bool>,
+    /// Index (in comb-output order) of the first differing output.
+    pub output_index: usize,
+}
+
+/// Simulates `a` and `b` on `patterns` pseudorandom input patterns (rounded
+/// up to a multiple of 64) and reports the first mismatch, or `None` when all
+/// patterns agree.
+///
+/// Inputs are matched positionally over the combinational interface, so the
+/// circuits must have the same number of combinational inputs and outputs.
+///
+/// # Errors
+///
+/// Returns a netlist error if either circuit is cyclic.
+///
+/// # Panics
+///
+/// Panics if the interfaces disagree in width.
+pub fn check_random(
+    a: &Circuit,
+    b: &Circuit,
+    patterns: usize,
+    seed: u64,
+) -> Result<Option<Counterexample>, Error> {
+    let sa = CombSim::new(a)?;
+    let sb = CombSim::new(b)?;
+    assert_eq!(
+        sa.inputs().len(),
+        sb.inputs().len(),
+        "input interface mismatch"
+    );
+    assert_eq!(
+        sa.outputs().len(),
+        sb.outputs().len(),
+        "output interface mismatch"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let words = patterns.div_ceil(64).max(1);
+    let mut input = vec![0u64; sa.inputs().len()];
+    for _ in 0..words {
+        for w in input.iter_mut() {
+            *w = rng.next_u64();
+        }
+        let oa = sa.eval_words(&input);
+        let ob = sb.eval_words(&input);
+        for (oi, (wa, wb)) in oa.iter().zip(&ob).enumerate() {
+            let diff = wa ^ wb;
+            if diff != 0 {
+                let lane = diff.trailing_zeros();
+                let inputs = input.iter().map(|w| (w >> lane) & 1 == 1).collect();
+                return Ok(Some(Counterexample {
+                    inputs,
+                    output_index: oi,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Exhaustively compares two circuits over all input assignments.
+///
+/// Only feasible for small input counts; intended for tests.
+///
+/// # Errors
+///
+/// Returns a netlist error if either circuit is cyclic.
+///
+/// # Panics
+///
+/// Panics if the interfaces disagree or if there are more than 24
+/// combinational inputs (2^24 patterns is the sanity cap).
+pub fn check_exhaustive(a: &Circuit, b: &Circuit) -> Result<Option<Counterexample>, Error> {
+    let sa = CombSim::new(a)?;
+    let sb = CombSim::new(b)?;
+    let n = sa.inputs().len();
+    assert_eq!(n, sb.inputs().len(), "input interface mismatch");
+    assert_eq!(
+        sa.outputs().len(),
+        sb.outputs().len(),
+        "output interface mismatch"
+    );
+    assert!(n <= 24, "exhaustive check capped at 24 inputs, got {n}");
+    let total = 1u64 << n;
+    let mut input = vec![0u64; n];
+    let mut base = 0u64;
+    while base < total {
+        let lanes = (total - base).min(64) as u32;
+        for (i, w) in input.iter_mut().enumerate() {
+            let mut word = 0u64;
+            for lane in 0..lanes {
+                let pattern = base + lane as u64;
+                if (pattern >> i) & 1 == 1 {
+                    word |= 1u64 << lane;
+                }
+            }
+            *w = word;
+        }
+        let oa = sa.eval_words(&input);
+        let ob = sb.eval_words(&input);
+        for (oi, (wa, wb)) in oa.iter().zip(&ob).enumerate() {
+            let mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+            let diff = (wa ^ wb) & mask;
+            if diff != 0 {
+                let lane = diff.trailing_zeros() as u64;
+                let pattern = base + lane;
+                let inputs = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+                return Ok(Some(Counterexample {
+                    inputs,
+                    output_index: oi,
+                }));
+            }
+        }
+        base += 64;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{samples, GateKind};
+
+    #[test]
+    fn identical_circuits_equivalent() {
+        let c = samples::c17();
+        assert_eq!(check_random(&c, &c, 256, 1).unwrap(), None);
+        assert_eq!(check_exhaustive(&c, &c).unwrap(), None);
+    }
+
+    #[test]
+    fn nand_vs_and_not_equivalent_forms() {
+        // y = NAND(a,b) versus y = NOT(AND(a,b))
+        let mut a = netlist::Circuit::new("a");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let g = a.add_gate(GateKind::Nand, vec![x, y], "g").unwrap();
+        a.mark_output(g);
+
+        let mut b = netlist::Circuit::new("b");
+        let x2 = b.add_input("x");
+        let y2 = b.add_input("y");
+        let t = b.add_gate(GateKind::And, vec![x2, y2], "t").unwrap();
+        let g2 = b.add_gate(GateKind::Not, vec![t], "g").unwrap();
+        b.mark_output(g2);
+
+        assert_eq!(check_exhaustive(&a, &b).unwrap(), None);
+    }
+
+    #[test]
+    fn detects_difference() {
+        let mut a = netlist::Circuit::new("a");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let g = a.add_gate(GateKind::And, vec![x, y], "g").unwrap();
+        a.mark_output(g);
+
+        let mut b = netlist::Circuit::new("b");
+        let x2 = b.add_input("x");
+        let y2 = b.add_input("y");
+        let g2 = b.add_gate(GateKind::Or, vec![x2, y2], "g").unwrap();
+        b.mark_output(g2);
+
+        let cex = check_exhaustive(&a, &b).unwrap().expect("AND != OR");
+        // AND and OR differ exactly when inputs differ.
+        assert_ne!(cex.inputs[0], cex.inputs[1]);
+        assert!(check_random(&a, &b, 256, 3).unwrap().is_some());
+    }
+
+    #[test]
+    fn counterexample_is_genuine() {
+        let mut a = netlist::Circuit::new("a");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let z = a.add_input("z");
+        let g = a.add_gate(GateKind::And, vec![x, y, z], "g").unwrap();
+        a.mark_output(g);
+
+        let mut b = netlist::Circuit::new("b");
+        let x2 = b.add_input("x");
+        let y2 = b.add_input("y");
+        let z2 = b.add_input("z");
+        let t = b.add_gate(GateKind::And, vec![x2, y2], "t").unwrap();
+        let g2 = b.add_gate(GateKind::Or, vec![t, z2], "g").unwrap();
+        b.mark_output(g2);
+
+        let cex = check_random(&a, &b, 512, 11).unwrap().expect("different");
+        let sa = crate::CombSim::new(&a).unwrap();
+        let sb = crate::CombSim::new(&b).unwrap();
+        let oa = sa.eval_bools(&cex.inputs);
+        let ob = sb.eval_bools(&cex.inputs);
+        assert_ne!(oa[cex.output_index], ob[cex.output_index]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Logic simulation for the OraP reproduction.
+//!
+//! Provides the simulation machinery every experiment in the paper needs:
+//!
+//! - [`CombSim`]: levelized, 64-way bit-parallel simulation of a circuit's
+//!   combinational part (the workhorse for Hamming-distance measurement and
+//!   the oracle implementations used by the attacks).
+//! - [`SeqSim`]: cycle-accurate sequential simulation over the flip-flop
+//!   boundary.
+//! - [`scan`]: a scan-chain model with `scan_enable` semantics (scan-in /
+//!   capture / scan-out), the access mechanism all oracle-based attacks rely
+//!   on and the one OraP guards.
+//! - [`hd`]: output-corruption (Hamming distance) measurement as used for
+//!   Table I of the paper.
+//! - [`equiv`]: randomized equivalence checking between two circuits, used to
+//!   validate synthesis passes and locking correctness.
+//!
+//! # Example
+//!
+//! ```
+//! use gatesim::CombSim;
+//! use netlist::samples;
+//!
+//! let adder = samples::full_adder();
+//! let sim = CombSim::new(&adder).expect("acyclic");
+//! // 1 + 1 + carry 0 = sum 0, carry 1
+//! let out = sim.eval_bools(&[true, true, false]);
+//! assert_eq!(out, vec![false, true]);
+//! ```
+
+pub mod equiv;
+pub mod hd;
+pub mod scan;
+
+mod comb;
+mod seq;
+
+pub use comb::CombSim;
+pub use seq::SeqSim;

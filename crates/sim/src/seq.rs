@@ -1,0 +1,146 @@
+use netlist::{Circuit, Error};
+
+use crate::CombSim;
+
+/// Cycle-accurate sequential simulator.
+///
+/// Holds the flip-flop state between clock edges. Each [`step`](SeqSim::step)
+/// applies primary inputs, evaluates the combinational part, returns the
+/// primary outputs and latches the next state.
+#[derive(Debug, Clone)]
+pub struct SeqSim {
+    comb: CombSim,
+    num_pis: usize,
+    num_pos: usize,
+    state: Vec<bool>,
+}
+
+impl SeqSim {
+    /// Builds a sequential simulator for `circuit`.
+    ///
+    /// The initial state is all-zero (as after a global reset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CombinationalCycle`] if the combinational part is
+    /// cyclic.
+    pub fn new(circuit: &Circuit) -> Result<Self, Error> {
+        Ok(SeqSim {
+            comb: CombSim::new(circuit)?,
+            num_pis: circuit.primary_inputs().len(),
+            num_pos: circuit.primary_outputs().len(),
+            state: vec![false; circuit.dffs().len()],
+        })
+    }
+
+    /// The current flip-flop state, in [`Circuit::dffs`] order.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overwrites the flip-flop state (e.g. after a scan load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the number of flip-flops.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Resets all flip-flops to zero.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Evaluates the combinational part for the current state and the given
+    /// primary inputs *without* latching: returns `(primary_outputs,
+    /// next_state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pis.len()` differs from the number of primary inputs.
+    pub fn peek(&self, pis: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        assert_eq!(pis.len(), self.num_pis, "primary input width mismatch");
+        let mut input = Vec::with_capacity(self.num_pis + self.state.len());
+        input.extend_from_slice(pis);
+        input.extend_from_slice(&self.state);
+        let out = self.comb.eval_bools(&input);
+        let pos = out[..self.num_pos].to_vec();
+        let next = out[self.num_pos..].to_vec();
+        (pos, next)
+    }
+
+    /// Applies one clock cycle: evaluates outputs and latches the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pis.len()` differs from the number of primary inputs.
+    pub fn step(&mut self, pis: &[bool]) -> Vec<bool> {
+        let (pos, next) = self.peek(pis);
+        self.state = next;
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn counter_counts() {
+        let c = samples::counter(4);
+        let mut sim = SeqSim::new(&c).unwrap();
+        for expected in 1..=10u32 {
+            sim.step(&[true]);
+            let value = sim
+                .state()
+                .iter()
+                .enumerate()
+                .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i));
+            assert_eq!(value, expected % 16);
+        }
+    }
+
+    #[test]
+    fn counter_holds_when_disabled() {
+        let c = samples::counter(4);
+        let mut sim = SeqSim::new(&c).unwrap();
+        sim.step(&[true]);
+        sim.step(&[true]);
+        let before = sim.state().to_vec();
+        sim.step(&[false]);
+        assert_eq!(sim.state(), &before[..]);
+    }
+
+    #[test]
+    fn outputs_reflect_pre_clock_state() {
+        let c = samples::counter(2);
+        let mut sim = SeqSim::new(&c).unwrap();
+        // Outputs are the q bits themselves: first step sees the reset state.
+        let out = sim.step(&[true]);
+        assert_eq!(out, vec![false, false]);
+        let out = sim.step(&[true]);
+        assert_eq!(out, vec![true, false]);
+    }
+
+    #[test]
+    fn set_state_and_reset() {
+        let c = samples::counter(3);
+        let mut sim = SeqSim::new(&c).unwrap();
+        sim.set_state(&[true, false, true]);
+        assert_eq!(sim.state(), &[true, false, true]);
+        sim.reset();
+        assert_eq!(sim.state(), &[false, false, false]);
+    }
+
+    #[test]
+    fn peek_does_not_latch() {
+        let c = samples::counter(3);
+        let sim0 = SeqSim::new(&c).unwrap();
+        let (_, next) = sim0.peek(&[true]);
+        assert_eq!(next, vec![true, false, false]);
+        assert_eq!(sim0.state(), &[false, false, false]);
+    }
+}

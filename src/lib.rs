@@ -1,0 +1,14 @@
+//! Meta-crate re-exporting the whole OraP reproduction workspace.
+//!
+//! See the individual crates for documentation:
+//! [`orap`] (the paper's contribution), [`netlist`], [`gatesim`], [`lfsr`],
+//! [`cdcl`], [`aigsynth`], [`atpg`], [`locking`] and [`attacks`].
+pub use aigsynth;
+pub use atpg;
+pub use attacks;
+pub use cdcl;
+pub use gatesim;
+pub use lfsr;
+pub use locking;
+pub use netlist;
+pub use orap;

@@ -1,0 +1,192 @@
+//! Focused integration tests of the protected-chip model: scan-chain edge
+//! cases, repeated unlock sessions, variant interplay, and oracle adapters.
+
+use attacks::Oracle;
+use locking::weighted::WllConfig;
+use orap::chip::{ChainCell, OracleMode, ProtectedChip, ProtectedChipOracle};
+use orap::threat::{arm, ThreatScenario};
+use orap::{protect, OrapConfig, OrapVariant, UnlockStimulus};
+
+fn wll(bits: usize) -> WllConfig {
+    WllConfig {
+        key_bits: bits,
+        control_width: 3,
+        seed: 77,
+    }
+}
+
+fn build(variant: OrapVariant, chains: usize) -> (netlist::Circuit, orap::OrapProtected) {
+    let design = netlist::samples::counter(12);
+    let p = protect(
+        &design,
+        &wll(9),
+        &OrapConfig {
+            variant,
+            scan_chains: chains,
+            ..OrapConfig::default()
+        },
+    )
+    .expect("protect");
+    (design, p)
+}
+
+#[test]
+fn single_chain_chip_works() {
+    let (_, p) = build(OrapVariant::Basic, 1);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    assert_eq!(chip.num_scan_chains(), 1);
+    chip.power_on_and_unlock();
+    assert!(chip.key_register_holds_correct_key());
+    chip.set_scan_enable(true);
+    chip.clock(&[false], &[false]);
+    assert!(!chip.key_register_holds_correct_key());
+}
+
+#[test]
+fn many_chains_chip_works() {
+    let (_, p) = build(OrapVariant::Basic, 8);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    assert_eq!(chip.num_scan_chains(), 8);
+    chip.power_on_and_unlock();
+    assert!(chip.key_register_holds_correct_key());
+}
+
+#[test]
+fn chains_cover_all_cells_exactly_once() {
+    for chains in [1usize, 2, 3, 4, 7] {
+        let (_, p) = build(OrapVariant::Basic, chains);
+        let chip = ProtectedChip::new(&p).expect("chip");
+        let mut keys = vec![0u32; p.key_bits()];
+        let mut states = vec![0u32; 12];
+        for chain in chip.chains() {
+            for cell in chain {
+                match cell {
+                    ChainCell::Key(i) => keys[*i] += 1,
+                    ChainCell::State(i) => states[*i] += 1,
+                }
+            }
+        }
+        assert!(keys.iter().all(|&c| c == 1), "{chains} chains: {keys:?}");
+        assert!(states.iter().all(|&c| c == 1), "{chains} chains: {states:?}");
+    }
+}
+
+#[test]
+fn unlock_is_repeatable() {
+    let (_, p) = build(OrapVariant::Basic, 4);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    for round in 0..3 {
+        chip.power_on_and_unlock();
+        assert!(
+            chip.key_register_holds_correct_key(),
+            "unlock round {round}"
+        );
+        // Scan kills the key; re-unlocking must restore it.
+        chip.set_scan_enable(true);
+        chip.clock(&[false], &vec![false; chip.num_scan_chains()]);
+        chip.set_scan_enable(false);
+        assert!(!chip.key_register_holds_correct_key());
+    }
+}
+
+#[test]
+fn modified_variant_unlock_repeatable() {
+    let (_, p) = build(OrapVariant::Modified, 4);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    for _ in 0..2 {
+        chip.power_on_and_unlock();
+        assert!(chip.key_register_holds_correct_key());
+        chip.set_scan_enable(true);
+        chip.clock(&[false], &vec![false; chip.num_scan_chains()]);
+        chip.set_scan_enable(false);
+    }
+}
+
+#[test]
+fn all_zero_stimulus_variant_also_constructs() {
+    let design = netlist::generate::random_comb(1, 6, 4, 120).expect("generate");
+    // Combinational design with Basic scheme and AllZero stimulus.
+    let p = protect(
+        &design,
+        &wll(6),
+        &OrapConfig {
+            unlock_stimulus: UnlockStimulus::AllZero,
+            ..OrapConfig::default()
+        },
+    )
+    .expect("protect");
+    assert_eq!(p.unlock_stimulus, UnlockStimulus::AllZero);
+}
+
+#[test]
+fn oracle_interface_dimensions() {
+    let (design, p) = build(OrapVariant::Basic, 4);
+    let chip = ProtectedChip::new(&p).expect("chip");
+    let oracle = ProtectedChipOracle::new(chip, OracleMode::Strict);
+    assert_eq!(
+        oracle.num_inputs(),
+        design.primary_inputs().len() + design.dffs().len()
+    );
+    assert_eq!(
+        oracle.num_outputs(),
+        design.primary_outputs().len() + design.dffs().len()
+    );
+}
+
+#[test]
+fn shadow_trojan_keeps_functional_behaviour() {
+    // The threat model demands the trojaned chip still work normally for
+    // the legitimate owner (it must pass activation tests).
+    let (design, p) = build(OrapVariant::Basic, 4);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    arm(&mut chip, ThreatScenario::ShadowRegister);
+    chip.power_on_and_unlock();
+    chip.set_state_ffs(&vec![false; 12]);
+    let mut reference = gatesim::SeqSim::new(&design).expect("sim");
+    for _ in 0..10 {
+        let out = chip.clock(&[true], &vec![false; chip.num_scan_chains()]);
+        assert_eq!(out.outputs, reference.step(&[true]));
+    }
+}
+
+#[test]
+fn suppression_trojan_keeps_functional_behaviour() {
+    let (design, p) = build(OrapVariant::Basic, 4);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    arm(&mut chip, ThreatScenario::SuppressPerCellReset);
+    chip.power_on_and_unlock();
+    chip.set_state_ffs(&vec![false; 12]);
+    let mut reference = gatesim::SeqSim::new(&design).expect("sim");
+    for _ in 0..10 {
+        let out = chip.clock(&[true], &vec![false; chip.num_scan_chains()]);
+        assert_eq!(out.outputs, reference.step(&[true]));
+    }
+}
+
+#[test]
+fn partial_reset_suppression_still_destroys_the_key() {
+    // Suppressing only SOME pulse generators (a cheaper Trojan) is useless:
+    // the unsuppressed cells clear and the scanned-out key is wrong.
+    let (_, p) = build(OrapVariant::Basic, 4);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    // Suppress the first half of the cells only.
+    for i in 0..p.key_bits() / 2 {
+        chip.trojan_suppress_cell(i);
+    }
+    let key = orap::threat::extract_key_via_scan(&mut chip);
+    assert_ne!(key, p.locked.correct_key, "half a Trojan gains nothing");
+}
+
+#[test]
+fn naive_oracle_responses_match_locked_simulation() {
+    let (_, p) = build(OrapVariant::Basic, 4);
+    let chip = ProtectedChip::new(&p).expect("chip");
+    let mut oracle = ProtectedChipOracle::new(chip, OracleMode::Naive);
+    // Query twice with the same input: the chip is deterministic, so the
+    // (locked) responses must agree.
+    let n = oracle.num_inputs();
+    let input = vec![true; n];
+    let a = oracle.query(&input).expect("naive answers");
+    let b = oracle.query(&input).expect("naive answers");
+    assert_eq!(a, b, "scan queries must be repeatable");
+}

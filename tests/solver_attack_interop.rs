@@ -1,0 +1,162 @@
+//! Cross-checks between the SAT solver, the CNF encoder and the simulators:
+//! the encoded circuit and the bit-parallel simulator must agree under every
+//! mixed usage pattern the attacks rely on.
+
+use attacks::cnf::{add_io_constraint, bind_fresh, encode};
+use cdcl::{SolveResult, Solver};
+use gatesim::CombSim;
+use netlist::rng::SplitMix64;
+
+/// The miter of a circuit against itself must be UNSAT (no input
+/// distinguishes a circuit from itself).
+#[test]
+fn self_miter_is_unsat() {
+    let c = netlist::generate::random_comb(51, 8, 5, 120).expect("generate");
+    let mut solver = Solver::new();
+    let (bind, _) = bind_fresh(&mut solver, &c.comb_inputs());
+    let lits1 = encode(&mut solver, &c, &bind);
+    let lits2 = encode(&mut solver, &c, &bind);
+    let diffs: Vec<cdcl::Lit> = c
+        .comb_outputs()
+        .iter()
+        .map(|o| attacks::cnf::encode_xor(&mut solver, lits1[o.index()], lits2[o.index()]))
+        .collect();
+    solver.add_clause(&diffs);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+}
+
+/// A miter between a circuit and a mutated copy must be SAT, and the model
+/// must be a genuine distinguishing input per simulation.
+#[test]
+fn mutation_miter_finds_real_counterexample() {
+    let a = netlist::generate::random_comb(52, 8, 5, 120).expect("generate");
+    // Mutate: flip one gate kind.
+    let mut b = a.clone();
+    let victim = b
+        .net_ids()
+        .find(|&id| {
+            b.gate(id)
+                .map(|g| g.kind == netlist::GateKind::And)
+                .unwrap_or(false)
+        })
+        .expect("an AND gate exists");
+    let fanin = b.gate(victim).expect("gate").fanin.clone();
+    b.set_driver(
+        victim,
+        netlist::Gate::new(netlist::GateKind::Or, fanin).expect("arity"),
+    )
+    .expect("set driver");
+
+    let mut solver = Solver::new();
+    let (bind, vars) = bind_fresh(&mut solver, &a.comb_inputs());
+    let la = encode(&mut solver, &a, &bind);
+    let lb = encode(&mut solver, &b, &bind);
+    let diffs: Vec<cdcl::Lit> = a
+        .comb_outputs()
+        .iter()
+        .map(|o| attacks::cnf::encode_xor(&mut solver, la[o.index()], lb[o.index()]))
+        .collect();
+    solver.add_clause(&diffs);
+    assert_eq!(solver.solve(), SolveResult::Sat);
+    let input: Vec<bool> = vars
+        .iter()
+        .map(|&v| solver.value(v).unwrap_or(false))
+        .collect();
+    let sa = CombSim::new(&a).expect("sim");
+    let sb = CombSim::new(&b).expect("sim");
+    assert_ne!(
+        sa.eval_bools(&input),
+        sb.eval_bools(&input),
+        "solver model must be a genuine counterexample"
+    );
+}
+
+/// Accumulating I/O constraints narrows the key space down to functionally
+/// correct keys: after constraining with the full truth table, every model
+/// unlocks the circuit.
+#[test]
+fn full_truth_table_constraints_force_correct_keys() {
+    let original = netlist::samples::ripple_adder(3); // 6 inputs
+    let locked = locking::weighted::lock(
+        &original,
+        &locking::weighted::WllConfig {
+            key_bits: 6,
+            control_width: 3,
+            seed: 3,
+        },
+    )
+    .expect("lock");
+    let data: Vec<netlist::NetId> = locked
+        .circuit
+        .comb_inputs()
+        .into_iter()
+        .filter(|n| !locked.key_inputs.contains(n))
+        .collect();
+    let orig_sim = CombSim::new(&original).expect("sim");
+    let mut solver = Solver::new();
+    let (kbind, kvars) = bind_fresh(&mut solver, &locked.key_inputs);
+    for m in 0..64u32 {
+        let x: Vec<bool> = (0..6).map(|k| (m >> k) & 1 == 1).collect();
+        let y = orig_sim.eval_bools(&x);
+        add_io_constraint(
+            &mut solver,
+            &locked.circuit,
+            &data,
+            &kbind,
+            &x,
+            &y,
+            &locked.circuit.comb_outputs(),
+        );
+    }
+    // Enumerate a few models; each must be a working key.
+    let mut found = 0;
+    while solver.solve() == SolveResult::Sat && found < 4 {
+        let key: Vec<bool> = kvars
+            .iter()
+            .map(|&v| solver.value(v).unwrap_or(false))
+            .collect();
+        assert!(
+            attacks::key_is_functionally_correct(&locked, &key, 4096).expect("simulable"),
+            "model key {key:?} must unlock"
+        );
+        found += 1;
+        // Block this key to find another.
+        let block: Vec<cdcl::Lit> = kvars
+            .iter()
+            .zip(&key)
+            .map(|(&v, &b)| v.lit(!b))
+            .collect();
+        if !solver.add_clause(&block) {
+            break;
+        }
+    }
+    assert!(found >= 1, "at least the correct key must satisfy");
+}
+
+/// Incremental solving across many small queries stays consistent with
+/// from-scratch solving (the usage pattern of the sensitization attack).
+#[test]
+fn incremental_assumption_queries_are_consistent() {
+    let c = netlist::generate::random_comb(53, 8, 4, 100).expect("generate");
+    let mut solver = Solver::new();
+    let (bind, vars) = bind_fresh(&mut solver, &c.comb_inputs());
+    let lits = encode(&mut solver, &c, &bind);
+    let out0 = lits[c.comb_outputs()[0].index()];
+    let sim = CombSim::new(&c).expect("sim");
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..24 {
+        let input: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
+        let expect = sim.eval_bools(&input)[0];
+        let mut assumptions: Vec<cdcl::Lit> = vars
+            .iter()
+            .zip(&input)
+            .map(|(&v, &b)| v.lit(b))
+            .collect();
+        // Asking for the observed value must be SAT…
+        assumptions.push(if expect { out0 } else { !out0 });
+        assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+        // …and for the complement UNSAT.
+        *assumptions.last_mut().expect("non-empty") = if expect { !out0 } else { out0 };
+        assert_eq!(solver.solve_with(&assumptions), SolveResult::Unsat);
+    }
+}
