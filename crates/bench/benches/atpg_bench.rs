@@ -2,36 +2,31 @@
 //! engine).
 
 use atpg::{fsim::FaultSim, run_atpg, AtpgConfig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orap_bench::timing::Harness;
 
-fn bench_fault_sim(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("atpg");
+
     let circuit = netlist::generate::random_comb(11, 16, 10, 1000).expect("generate");
     let faults = atpg::collapse(&circuit, atpg::enumerate_faults(&circuit));
     let mut sim = FaultSim::new(&circuit).expect("acyclic");
     let mut rng = netlist::rng::SplitMix64::new(2);
     let words: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
-    let mut group = c.benchmark_group("fault_simulation");
-    group.throughput(Throughput::Elements(faults.len() as u64));
-    group.bench_function("event_driven_batch_1k_gates", |b| {
-        b.iter(|| sim.detect_batch(std::hint::black_box(&words), &faults));
-    });
-    group.finish();
-}
+    h.bench_throughput(
+        "fault_simulation/event_driven_batch_1k_gates",
+        faults.len() as u64,
+        || sim.detect_batch(std::hint::black_box(&words), &faults),
+    );
 
-fn bench_full_atpg(c: &mut Criterion) {
     let circuit = netlist::generate::random_comb(13, 12, 8, 400).expect("generate");
     let cfg = AtpgConfig {
         random_patterns: 512,
         backtrack_limit: 200,
         seed: 1,
     };
-    let mut group = c.benchmark_group("atpg");
-    group.sample_size(10);
-    group.bench_function("full_flow_400_gates", |b| {
-        b.iter(|| run_atpg(&circuit, &cfg).expect("acyclic"));
+    h.bench("full_flow_400_gates", || {
+        run_atpg(&circuit, &cfg).expect("acyclic")
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_fault_sim, bench_full_atpg);
-criterion_main!(benches);
+    h.finish().expect("write results");
+}

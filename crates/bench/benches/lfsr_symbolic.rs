@@ -1,8 +1,8 @@
 //! Microbenchmark: GF(2) symbolic LFSR analysis (threat-(d) machinery and
 //! the key-sequence solver).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lfsr::{KeySequence, LfsrConfig, UnlockSchedule};
+use orap_bench::timing::Harness;
 
 fn schedule(width: usize, seeds: usize, gap: usize) -> UnlockSchedule {
     let cfg = LfsrConfig::with_tap_spacing(width, 8);
@@ -19,24 +19,21 @@ fn schedule(width: usize, seeds: usize, gap: usize) -> UnlockSchedule {
     UnlockSchedule::new(cfg, KeySequence::new(ss, vec![gap; seeds]))
 }
 
-fn bench_symbolic(c: &mut Criterion) {
-    let sched = schedule(128, 8, 4);
-    c.bench_function("symbolic_state_128bit_8seeds", |b| {
-        b.iter(|| lfsr::symbolic::SymbolicState::of_schedule(std::hint::black_box(&sched)));
-    });
-}
+fn main() {
+    let mut h = Harness::new("lfsr_symbolic");
 
-fn bench_solve(c: &mut Criterion) {
+    let sched = schedule(128, 8, 4);
+    h.bench("symbolic_state_128bit_8seeds", || {
+        lfsr::symbolic::SymbolicState::of_schedule(std::hint::black_box(&sched))
+    });
+
     let sched = schedule(128, 4, 2);
     let target: Vec<bool> = (0..128).map(|i| i % 3 == 0).collect();
-    c.bench_function("solve_key_sequence_128bit", |b| {
-        b.iter(|| {
-            sched
-                .solve_seeds_for_key(std::hint::black_box(&target))
-                .expect("full reseed points")
-        });
+    h.bench("solve_key_sequence_128bit", || {
+        sched
+            .solve_seeds_for_key(std::hint::black_box(&target))
+            .expect("full reseed points")
     });
-}
 
-criterion_group!(benches, bench_symbolic, bench_solve);
-criterion_main!(benches);
+    h.finish().expect("write results");
+}

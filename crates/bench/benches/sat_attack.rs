@@ -1,54 +1,43 @@
 //! Microbenchmark: SAT-attack cost per key width on RLL-locked circuits.
 
 use attacks::{sat, CombOracle};
-use criterion::{criterion_group, criterion_main, BenchmarkId as CbId, Criterion};
+use orap_bench::timing::Harness;
 
-fn bench_sat_attack(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_attack_rll");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("sat_attack");
+
     for key_bits in [8usize, 12, 16] {
         let circuit = netlist::generate::random_comb(7, 12, 8, 300).expect("generate");
         let locked = locking::random::lock(
             &circuit,
-            &locking::random::RllConfig {
-                key_bits,
-                seed: 3,
-            },
+            &locking::random::RllConfig { key_bits, seed: 3 },
         )
         .expect("lockable");
-        group.bench_with_input(CbId::from_parameter(key_bits), &locked, |b, locked| {
-            b.iter(|| {
-                let mut oracle = CombOracle::from_locked(locked).expect("oracle");
-                sat::attack(locked, &mut oracle, &sat::SatAttackConfig::default())
-            });
+        h.bench(&format!("sat_attack_rll/{key_bits}"), || {
+            let mut oracle = CombOracle::from_locked(&locked).expect("oracle");
+            sat::attack(&locked, &mut oracle, &sat::SatAttackConfig::default())
         });
     }
-    group.finish();
-}
 
-fn bench_solver(c: &mut Criterion) {
     // Pigeonhole 8-into-7: a classic hard UNSAT instance for CDCL.
-    c.bench_function("cdcl_pigeonhole_8_7", |b| {
-        b.iter(|| {
-            let mut s = cdcl::Solver::new();
-            let p: Vec<Vec<cdcl::Var>> = (0..8)
-                .map(|_| (0..7).map(|_| s.new_var()).collect())
-                .collect();
-            for row in &p {
-                let clause: Vec<cdcl::Lit> = row.iter().map(|v| v.positive()).collect();
-                s.add_clause(&clause);
-            }
-            for j in 0..7 {
-                for i1 in 0..8 {
-                    for i2 in (i1 + 1)..8 {
-                        s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
-                    }
+    h.bench("cdcl_pigeonhole_8_7", || {
+        let mut s = cdcl::Solver::new();
+        let p: Vec<Vec<cdcl::Var>> = (0..8)
+            .map(|_| (0..7).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let clause: Vec<cdcl::Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..7 {
+            for i1 in 0..8 {
+                for i2 in (i1 + 1)..8 {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
                 }
             }
-            s.solve()
-        });
+        }
+        s.solve()
     });
-}
 
-criterion_group!(benches, bench_sat_attack, bench_solver);
-criterion_main!(benches);
+    h.finish().expect("write results");
+}

@@ -1,27 +1,26 @@
 //! Microbenchmark: bit-parallel simulator throughput (the engine behind the
 //! Table I Hamming-distance measurement).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId as CbId, Criterion, Throughput};
 use gatesim::CombSim;
 use netlist::generate::{self, BenchmarkId};
+use orap_bench::timing::Harness;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("comb_sim_eval_words");
+fn main() {
+    let mut h = Harness::new("simulator");
+
     for (label, scale) in [("b20@0.02", 0.02), ("b20@0.05", 0.05)] {
         let profile = generate::profile(BenchmarkId::B20).scaled(scale);
         let circuit = generate::synthesize(&profile).expect("profile valid");
         let sim = CombSim::new(&circuit).expect("acyclic");
         let mut rng = netlist::rng::SplitMix64::new(1);
         let input: Vec<u64> = (0..sim.inputs().len()).map(|_| rng.next_u64()).collect();
-        group.throughput(Throughput::Elements(64 * circuit.num_gates() as u64));
-        group.bench_with_input(CbId::from_parameter(label), &input, |b, input| {
-            b.iter(|| sim.eval_words(std::hint::black_box(input)));
-        });
+        h.bench_throughput(
+            &format!("comb_sim_eval_words/{label}"),
+            64 * circuit.num_gates() as u64,
+            || sim.eval_words(std::hint::black_box(&input)),
+        );
     }
-    group.finish();
-}
 
-fn bench_hd(c: &mut Criterion) {
     let profile = generate::profile(BenchmarkId::B20).scaled(0.02);
     let circuit = generate::synthesize(&profile).expect("profile valid");
     let locked = locking::weighted::lock(
@@ -33,20 +32,17 @@ fn bench_hd(c: &mut Criterion) {
         },
     )
     .expect("lockable");
-    c.bench_function("hamming_distance_1k_patterns", |b| {
-        b.iter(|| {
-            gatesim::hd::average_hd_random_keys(
-                &locked.circuit,
-                &locked.key_inputs,
-                &locked.correct_key,
-                2,
-                1024,
-                7,
-            )
-            .expect("simulable")
-        });
+    h.bench("hamming_distance_1k_patterns", || {
+        gatesim::hd::average_hd_random_keys(
+            &locked.circuit,
+            &locked.key_inputs,
+            &locked.correct_key,
+            2,
+            1024,
+            7,
+        )
+        .expect("simulable")
     });
-}
 
-criterion_group!(benches, bench_simulator, bench_hd);
-criterion_main!(benches);
+    h.finish().expect("write results");
+}

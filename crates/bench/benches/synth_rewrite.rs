@@ -2,32 +2,30 @@
 //! area/delay overhead columns.
 
 use aigsynth::{optimize_aig, passes, Aig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orap_bench::timing::Harness;
 
 fn build_aig(gates: usize) -> Aig {
     let circuit = netlist::generate::random_comb(21, 24, 12, gates).expect("generate");
     Aig::from_circuit(&circuit).expect("acyclic")
 }
 
-fn bench_passes(c: &mut Criterion) {
-    let aig = build_aig(2000);
-    let mut group = c.benchmark_group("synth_passes_2k_gates");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(aig.num_ands() as u64));
-    group.bench_function("strash", |b| {
-        b.iter(|| passes::strash(std::hint::black_box(&aig)));
-    });
-    group.bench_function("balance", |b| {
-        b.iter(|| passes::balance(std::hint::black_box(&aig)));
-    });
-    group.bench_function("rewrite_k4", |b| {
-        b.iter(|| passes::rewrite(std::hint::black_box(&aig), 4));
-    });
-    group.bench_function("full_pipeline", |b| {
-        b.iter(|| optimize_aig(std::hint::black_box(&aig)));
-    });
-    group.finish();
-}
+fn main() {
+    let mut h = Harness::new("synth_rewrite");
 
-criterion_group!(benches, bench_passes);
-criterion_main!(benches);
+    let aig = build_aig(2000);
+    let ands = aig.num_ands() as u64;
+    h.bench_throughput("synth_passes_2k_gates/strash", ands, || {
+        passes::strash(std::hint::black_box(&aig))
+    });
+    h.bench_throughput("synth_passes_2k_gates/balance", ands, || {
+        passes::balance(std::hint::black_box(&aig))
+    });
+    h.bench_throughput("synth_passes_2k_gates/rewrite_k4", ands, || {
+        passes::rewrite(std::hint::black_box(&aig), 4)
+    });
+    h.bench_throughput("synth_passes_2k_gates/full_pipeline", ands, || {
+        optimize_aig(std::hint::black_box(&aig))
+    });
+
+    h.finish().expect("write results");
+}

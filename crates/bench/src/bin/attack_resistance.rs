@@ -14,9 +14,10 @@ use locking::LockedCircuit;
 use orap::chip::{OracleMode, ProtectedChip, ProtectedChipOracle};
 use orap::{protect, OrapConfig};
 use orap_bench::write_results;
-use serde::Serialize;
+use orap_bench::json::{Json, ToJson};
+use orap_bench::json_object;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Row {
     attack: String,
     target: String,
@@ -26,6 +27,21 @@ struct Row {
     iterations: usize,
     queries: usize,
     failure: Option<String>,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        json_object! {
+            attack: self.attack,
+            target: self.target,
+            oracle: self.oracle,
+            key_recovered: self.key_recovered,
+            key_correct: self.key_correct,
+            iterations: self.iterations,
+            queries: self.queries,
+            failure: self.failure,
+        }
+    }
 }
 
 fn run_attack(

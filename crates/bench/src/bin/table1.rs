@@ -18,9 +18,10 @@ use locking::weighted::WllConfig;
 use netlist::generate::{self, BenchmarkId};
 use orap::{protect, OrapConfig};
 use orap_bench::{control_width, key_bits, write_results, RunOptions};
-use serde::Serialize;
+use orap_bench::json::{Json, ToJson};
+use orap_bench::json_object;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Row {
     circuit: String,
     gates: usize,
@@ -30,6 +31,21 @@ struct Row {
     hd_percent: f64,
     area_overhead_percent: f64,
     delay_overhead_percent: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        json_object! {
+            circuit: self.circuit,
+            gates: self.gates,
+            comb_outputs: self.comb_outputs,
+            lfsr_size: self.lfsr_size,
+            control_inputs: self.control_inputs,
+            hd_percent: self.hd_percent,
+            area_overhead_percent: self.area_overhead_percent,
+            delay_overhead_percent: self.delay_overhead_percent,
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

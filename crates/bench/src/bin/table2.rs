@@ -18,15 +18,28 @@ use locking::weighted::WllConfig;
 use netlist::generate::{self, BenchmarkId};
 use orap::{protect, OrapConfig};
 use orap_bench::{control_width, key_bits, write_results, RunOptions};
-use serde::Serialize;
+use orap_bench::json::{Json, ToJson};
+use orap_bench::json_object;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Row {
     circuit: String,
     original_fc_percent: f64,
     original_red_abrt: usize,
     protected_fc_percent: f64,
     protected_red_abrt: usize,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        json_object! {
+            circuit: self.circuit,
+            original_fc_percent: self.original_fc_percent,
+            original_red_abrt: self.original_red_abrt,
+            protected_fc_percent: self.protected_fc_percent,
+            protected_red_abrt: self.protected_red_abrt,
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

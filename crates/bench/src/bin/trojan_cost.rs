@@ -15,9 +15,10 @@ use orap::threat::{
 };
 use orap::{protect, OrapConfig, OrapVariant};
 use orap_bench::write_results;
-use serde::Serialize;
+use orap_bench::json::{Json, ToJson};
+use orap_bench::json_object;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Row {
     scenario: String,
     baseline_ge: usize,
@@ -25,6 +26,19 @@ struct Row {
     detected_baseline: bool,
     detected_hardened: bool,
     oracle_resurrected: Option<bool>,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        json_object! {
+            scenario: self.scenario,
+            baseline_ge: self.baseline_ge,
+            hardened_ge: self.hardened_ge,
+            detected_baseline: self.detected_baseline,
+            detected_hardened: self.detected_hardened,
+            oracle_resurrected: self.oracle_resurrected,
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -11,11 +11,12 @@
 
 use lfsr::symbolic::{shift_register_cost, sweep_point};
 use orap_bench::write_results;
-use serde::Serialize;
+use orap_bench::json::{Json, ToJson};
+use orap_bench::json_object;
 
 const WIDTH: usize = 128;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Point {
     sweep: String,
     seeds: usize,
@@ -25,6 +26,21 @@ struct Point {
     xor_gates: usize,
     payload_ge: usize,
     max_terms_per_cell: usize,
+}
+
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        json_object! {
+            sweep: self.sweep,
+            seeds: self.seeds,
+            free_run: self.free_run,
+            reseed_points: self.reseed_points,
+            tap_spacing: self.tap_spacing,
+            xor_gates: self.xor_gates,
+            payload_ge: self.payload_ge,
+            max_terms_per_cell: self.max_terms_per_cell,
+        }
+    }
 }
 
 fn record(

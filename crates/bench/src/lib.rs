@@ -3,7 +3,8 @@
 
 use std::path::PathBuf;
 
-use serde::Serialize;
+pub mod json;
+pub mod timing;
 
 /// Command-line scale options shared by all table binaries.
 ///
@@ -75,7 +76,7 @@ impl RunOptions {
 ///
 /// Returns an I/O error if the results directory cannot be created or the
 /// file cannot be written.
-pub fn write_results<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+pub fn write_results<T: json::ToJson>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
@@ -83,9 +84,9 @@ pub fn write_results<T: Serialize>(name: &str, value: &T) -> std::io::Result<Pat
         .unwrap_or_else(|| PathBuf::from("results"));
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, json)?;
+    let mut text = value.to_json().pretty();
+    text.push('\n');
+    std::fs::write(&path, text)?;
     Ok(path)
 }
 
@@ -144,12 +145,20 @@ mod tests {
 
     #[test]
     fn write_results_roundtrip() {
-        #[derive(serde::Serialize)]
         struct Tiny {
             x: u32,
+        }
+        impl json::ToJson for Tiny {
+            fn to_json(&self) -> json::Json {
+                json_object! { x: self.x }
+            }
         }
         let path = write_results("selftest", &Tiny { x: 7 }).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("\"x\": 7"));
+        assert_eq!(
+            json::parse(text.trim_end()).unwrap(),
+            json::Json::Object(vec![("x".into(), json::Json::UInt(7))])
+        );
     }
 }

@@ -1,0 +1,78 @@
+//! Golden-file tests for the `.bench` parser/writer: checked-in ISCAS-89
+//! fixtures must reach a parse→write→parse fixpoint, i.e. one write
+//! normalizes the text and further round trips change nothing.
+
+use netlist::bench;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// parse→write→parse must be a fixpoint: the circuit from the normalized
+/// text equals the original in structure counts and function, and writing
+/// it again reproduces the normalized text byte for byte.
+fn assert_fixpoint(text: &str, patterns: usize) {
+    let first = bench::parse(text).expect("fixture parses");
+    first.validate().expect("fixture validates");
+    let written = bench::write(&first);
+    let second = bench::parse(&written).expect("normalized text parses");
+    // Structural agreement.
+    assert_eq!(first.primary_inputs().len(), second.primary_inputs().len());
+    assert_eq!(first.primary_outputs().len(), second.primary_outputs().len());
+    assert_eq!(first.dffs().len(), second.dffs().len());
+    assert_eq!(first.num_gates(), second.num_gates());
+    // Functional agreement over random patterns.
+    assert_eq!(
+        gatesim::equiv::check_random(&first, &second, patterns, 0xF1).expect("simulable"),
+        None,
+        "write→parse changed the function"
+    );
+    // Byte-level fixpoint: a second write is identical to the first.
+    assert_eq!(bench::write(&second), written, "write is not idempotent");
+}
+
+#[test]
+fn comb_fixture_roundtrip_is_fixpoint() {
+    let text = fixture("s_toy_comb.bench");
+    assert_fixpoint(&text, 1024);
+    // Sanity-pin the fixture's shape so silent edits are caught.
+    let c = bench::parse(&text).unwrap();
+    assert_eq!(c.primary_inputs().len(), 4);
+    assert_eq!(c.primary_outputs().len(), 3);
+    assert_eq!(c.dffs().len(), 0);
+    assert_eq!(c.num_gates(), 13);
+}
+
+#[test]
+fn seq_fixture_roundtrip_is_fixpoint() {
+    let text = fixture("s_toy_seq.bench");
+    assert_fixpoint(&text, 512);
+    let c = bench::parse(&text).unwrap();
+    assert_eq!(c.primary_inputs().len(), 2);
+    assert_eq!(c.primary_outputs().len(), 1);
+    assert_eq!(c.dffs().len(), 3);
+    assert_eq!(c.num_gates(), 5);
+}
+
+/// The same fixpoint law, property-tested over random generated circuits
+/// (this is also the workspace's smoke test that the `qcheck` dev-dependency
+/// cycle netlist → qcheck → netlist builds cleanly).
+#[test]
+fn random_circuits_reach_write_fixpoint() {
+    qcheck::qcheck!(
+        "random_circuits_reach_write_fixpoint",
+        qcheck::Config::with_cases(24),
+        (seed, inputs, outputs, gates) in (0u64..5000, 3usize..8, 2usize..5, 10usize..60) => {
+            let c = netlist::generate::random_comb(seed, inputs, outputs, gates).unwrap();
+            // One parse normalizes (e.g. the `# name` header is not part of
+            // the circuit and resets to the default); after that, write must
+            // be an exact fixpoint.
+            let normalized = bench::write(&bench::parse(&bench::write(&c)).unwrap());
+            let reparsed = bench::parse(&normalized).unwrap();
+            qcheck::prop_assert_eq!(bench::write(&reparsed), normalized);
+        }
+    );
+}

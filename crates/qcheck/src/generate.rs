@@ -1,0 +1,365 @@
+//! Deterministic value generators and their shrinking rules.
+//!
+//! A [`Gen`] produces values from the workspace's stable
+//! [`SplitMix64`](netlist::rng::SplitMix64) stream, so every generated case
+//! is reproducible from a single `u64` seed — that seed is what the runner
+//! persists in `.qcheck-regressions` when a property fails.
+//!
+//! Plain range expressions implement `Gen` directly, so strategies read the
+//! same as the `proptest` call sites they replace:
+//!
+//! ```
+//! use qcheck::Gen;
+//! let mut rng = netlist::rng::SplitMix64::new(1);
+//! let gen = (0u64..5000, 3usize..10);
+//! let (seed, inputs) = gen.generate(&mut rng);
+//! assert!(seed < 5000 && (3..10).contains(&inputs));
+//! ```
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use netlist::rng::SplitMix64;
+
+/// A deterministic generator of test values with an attached shrinking rule.
+pub trait Gen {
+    /// The type of value this generator produces.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the generator using `rng`.
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of `value` to try during
+    /// counterexample minimization. Returning an empty vector ends the
+    /// shrink search at `value`.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Blanket impl so `&gen` works wherever `gen` does.
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Value {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Shrink candidates for an unsigned value toward `lo`: the minimum itself,
+/// then repeated halvings of the distance, then the immediate predecessor.
+fn shrink_toward(lo: u128, v: u128) -> Vec<u128> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let cand = v - delta;
+        if cand != lo && !out.contains(&cand) {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    if v - 1 != lo && !out.contains(&(v - 1)) {
+        out.push(v - 1);
+    }
+    out
+}
+
+macro_rules! impl_gen_for_uint_ranges {
+    ($($t:ty),+) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as u128, *value as u128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+
+        impl Gen for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {:?}", self);
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as u128, *value as u128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )+};
+}
+
+impl_gen_for_uint_ranges!(u8, u16, u32, u64, usize);
+
+/// Generator for uniform booleans; `true` shrinks to `false`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Gen for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut SplitMix64) -> bool {
+        rng.bool()
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Uniform boolean generator (the `any::<bool>()` of this harness).
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+/// Uniform `u8` over the full range (the `any::<u8>()` of this harness).
+pub fn any_u8() -> RangeInclusive<u8> {
+    0..=u8::MAX
+}
+
+/// Uniform `u64` over the full range.
+pub fn any_u64() -> RangeInclusive<u64> {
+    0..=u64::MAX
+}
+
+/// Size specification for [`vec_of`]: a fixed `usize` or a half-open
+/// `Range<usize>` of lengths.
+pub trait IntoSizeRange {
+    /// Returns the inclusive `(min, max)` length bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty length range {self:?}");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty length range {self:?}");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Generator for vectors of values from an element generator.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Vectors of `len` elements from `elem`; `len` is a fixed `usize` or a
+/// range of lengths (mirrors `proptest::collection::vec`).
+pub fn vec_of<G: Gen>(elem: G, len: impl IntoSizeRange) -> VecGen<G> {
+    let (min_len, max_len) = len.bounds();
+    VecGen {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+/// Above this length, per-index shrink candidates are skipped (quadratic
+/// cost) and only truncation is attempted.
+const VEC_ELEMENTWISE_SHRINK_LIMIT: usize = 64;
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut SplitMix64) -> Vec<G::Value> {
+        let len = if self.min_len == self.max_len {
+            self.min_len
+        } else {
+            self.min_len + rng.below((self.max_len - self.min_len + 1) as u64) as usize
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Length shrinks first: halve toward the minimum, drop the tail
+        // element, then drop each single element.
+        if value.len() > self.min_len {
+            let half = (value.len() / 2).max(self.min_len);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+            if value.len() <= VEC_ELEMENTWISE_SHRINK_LIMIT {
+                for i in 0..value.len().saturating_sub(1) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+        }
+        // Element shrinks: replace one position with its first (smallest)
+        // shrink candidate.
+        if value.len() <= VEC_ELEMENTWISE_SHRINK_LIMIT {
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.elem.shrink(elem).into_iter().take(2) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+        } else {
+            // Long vectors: shrink a bounded prefix of positions so the
+            // candidate list stays linear in the limit, not the length.
+            for (i, elem) in value.iter().enumerate().take(VEC_ELEMENTWISE_SHRINK_LIMIT) {
+                if let Some(cand) = self.elem.shrink(elem).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_gen_for_tuples {
+    ($( ($($g:ident / $idx:tt),+) )+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut SplitMix64) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_gen_for_tuples! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..2_000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (3usize..4).generate(&mut rng);
+            assert_eq!(w, 3);
+            let b = (5u8..=9).generate(&mut rng);
+            assert!((5..=9).contains(&b));
+        }
+    }
+
+    #[test]
+    fn range_shrink_moves_toward_start() {
+        let g = 10u64..100;
+        let cands = g.shrink(&57);
+        assert!(cands.contains(&10), "minimum is always a candidate");
+        assert!(cands.iter().all(|&c| (10..57).contains(&c)));
+        assert!(g.shrink(&10).is_empty(), "minimum does not shrink");
+    }
+
+    #[test]
+    fn bool_shrinks_to_false() {
+        assert_eq!(AnyBool.shrink(&true), vec![false]);
+        assert!(AnyBool.shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn vec_lengths_respect_spec() {
+        let mut rng = SplitMix64::new(3);
+        let fixed = vec_of(any_bool(), 17);
+        assert_eq!(fixed.generate(&mut rng).len(), 17);
+        let ranged = vec_of(0u8..5, 2..6);
+        for _ in 0..500 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..6).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn vec_shrink_removes_and_shrinks_elements() {
+        let g = vec_of(0u64..10, 0..8);
+        let cands = g.shrink(&vec![3, 7]);
+        assert!(cands.contains(&vec![3]), "drops the tail");
+        assert!(cands.contains(&vec![7]), "drops interior elements");
+        assert!(cands.iter().any(|c| c == &vec![0, 7] || c == &vec![3, 0]));
+        let fixed = vec_of(0u64..10, 2);
+        assert!(fixed.shrink(&vec![3, 7]).iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component() {
+        let g = (0u64..10, 0usize..10);
+        for cand in g.shrink(&(4, 5)) {
+            let changed = (cand.0 != 4) as u32 + (cand.1 != 5) as u32;
+            assert_eq!(changed, 1, "{cand:?} changed both components");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = (0u64..1000, vec_of(any_bool(), 0..20));
+        let a = g.generate(&mut SplitMix64::new(42));
+        let b = g.generate(&mut SplitMix64::new(42));
+        assert_eq!(a, b);
+    }
+}

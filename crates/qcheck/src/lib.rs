@@ -1,0 +1,160 @@
+//! `qcheck` — in-repo property-based testing with zero registry
+//! dependencies.
+//!
+//! The workspace's hermetic-build policy (see DESIGN.md) forbids crates.io
+//! dependencies, so this crate replaces `proptest` for every property test
+//! in the repository. It provides:
+//!
+//! - deterministic [generators](generate) driven by the workspace's own
+//!   [`SplitMix64`](netlist::rng::SplitMix64) stream — ranges, booleans,
+//!   vectors and tuples compose exactly like proptest strategies;
+//! - greedy [shrinking](generate::Gen::shrink) of failing cases toward a
+//!   minimal counterexample (integers halve toward their range minimum,
+//!   vectors drop elements, tuples shrink one component at a time);
+//! - a [`props!`] macro front-end mirroring the `proptest!` call-site shape,
+//!   plus an expression-position [`qcheck!`] for one-off properties;
+//! - persisted regression seeds: failures report a replayable `u64` case
+//!   seed, and seeds recorded in a checked-in [`.qcheck-regressions`
+//!   file](regressions) re-run before any fresh cases.
+//!
+//! # Example
+//!
+//! Test modules declare properties with [`props!`]; expression position
+//! (as in this doctest) uses [`qcheck!`]:
+//!
+//! ```
+//! qcheck::qcheck!("addition_in_range", qcheck::Config::with_cases(64),
+//!     a in 0u64..100, b in 0u64..100 => {
+//!         qcheck::prop_assert!(a + b < 200, "a={a} b={b}");
+//!     });
+//! ```
+
+pub mod generate;
+pub mod regressions;
+pub mod runner;
+
+pub use generate::{any_bool, any_u64, any_u8, vec_of, AnyBool, Gen, VecGen};
+pub use runner::{check, check_result, Config, Failure};
+
+/// Namespace mirroring `proptest::collection` so ported call sites keep
+/// their shape (`collection::vec(any_bool(), 5..40)`).
+pub mod collection {
+    pub use crate::generate::vec_of as vec;
+}
+
+/// Declares `#[test]` property functions, mirroring the `proptest!` macro.
+///
+/// ```ignore
+/// qcheck::props! {
+///     config = qcheck::Config::with_cases(24);
+///
+///     fn my_property((a, b) in (0u64..10, 0usize..10), flag in qcheck::any_bool()) {
+///         qcheck::prop_assert!(a < 10);
+///     }
+/// }
+/// ```
+///
+/// Each function body runs once per generated case and may use
+/// [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`]; any panic
+/// inside the body also fails the case (but skips shrinking, so prefer the
+/// `prop_*` macros).
+#[macro_export]
+macro_rules! props {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat_param in $gen:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::Config = $config;
+                let __gen = ($($gen,)+);
+                $crate::check(stringify!($name), &__gen, &__config, |__value| {
+                    let ($($pat,)+) = __value;
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Expression-position property check for one-off use inside an ordinary
+/// `#[test]`; panics with a shrink report on failure.
+///
+/// ```
+/// qcheck::qcheck!("doubling_is_even", qcheck::Config::with_cases(32),
+///     x in 0u64..1000 => {
+///         qcheck::prop_assert_eq!((2 * x) % 2, 0);
+///     });
+/// ```
+#[macro_export]
+macro_rules! qcheck {
+    ( $name:expr, $config:expr, $($pat:pat_param in $gen:expr),+ $(,)? => $body:block ) => {{
+        let __config: $crate::Config = $config;
+        let __gen = ($($gen,)+);
+        $crate::check($name, &__gen, &__config, |__value| {
+            let ($($pat,)+) = __value;
+            $body
+            Ok(())
+        });
+    }};
+}
+
+/// Fails the current property case (with an optional formatted message)
+/// unless the condition holds. Only valid inside [`props!`] / [`qcheck!`]
+/// bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("prop_assert!({})", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "prop_assert!({}): {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err(format!(
+                "prop_assert_eq!({}, {})\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return Err(format!(
+                "prop_assert_ne!({}, {})\n    both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            ));
+        }
+    }};
+}

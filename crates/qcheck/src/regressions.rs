@@ -1,0 +1,157 @@
+//! Persisted regression seeds.
+//!
+//! When a property fails, the runner reports the `u64` case seed that
+//! reproduces the failure. Appending a line
+//!
+//! ```text
+//! property_name 0x1a2b3c4d5e6f7788
+//! ```
+//!
+//! to a checked-in `.qcheck-regressions` file makes that exact case re-run
+//! *before* any fresh cases on every subsequent `cargo test`, so past
+//! failures stay covered forever (the moral equivalent of proptest's
+//! `.proptest-regressions` files, but keyed by replayable RNG seed instead
+//! of an opaque strategy hash).
+//!
+//! The file is looked up per test binary: the `QCHECK_REGRESSIONS`
+//! environment variable wins if set; otherwise the runner walks up from the
+//! current directory (cargo runs test binaries from the owning package root)
+//! until it finds a `.qcheck-regressions`, giving up after a few levels.
+
+use std::path::{Path, PathBuf};
+
+/// Default file name searched for along the package's ancestor directories.
+pub const FILE_NAME: &str = ".qcheck-regressions";
+
+/// How many ancestor directories [`locate`] climbs before giving up. Deep
+/// enough for any crate nested under the workspace root.
+const MAX_ASCENT: usize = 5;
+
+/// One persisted regression entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Property name the seed belongs to (first whitespace-separated field).
+    pub property: String,
+    /// Case seed replayed through the property's generator.
+    pub seed: u64,
+}
+
+/// Parses the regression-file format: one `property seed` pair per line,
+/// seeds in decimal or `0x` hex, `#` starts a comment. Malformed lines are
+/// skipped (an old or hand-edited file must never break the suite).
+pub fn parse(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(property), Some(seed)) = (fields.next(), fields.next()) else {
+            continue;
+        };
+        let parsed = match seed.strip_prefix("0x").or_else(|| seed.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => seed.parse(),
+        };
+        if let Ok(seed) = parsed {
+            entries.push(Entry {
+                property: property.to_string(),
+                seed,
+            });
+        }
+    }
+    entries
+}
+
+/// Finds the regression file for the current test binary, if any.
+pub fn locate() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("QCHECK_REGRESSIONS") {
+        let path = PathBuf::from(path);
+        return path.is_file().then_some(path);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    for _ in 0..=MAX_ASCENT {
+        let candidate = dir.join(FILE_NAME);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    None
+}
+
+/// Loads the seeds persisted for `property` from `path`.
+pub fn seeds_for(path: &Path, property: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    parse(&text)
+        .into_iter()
+        .filter(|e| e.property == property)
+        .map(|e| e.seed)
+        .collect()
+}
+
+/// Loads the seeds for `property` from the located regression file (empty
+/// when no file exists).
+pub fn load(property: &str) -> Vec<u64> {
+    match locate() {
+        Some(path) => seeds_for(&path, property),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_hex_and_comments() {
+        let text = "\
+# header comment
+prop_a 0x10
+prop_a 42 # trailing comment
+prop_b 7
+
+malformed-line-without-seed
+prop_c not_a_number
+";
+        let entries = parse(text);
+        assert_eq!(
+            entries,
+            vec![
+                Entry {
+                    property: "prop_a".into(),
+                    seed: 16
+                },
+                Entry {
+                    property: "prop_a".into(),
+                    seed: 42
+                },
+                Entry {
+                    property: "prop_b".into(),
+                    seed: 7
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn seeds_for_filters_by_property() {
+        let dir = std::env::temp_dir().join("qcheck_regressions_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(FILE_NAME);
+        std::fs::write(&path, "a 1\nb 2\na 0x3\n").unwrap();
+        assert_eq!(seeds_for(&path, "a"), vec![1, 3]);
+        assert_eq!(seeds_for(&path, "b"), vec![2]);
+        assert!(seeds_for(&path, "c").is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_empty_not_fatal() {
+        assert!(seeds_for(Path::new("/nonexistent/qcheck"), "a").is_empty());
+    }
+}

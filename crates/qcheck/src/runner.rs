@@ -1,0 +1,311 @@
+//! The property runner: case scheduling, failure reporting and shrinking.
+
+use std::fmt;
+
+use netlist::rng::SplitMix64;
+
+use crate::generate::Gen;
+use crate::regressions;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of fresh random cases to run (persisted regression seeds run
+    /// in addition, before these).
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps while minimizing a failure.
+    pub max_shrink_steps: u32,
+    /// Base seed for the fresh-case schedule. `None` derives a stable seed
+    /// from the property name, so every property explores its own stream
+    /// but reruns are bit-identical.
+    pub seed: Option<u64>,
+    /// Whether to consult the `.qcheck-regressions` file.
+    pub use_regressions: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_steps: 4096,
+            seed: None,
+            use_regressions: true,
+        }
+    }
+}
+
+impl Config {
+    /// A default configuration running `cases` fresh cases (the
+    /// `ProptestConfig::with_cases` of this harness).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// FNV-1a, used to give each property a distinct default seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer, used to decorrelate `base ^ index` case seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A minimized property failure.
+#[derive(Debug, Clone)]
+pub struct Failure<V> {
+    /// Property name as passed to [`check`].
+    pub property: String,
+    /// Case seed that reproduces the failure (regenerate with the same
+    /// generator to replay).
+    pub seed: u64,
+    /// Whether the failing seed came from the regression file.
+    pub from_regressions: bool,
+    /// The originally generated failing value.
+    pub original: V,
+    /// The minimal failing value found by shrinking.
+    pub minimal: V,
+    /// Number of accepted shrink steps between `original` and `minimal`.
+    pub shrink_steps: u32,
+    /// Assertion message from the minimal failing run.
+    pub message: String,
+}
+
+impl<V: fmt::Debug> fmt::Display for Failure<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "property `{}` failed", self.property)?;
+        writeln!(f, "  seed:      0x{:016x}{}", self.seed, if self.from_regressions { "  (from .qcheck-regressions)" } else { "" })?;
+        writeln!(f, "  original:  {:?}", self.original)?;
+        writeln!(
+            f,
+            "  minimal:   {:?}  ({} shrink steps)",
+            self.minimal, self.shrink_steps
+        )?;
+        writeln!(f, "  assertion: {}", self.message)?;
+        write!(
+            f,
+            "to persist this case, append to .qcheck-regressions:\n  {} 0x{:016x}",
+            self.property, self.seed
+        )
+    }
+}
+
+/// Runs `prop` against `cases` generated values (plus any persisted
+/// regression seeds, which run first), returning the shrunk failure instead
+/// of panicking. This is the engine behind [`check`]; tests of the harness
+/// itself use it to inspect minimization results.
+pub fn check_result<G, F>(
+    name: &str,
+    gen: &G,
+    config: &Config,
+    mut prop: F,
+) -> Result<u32, Box<Failure<G::Value>>>
+where
+    G: Gen,
+    F: FnMut(G::Value) -> Result<(), String>,
+{
+    let base = config.seed.unwrap_or_else(|| hash_name(name));
+    let regression_seeds = if config.use_regressions {
+        regressions::load(name)
+    } else {
+        Vec::new()
+    };
+    let mut ran = 0u32;
+    let schedule = regression_seeds
+        .iter()
+        .map(|&s| (s, true))
+        .chain((0..config.cases).map(|i| (mix(base ^ mix(i as u64)), false)));
+    for (case_seed, from_regressions) in schedule {
+        let value = gen.generate(&mut SplitMix64::new(case_seed));
+        ran += 1;
+        if let Err(message) = prop(value.clone()) {
+            let (minimal, message, shrink_steps) =
+                minimize(gen, value.clone(), message, config.max_shrink_steps, &mut prop);
+            return Err(Box::new(Failure {
+                property: name.to_string(),
+                seed: case_seed,
+                from_regressions,
+                original: value,
+                minimal,
+                shrink_steps,
+                message,
+            }));
+        }
+    }
+    Ok(ran)
+}
+
+/// Greedy shrink: repeatedly move to the first failing shrink candidate
+/// until no candidate fails or the step budget runs out.
+fn minimize<G, F>(
+    gen: &G,
+    mut current: G::Value,
+    mut message: String,
+    max_steps: u32,
+    prop: &mut F,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    F: FnMut(G::Value) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in gen.shrink(&current) {
+            if let Err(m) = prop(candidate.clone()) {
+                current = candidate;
+                message = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, message, steps)
+}
+
+/// Runs a property and panics with a full shrink report on failure. This is
+/// what the [`props!`](crate::props) / [`qcheck!`](crate::qcheck) macros
+/// expand to.
+pub fn check<G, F>(name: &str, gen: &G, config: &Config, prop: F)
+where
+    G: Gen,
+    F: FnMut(G::Value) -> Result<(), String>,
+{
+    if let Err(failure) = check_result(name, gen, config, prop) {
+        panic!("{failure}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{any_bool, vec_of};
+    use std::cell::Cell;
+
+    fn no_regressions(cases: u32) -> Config {
+        Config {
+            cases,
+            use_regressions: false,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_exactly_the_configured_cases() {
+        let ran = Cell::new(0u32);
+        let n = check_result("always_true", &(0u64..100), &no_regressions(24), |_| {
+            ran.set(ran.get() + 1);
+            Ok(())
+        })
+        .expect("property holds");
+        assert_eq!(n, 24);
+        assert_eq!(ran.get(), 24);
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_the_boundary() {
+        // Fails iff x >= 37: the minimal counterexample is exactly 37.
+        let failure = check_result("ge_37", &(0u64..10_000), &no_regressions(256), |x| {
+            if x >= 37 {
+                Err(format!("{x} >= 37"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("must find a counterexample in 256 cases");
+        assert_eq!(failure.minimal, 37, "report: {failure}");
+        assert!(failure.original >= 37);
+    }
+
+    #[test]
+    fn tuple_failure_shrinks_each_component() {
+        // Fails iff a >= 3 && b >= 5: minimal counterexample is (3, 5).
+        let gen = (0u64..1000, 0u64..1000);
+        let failure = check_result("conj", &gen, &no_regressions(512), |(a, b)| {
+            if a >= 3 && b >= 5 {
+                Err("both large".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("counterexample exists");
+        assert_eq!(failure.minimal, (3, 5), "report: {failure}");
+    }
+
+    #[test]
+    fn vec_failure_shrinks_length_and_elements() {
+        // Fails iff the vector has >= 3 set bits: minimal is [true; 3].
+        let gen = vec_of(any_bool(), 0..12);
+        let failure = check_result("three_set", &gen, &no_regressions(512), |v| {
+            if v.iter().filter(|&&b| b).count() >= 3 {
+                Err("too many set".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("counterexample exists");
+        assert_eq!(failure.minimal, vec![true, true, true], "report: {failure}");
+    }
+
+    #[test]
+    fn failing_seed_replays_to_the_same_value() {
+        let gen = (0u64..100_000, 0usize..50);
+        let failure = check_result("replay", &gen, &no_regressions(64), |(x, _)| {
+            if x > 1000 {
+                Err("big".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("counterexample exists");
+        let replayed = crate::Gen::generate(&gen, &mut SplitMix64::new(failure.seed));
+        assert_eq!(replayed, failure.original);
+    }
+
+    #[test]
+    fn explicit_seed_overrides_name_hash() {
+        let run = |name: &str| {
+            let cfg = Config {
+                cases: 8,
+                seed: Some(99),
+                use_regressions: false,
+                ..Config::default()
+            };
+            let mut values = Vec::new();
+            check_result(name, &(0u64..1_000_000), &cfg, |v| {
+                values.push(v);
+                Ok(())
+            })
+            .unwrap();
+            values
+        };
+        assert_eq!(run("name_one"), run("name_two"));
+    }
+
+    #[test]
+    fn display_report_mentions_regression_line() {
+        let failure = check_result("doc_report", &(0u64..10), &no_regressions(16), |x| {
+            if x >= 1 {
+                Err("x >= 1".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("counterexample exists");
+        let report = failure.to_string();
+        assert!(report.contains("doc_report 0x"), "{report}");
+        assert!(report.contains("minimal:   1"), "{report}");
+    }
+}
