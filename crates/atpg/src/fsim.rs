@@ -222,6 +222,47 @@ impl FaultSim {
         detected
     }
 
+    /// Like [`detect_batch`](FaultSim::detect_batch) but distributes the
+    /// fault list across `pool` in fixed-size chunks.
+    ///
+    /// The good-circuit simulation runs once on a prototype copy; each
+    /// chunk task then clones the prototype (good values and the restored
+    /// faulty mirror included) and propagates its faults event-driven.
+    /// Chunk boundaries depend only on `faults.len()`, and every fault's
+    /// effect is independent of chunk placement (the faulty mirror is
+    /// restored after each fault), so the detected set is bit-identical to
+    /// the sequential [`detect_batch`](FaultSim::detect_batch) for any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the combinational input
+    /// count.
+    pub fn detect_batch_par(
+        &self,
+        pool: &exec::Pool,
+        input_words: &[u64],
+        faults: &[Fault],
+    ) -> Vec<usize> {
+        let mut proto = self.clone();
+        proto.run_good(input_words);
+        // Chunk size from the data only (determinism), floored so the
+        // per-chunk simulator clone is amortized over enough faults.
+        let chunk = exec::reduce_chunk_size(faults.len()).max(16);
+        let per_chunk = pool.par_chunks("fsim_fault_chunks", faults, chunk, |ci, slice| {
+            let mut sim = proto.clone();
+            let base = ci * chunk;
+            let mut detected = Vec::new();
+            for (j, f) in slice.iter().enumerate() {
+                if sim.fault_effect(f) != 0 {
+                    detected.push(base + j);
+                }
+            }
+            detected
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
     /// Checks whether a single pattern (booleans over the combinational
     /// inputs) detects a single fault.
     ///
@@ -395,6 +436,23 @@ mod tests {
         sim.run_good(&words);
         let diff = sim.fault_effect(&f);
         assert_eq!(diff, !0u64);
+    }
+
+    #[test]
+    fn detect_batch_par_identical_for_1_2_8_threads() {
+        let mut rng = netlist::rng::SplitMix64::new(23);
+        for seed in 0..3 {
+            let c = netlist::generate::random_comb(seed, 10, 6, 200).unwrap();
+            let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+            let mut sim = FaultSim::new(&c).unwrap();
+            let words: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+            let sequential = sim.detect_batch(&words, &faults);
+            for threads in [1, 2, 8] {
+                let pool = exec::Pool::with_threads(threads);
+                let par = sim.detect_batch_par(&pool, &words, &faults);
+                assert_eq!(par, sequential, "seed {seed}, {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -91,19 +91,20 @@ impl AtpgReport {
 ///
 /// Returns a netlist error if the circuit is cyclic.
 pub fn run_atpg(circuit: &Circuit, config: &AtpgConfig) -> Result<AtpgReport, Error> {
+    let pool = exec::global();
     let faults = collapse(circuit, enumerate_faults(circuit));
     let total = faults.len();
-    let mut sim = fsim::FaultSim::new(circuit)?;
+    let sim = fsim::FaultSim::new(circuit)?;
     let mut alive: Vec<Fault> = faults;
     let mut tests: Vec<Vec<bool>> = Vec::new();
 
-    // Phase 1: random patterns (HOPE prefilter).
+    // Phase 1: random patterns (HOPE prefilter), fault-parallel per batch.
     let mut rng = netlist::rng::SplitMix64::new(config.seed);
     let n_in = circuit.comb_inputs().len();
     let words = config.random_patterns.div_ceil(64);
     for _ in 0..words {
         let input: Vec<u64> = (0..n_in).map(|_| rng.next_u64()).collect();
-        let detected = sim.detect_batch(&input, &alive);
+        let detected = sim.detect_batch_par(pool, &input, &alive);
         let det_set: std::collections::HashSet<usize> = detected.into_iter().collect();
         if !det_set.is_empty() {
             let mut next = Vec::with_capacity(alive.len());
@@ -132,7 +133,7 @@ pub fn run_atpg(circuit: &Circuit, config: &AtpgConfig) -> Result<AtpgReport, Er
             podem::Outcome::Test(pattern) => {
                 // Fault-simulate the new pattern to drop other faults too.
                 let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
-                let detected = sim.detect_batch(&words, &alive);
+                let detected = sim.detect_batch_par(pool, &words, &alive);
                 let det_set: std::collections::HashSet<usize> = detected.into_iter().collect();
                 debug_assert!(
                     det_set.contains(&0),

@@ -101,24 +101,32 @@ pub fn attack_with_responses(
     let nk = key_pos.len();
     let mut rng = SplitMix64::new(config.seed ^ 0x5eed);
 
+    // Objective: mismatching output bits against the sampled responses,
+    // pattern-parallel on the shared pool. The per-pattern counts are u64s
+    // summed associatively, so the score — and hence the whole greedy
+    // search — is bit-identical for any thread count.
+    let pool = exec::global();
     let score = |key: &[bool]| -> u64 {
-        let mut mismatched = 0u64;
-        for (x, y) in patterns.iter().zip(responses) {
-            let mut input = vec![false; sim.inputs().len()];
-            for (&p, &b) in data_pos.iter().zip(x) {
-                input[p] = b;
-            }
-            for (&p, &b) in key_pos.iter().zip(key) {
-                input[p] = b;
-            }
-            let got = sim.eval_bools(&input);
-            mismatched += got
-                .iter()
-                .zip(y)
-                .filter(|(g, w)| g != w)
-                .count() as u64;
-        }
-        mismatched
+        pool.par_reduce(
+            "hill_climb_score",
+            patterns,
+            0u64,
+            |i, x: &Vec<bool>| {
+                let mut input = vec![false; sim.inputs().len()];
+                for (&p, &b) in data_pos.iter().zip(x) {
+                    input[p] = b;
+                }
+                for (&p, &b) in key_pos.iter().zip(key) {
+                    input[p] = b;
+                }
+                let got = sim.eval_bools(&input);
+                got.iter()
+                    .zip(&responses[i])
+                    .filter(|(g, w)| g != w)
+                    .count() as u64
+            },
+            |a, b| a + b,
+        )
     };
 
     let mut restarts_used = 0usize;

@@ -40,6 +40,8 @@
 //! assert!(attacks::key_is_functionally_correct(&locked, &key, 512).expect("simulable"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod appsat;
 pub mod cnf;
 pub mod double_dip;

@@ -18,6 +18,24 @@ fn main() {
         || sim.detect_batch(std::hint::black_box(&words), &faults),
     );
 
+    // Thread-scaling trajectory: the same fault batch on a 1-thread pool
+    // versus the machine's full pool (`ORAP_THREADS` honoured). The
+    // detected set is bit-identical across pool sizes; only wall time may
+    // differ. Names carry the thread count for the perf trajectory.
+    let env_pool = exec::Pool::from_env();
+    let mut pools = vec![exec::Pool::with_threads(1)];
+    if env_pool.threads() > 1 {
+        pools.push(env_pool);
+    }
+    for pool in pools {
+        let t = pool.threads();
+        h.bench_throughput(
+            &format!("fault_simulation/par_batch_1k_gates/t{t}"),
+            faults.len() as u64,
+            || sim.detect_batch_par(&pool, std::hint::black_box(&words), &faults),
+        );
+    }
+
     let circuit = netlist::generate::random_comb(13, 12, 8, 400).expect("generate");
     let cfg = AtpgConfig {
         random_patterns: 512,

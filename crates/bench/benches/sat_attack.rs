@@ -29,10 +29,10 @@ fn main() {
             let clause: Vec<cdcl::Lit> = row.iter().map(|v| v.positive()).collect();
             s.add_clause(&clause);
         }
-        for j in 0..7 {
-            for i1 in 0..8 {
-                for i2 in (i1 + 1)..8 {
-                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+        for i1 in 0..8 {
+            for i2 in (i1 + 1)..8 {
+                for (a, b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[a.negative(), b.negative()]);
                 }
             }
         }

@@ -44,5 +44,39 @@ fn main() {
         .expect("simulable")
     });
 
+    // Thread-scaling trajectory: the same pattern-parallel workloads on a
+    // 1-thread pool versus the machine's full pool (`ORAP_THREADS`
+    // honoured). Benchmark names carry the thread count so successive
+    // BENCH_simulator.json snapshots plot the scaling curve.
+    let sim = CombSim::new(&locked.circuit).expect("acyclic");
+    let mut rng = netlist::rng::SplitMix64::new(3);
+    let batches: Vec<Vec<u64>> = (0..64)
+        .map(|_| (0..sim.inputs().len()).map(|_| rng.next_u64()).collect())
+        .collect();
+    let elems = 64 * 64 * locked.circuit.num_gates() as u64;
+    let env_pool = exec::Pool::from_env();
+    let mut pools = vec![exec::Pool::with_threads(1)];
+    if env_pool.threads() > 1 {
+        pools.push(env_pool);
+    }
+    for pool in pools {
+        let t = pool.threads();
+        h.bench_throughput(&format!("eval_words_many_64batches/t{t}"), elems, || {
+            sim.eval_words_many(&pool, std::hint::black_box(&batches))
+        });
+        h.bench(&format!("hamming_distance_8keys/t{t}"), || {
+            gatesim::hd::average_hd_random_keys_on(
+                &pool,
+                &locked.circuit,
+                &locked.key_inputs,
+                &locked.correct_key,
+                8,
+                1024,
+                7,
+            )
+            .expect("simulable")
+        });
+    }
+
     h.finish().expect("write results");
 }

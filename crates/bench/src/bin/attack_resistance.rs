@@ -129,34 +129,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?,
         ),
     ];
-    for (tname, locked) in &targets {
-        for attack in attacks {
-            let mut oracle = CombOracle::from_locked(locked)?;
-            rows.push(run_attack(attack, locked, tname, "open-scan", &mut oracle));
+    // One pool task per (target, attack) pair plus one for each target's
+    // oracle-less SPS run; results come back in the sequential order.
+    let pool = exec::global();
+    let jobs: Vec<(usize, Option<&str>)> = (0..targets.len())
+        .flat_map(|t| {
+            attacks
+                .iter()
+                .map(move |&a| (t, Some(a)))
+                .chain(std::iter::once((t, None)))
+        })
+        .collect();
+    let built = pool.par_map("attack_targets", &jobs, |_, &(t, attack)| {
+        let (tname, locked) = &targets[t];
+        match attack {
+            Some(name) => {
+                let mut oracle = CombOracle::from_locked(locked).map_err(|e| e.to_string())?;
+                Ok::<Row, String>(run_attack(name, locked, tname, "open-scan", &mut oracle))
+            }
+            None => {
+                // The oracle-less SPS removal attack (defeats Anti-SAT,
+                // nothing else).
+                let sps = attacks::sps::attack(locked, &attacks::sps::SpsConfig::default())
+                    .map_err(|e| e.to_string())?;
+                let (recovered, correct) = match &sps.recovered {
+                    Some(rec) => (
+                        true,
+                        attacks::sps::recovery_is_correct(locked, rec, 4096)
+                            .map_err(|e| e.to_string())?,
+                    ),
+                    None => (false, false),
+                };
+                Ok(Row {
+                    attack: "sps".into(),
+                    target: (*tname).to_owned(),
+                    oracle: "none".into(),
+                    key_recovered: recovered,
+                    key_correct: correct,
+                    iterations: 1,
+                    queries: 0,
+                    failure: if correct {
+                        None
+                    } else {
+                        Some("no removable skewed signal".into())
+                    },
+                })
+            }
         }
-        // The oracle-less SPS removal attack (defeats Anti-SAT, nothing else).
-        let sps = attacks::sps::attack(locked, &attacks::sps::SpsConfig::default())?;
-        let (recovered, correct) = match &sps.recovered {
-            Some(rec) => (
-                true,
-                attacks::sps::recovery_is_correct(locked, rec, 4096)?,
-            ),
-            None => (false, false),
-        };
-        rows.push(Row {
-            attack: "sps".into(),
-            target: (*tname).to_owned(),
-            oracle: "none".into(),
-            key_recovered: recovered,
-            key_correct: correct,
-            iterations: 1,
-            queries: 0,
-            failure: if correct {
-                None
-            } else {
-                Some("no removable skewed signal".into())
-            },
-        });
+    });
+    for r in built {
+        rows.push(r?);
     }
 
     // --- The same WLL lock behind an OraP chip. ---------------------------
@@ -171,25 +193,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &OrapConfig::default(),
     )?;
     let chip = ProtectedChip::new(&protected)?;
-    for attack in attacks {
-        let mut oracle = ProtectedChipOracle::new(chip.clone(), OracleMode::Strict);
-        rows.push(run_attack(
-            attack,
-            &protected.locked,
-            "orap+wll-12",
-            "orap-strict",
-            &mut oracle,
-        ));
-    }
-    for attack in attacks {
-        let mut oracle = ProtectedChipOracle::new(chip.clone(), OracleMode::Naive);
-        rows.push(run_attack(
-            attack,
-            &protected.locked,
-            "orap+wll-12",
-            "orap-naive",
-            &mut oracle,
-        ));
+    for (mode, oracle_name) in [(OracleMode::Strict, "orap-strict"), (OracleMode::Naive, "orap-naive")] {
+        rows.extend(pool.par_map("attack_orap", &attacks, |_, &attack| {
+            let mut oracle = ProtectedChipOracle::new(chip.clone(), mode);
+            run_attack(attack, &protected.locked, "orap+wll-12", oracle_name, &mut oracle)
+        }));
     }
 
     println!(
@@ -224,7 +232,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          OraP chip broken: {orap_broken} attack runs"
     );
 
-    let path = write_results("attack_resistance", &rows)?;
+    let doc = json_object! { rows: rows, exec: pool.stats() };
+    let path = write_results("attack_resistance", &doc)?;
     println!("results written to {}", path.display());
     Ok(())
 }

@@ -48,87 +48,108 @@ impl ToJson for Row {
     }
 }
 
+/// Builds one Table I row (the whole per-circuit pipeline: protect, probe
+/// key sizes, measure HD, resynthesize). Errors are stringified so rows can
+/// be produced on pool workers.
+fn build_row(id: BenchmarkId, opts: &RunOptions) -> Result<Row, String> {
+    let err = |e: netlist::Error| e.to_string();
+    let profile = generate::profile(id).scaled(opts.scale);
+    let design = generate::synthesize(&profile).map_err(err)?;
+    let cw = control_width(id);
+    // The paper's key-sizing methodology: grow the key until output
+    // corruptibility reaches the optimal HD = 50% or saturates, capped
+    // at the benchmark's Table I key size (scaled with the circuit so
+    // the key-gate density stays comparable).
+    let cap = key_bits(id, opts.scale).max(
+        (design.num_gates_excluding_inverters() / 12).clamp(12, 256),
+    );
+    let mut kb = 12usize;
+    let mut best: Option<(usize, f64, orap::OrapProtected)> = None;
+    loop {
+        let candidate = protect(
+            &design,
+            &WllConfig {
+                key_bits: kb,
+                control_width: cw,
+                seed: 0x7AB1E ^ id as u64,
+            },
+            &OrapConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let probe_hd = gatesim::hd::average_hd_random_keys(
+            &candidate.locked.circuit,
+            &candidate.locked.key_inputs,
+            &candidate.locked.correct_key,
+            opts.hd_keys.min(5),
+            (opts.hd_patterns / 4).max(1024),
+            0x4D ^ id as u64,
+        )
+        .map_err(err)?;
+        if best.as_ref().map(|&(_, prev, _)| probe_hd > prev).unwrap_or(true) {
+            best = Some((kb, probe_hd, candidate));
+        }
+        if probe_hd >= 49.0 || kb >= cap {
+            break;
+        }
+        kb = (kb * 2).min(cap);
+    }
+    let (kb, _, protected) = best.expect("at least one key size probed");
+    let locked = &protected.locked;
+
+    // Final HD measurement at full pattern count.
+    let hd = gatesim::hd::average_hd_random_keys(
+        &locked.circuit,
+        &locked.key_inputs,
+        &locked.correct_key,
+        opts.hd_keys,
+        opts.hd_patterns,
+        0x4D ^ id as u64,
+    )
+    .map_err(err)?;
+
+    // Area/delay after resynthesis of both versions.
+    let base = aigsynth::optimize(&design).map_err(err)?;
+    let prot = aigsynth::optimize(&locked.circuit).map_err(err)?;
+    let prot_area = prot.area + protected.hardware.gates();
+    let area_ovhd = 100.0 * (prot_area as f64 - base.area as f64) / base.area as f64;
+    let delay_ovhd = 100.0 * (prot.depth as f64 - base.depth as f64) / base.depth as f64;
+
+    Ok(Row {
+        circuit: id.as_str().to_owned(),
+        gates: design.num_gates_excluding_inverters(),
+        comb_outputs: design.comb_outputs().len(),
+        lfsr_size: kb,
+        control_inputs: cw,
+        hd_percent: hd,
+        area_overhead_percent: area_ovhd,
+        delay_overhead_percent: delay_ovhd.max(0.0),
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunOptions::from_args();
+    let pool = exec::global();
     println!(
-        "Table I reproduction (scale {}, {} HD patterns x {} random keys)\n",
-        opts.scale, opts.hd_patterns, opts.hd_keys
+        "Table I reproduction (scale {}, {} HD patterns x {} random keys, {} threads)\n",
+        opts.scale,
+        opts.hd_patterns,
+        opts.hd_keys,
+        pool.threads()
     );
     println!(
         "{:<10} {:>8} {:>8} {:>6} {:>5} {:>8} {:>10} {:>10}",
         "Circuit", "#Gates", "#Outs", "LFSR", "Ctrl", "HD(%)", "ArOvhd(%)", "DelOvhd(%)"
     );
 
+    // One pool task per benchmark circuit; rows come back in Table I order.
+    let built = pool.par_map("table1_circuits", &BenchmarkId::ALL, |_, &id| {
+        build_row(id, &opts)
+    });
     let mut rows = Vec::new();
-    for id in BenchmarkId::ALL {
-        let profile = generate::profile(id).scaled(opts.scale);
-        let design = generate::synthesize(&profile)?;
-        let cw = control_width(id);
-        // The paper's key-sizing methodology: grow the key until output
-        // corruptibility reaches the optimal HD = 50% or saturates, capped
-        // at the benchmark's Table I key size (scaled with the circuit so
-        // the key-gate density stays comparable).
-        let cap = key_bits(id, opts.scale).max(
-            (design.num_gates_excluding_inverters() / 12).clamp(12, 256),
-        );
-        let mut kb = 12usize;
-        let mut best: Option<(usize, f64, orap::OrapProtected)> = None;
-        loop {
-            let candidate = protect(
-                &design,
-                &WllConfig {
-                    key_bits: kb,
-                    control_width: cw,
-                    seed: 0x7AB1E ^ id as u64,
-                },
-                &OrapConfig::default(),
-            )?;
-            let probe_hd = gatesim::hd::average_hd_random_keys(
-                &candidate.locked.circuit,
-                &candidate.locked.key_inputs,
-                &candidate.locked.correct_key,
-                opts.hd_keys.min(5),
-                (opts.hd_patterns / 4).max(1024),
-                0x4D ^ id as u64,
-            )?;
-            if best.as_ref().map(|&(_, prev, _)| probe_hd > prev).unwrap_or(true) {
-                best = Some((kb, probe_hd, candidate));
-            }
-            if probe_hd >= 49.0 || kb >= cap {
-                break;
-            }
-            kb = (kb * 2).min(cap);
-        }
-        let (kb, _, protected) = best.expect("at least one key size probed");
-        let locked = &protected.locked;
-
-        // Final HD measurement at full pattern count.
-        let hd = gatesim::hd::average_hd_random_keys(
-            &locked.circuit,
-            &locked.key_inputs,
-            &locked.correct_key,
-            opts.hd_keys,
-            opts.hd_patterns,
-            0x4D ^ id as u64,
-        )?;
-
-        // Area/delay after resynthesis of both versions.
-        let base = aigsynth::optimize(&design)?;
-        let prot = aigsynth::optimize(&locked.circuit)?;
-        let prot_area = prot.area + protected.hardware.gates();
-        let area_ovhd = 100.0 * (prot_area as f64 - base.area as f64) / base.area as f64;
-        let delay_ovhd = 100.0 * (prot.depth as f64 - base.depth as f64) / base.depth as f64;
-
-        let row = Row {
-            circuit: id.as_str().to_owned(),
-            gates: design.num_gates_excluding_inverters(),
-            comb_outputs: design.comb_outputs().len(),
-            lfsr_size: kb,
-            control_inputs: cw,
-            hd_percent: hd,
-            area_overhead_percent: area_ovhd,
-            delay_overhead_percent: delay_ovhd.max(0.0),
-        };
+    for r in built {
+        rows.push(r?);
+    }
+    for row in &rows {
         println!(
             "{:<10} {:>8} {:>8} {:>6} {:>5} {:>8.2} {:>10.2} {:>10.2}",
             row.circuit,
@@ -140,9 +161,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.area_overhead_percent,
             row.delay_overhead_percent
         );
-        rows.push(row);
     }
-    let path = write_results("table1", &rows)?;
+    let doc = json_object! { rows: rows, exec: pool.stats() };
+    let path = write_results("table1", &doc)?;
     println!("\nresults written to {}", path.display());
     Ok(())
 }

@@ -50,8 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         opts.scale = 0.02;
     }
     println!(
-        "Table II reproduction (scale {}, {} random patterns, backtrack limit {})\n",
-        opts.scale, opts.atpg_random, opts.atpg_backtrack
+        "Table II reproduction (scale {}, {} random patterns, backtrack limit {}, {} threads)\n",
+        opts.scale,
+        opts.atpg_random,
+        opts.atpg_backtrack,
+        exec::global().threads()
     );
     println!(
         "{:<10} {:>12} {:>14} {:>12} {:>14}",
@@ -63,10 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         backtrack_limit: opts.atpg_backtrack,
         seed: 0xA7A1,
     };
-    let mut rows = Vec::new();
-    for id in BenchmarkId::ALL {
+    let pool = exec::global();
+    // One pool task per benchmark circuit (each of which further
+    // fault-parallelizes its ATPG random phase on the same pool); rows come
+    // back in Table II order.
+    let built = pool.par_map("table2_circuits", &BenchmarkId::ALL, |_, &id| {
+        let err = |e: netlist::Error| e.to_string();
         let profile = generate::profile(id).scaled(opts.scale);
-        let design = generate::synthesize(&profile)?;
+        let design = generate::synthesize(&profile).map_err(err)?;
         let protected = protect(
             &design,
             &WllConfig {
@@ -75,18 +82,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 seed: 0x7AB1E ^ id as u64,
             },
             &OrapConfig::default(),
-        )?;
+        )
+        .map_err(|e| e.to_string())?;
 
-        let original = run_atpg(&design, &cfg)?;
-        let locked = run_atpg(&protected.locked.circuit, &cfg)?;
+        let original = run_atpg(&design, &cfg).map_err(err)?;
+        let locked = run_atpg(&protected.locked.circuit, &cfg).map_err(err)?;
 
-        let row = Row {
+        Ok::<Row, String>(Row {
             circuit: id.as_str().to_owned(),
             original_fc_percent: original.coverage_percent(),
             original_red_abrt: original.redundant_plus_aborted(),
             protected_fc_percent: locked.coverage_percent(),
             protected_red_abrt: locked.redundant_plus_aborted(),
-        };
+        })
+    });
+    let mut rows = Vec::new();
+    for r in built {
+        rows.push(r?);
+    }
+    for row in &rows {
         println!(
             "{:<10} {:>12.2} {:>14} {:>12.2} {:>14}",
             row.circuit,
@@ -95,9 +109,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.protected_fc_percent,
             row.protected_red_abrt
         );
-        rows.push(row);
     }
-    let path = write_results("table2", &rows)?;
+    let doc = json_object! { rows: rows, exec: pool.stats() };
+    let path = write_results("table2", &doc)?;
     println!("\nresults written to {}", path.display());
     Ok(())
 }

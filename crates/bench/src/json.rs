@@ -540,6 +540,30 @@ impl<'a> Parser<'a> {
     }
 }
 
+impl ToJson for exec::StageStats {
+    fn to_json(&self) -> Json {
+        crate::json_object! {
+            label: self.label,
+            calls: self.calls,
+            tasks: self.tasks,
+            wall_ns: self.wall_ns,
+            busy_ns: self.busy_ns,
+            idle_ns: self.idle_ns,
+        }
+    }
+}
+
+impl ToJson for exec::PoolStats {
+    fn to_json(&self) -> Json {
+        crate::json_object! {
+            threads: self.threads,
+            total_tasks: self.total_tasks(),
+            total_wall_ns: self.total_wall_ns(),
+            stages: self.stages,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

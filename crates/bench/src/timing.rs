@@ -12,7 +12,7 @@
 //! ```
 //!
 //! Methodology: one calibration run picks an iteration count targeting
-//! [`TARGET_SAMPLE_NANOS`] per sample (so cheap kernels amortize timer
+//! 50 ms per sample (so cheap kernels amortize timer
 //! overhead and expensive ones still finish), a warmup discards cache and
 //! branch-predictor cold starts, then `BENCH_SAMPLES` (default 10) samples
 //! are timed and summarized by their median — median-of-N is robust to the

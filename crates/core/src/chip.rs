@@ -775,7 +775,7 @@ mod tests {
         chip.power_on_and_unlock();
         // Reset state, then run the counter; it must count like the
         // original.
-        chip.set_state_ffs(&vec![false; 10]);
+        chip.set_state_ffs(&[false; 10]);
         let mut reference = gatesim::SeqSim::new(&design).unwrap();
         for _ in 0..20 {
             let out = chip.clock(&[true], &vec![false; chip.num_scan_chains()]);

@@ -1,0 +1,445 @@
+//! Hermetic execution runtime: a std-only scoped thread pool with a
+//! *deterministic* chunked `par_map`/`par_reduce` API.
+//!
+//! Every experiment in the paper's Tables I/II — fault-coverage ATPG runs,
+//! Hamming-distance corruption sweeps, and the oracle-guided attack
+//! evaluations — is embarrassingly parallel across patterns, faults, keys
+//! and benchmark circuits. The workspace's hermetic-build policy (DESIGN.md
+//! §5) forbids registry dependencies such as `rayon`, so this crate provides
+//! the small execution layer the hot paths share:
+//!
+//! - [`Pool`]: a scoped thread pool whose worker count comes from the
+//!   `ORAP_THREADS` environment variable (default:
+//!   [`std::thread::available_parallelism`]).
+//! - [`Pool::par_map`] / [`Pool::par_chunks`] / [`Pool::par_reduce`]:
+//!   data-parallel primitives with **fixed chunk assignment**: chunk
+//!   boundaries are a function of the input length only, never of the
+//!   thread count, so results are bit-identical whether the pool runs 1, 2
+//!   or 64 threads.
+//! - [`PoolStats`]: lightweight per-stage observability counters (tasks
+//!   run, busy/idle time, wall time), exported as JSON by the `orap-bench`
+//!   harness next to every experiment's results.
+//!
+//! # Determinism contract
+//!
+//! `par_map` applies a pure function per element and collects results in
+//! input order — identical output for any thread count by construction.
+//! `par_reduce` folds each fixed chunk sequentially and then folds the
+//! per-chunk results *in chunk order*, so even non-associative folds (e.g.
+//! floating-point sums) give the same bits on every run and thread count.
+//!
+//! # Example
+//!
+//! ```
+//! let pool = exec::Pool::with_threads(4);
+//! let squares = pool.par_map("squares", &[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! let sum = pool.par_reduce("sum", &squares, 0u64, |_, &x| x, |a, b| a + b);
+//! assert_eq!(sum, 30);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "ORAP_THREADS";
+
+/// Number of chunks `par_reduce` splits its input into (a function of the
+/// input length only — see [`reduce_chunk_size`]).
+const REDUCE_CHUNKS: usize = 64;
+
+/// The chunk size [`Pool::par_reduce`] uses for an input of `len` elements.
+///
+/// Depends on the input length only — never on the thread count — which is
+/// what makes reduction results bit-identical across pool sizes.
+pub fn reduce_chunk_size(len: usize) -> usize {
+    len.div_ceil(REDUCE_CHUNKS).max(1)
+}
+
+/// Accumulated counters for one named stage (one `par_*` call site).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage label as passed to the `par_*` call.
+    pub label: String,
+    /// Number of `par_*` invocations recorded under this label.
+    pub calls: u64,
+    /// Work items (map elements, chunks, or reduce chunks) executed.
+    pub tasks: u64,
+    /// Wall-clock nanoseconds spent inside the `par_*` calls.
+    pub wall_ns: u64,
+    /// Sum over workers of nanoseconds spent executing tasks.
+    pub busy_ns: u64,
+    /// Sum over workers of nanoseconds spent waiting for work (scheduling
+    /// overhead and end-of-stage imbalance — the "steal/idle" time).
+    pub idle_ns: u64,
+}
+
+/// A snapshot of a pool's observability counters (see [`Pool::stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool was configured with.
+    pub threads: usize,
+    /// Per-stage counters, in first-use order.
+    pub stages: Vec<StageStats>,
+}
+
+impl PoolStats {
+    /// Total tasks executed across all stages.
+    pub fn total_tasks(&self) -> u64 {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+
+    /// Total wall-clock nanoseconds across all stages.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_ns).sum()
+    }
+}
+
+/// A scoped thread pool with deterministic data-parallel primitives.
+///
+/// The pool holds no persistent worker threads: each `par_*` call spawns
+/// scoped workers (capped at the configured thread count) that pull index
+/// ranges from a shared atomic cursor, so borrowed (non-`'static`) data can
+/// be captured freely and a 1-thread pool degrades to an inline loop with
+/// no spawn at all.
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+    stages: Mutex<Vec<StageStats>>,
+}
+
+/// Parses a thread-count override string (the `ORAP_THREADS` format):
+/// a positive integer. `None`, empty, zero or garbage yield `None`.
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// The process-default thread count: `ORAP_THREADS` if set and valid,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+pub fn default_threads() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// The process-wide shared pool, created on first use with
+/// [`default_threads`]. Hot paths that do not take an explicit pool
+/// parameter run on this one.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(Pool::from_env)
+}
+
+impl Pool {
+    /// Creates a pool honouring `ORAP_THREADS` (default: all available
+    /// cores).
+    pub fn from_env() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// Creates a pool with exactly `threads` workers (minimum 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshots the observability counters accumulated so far.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            stages: self.stages.lock().expect("stats lock").clone(),
+        }
+    }
+
+    /// Clears the accumulated counters (the thread count is kept).
+    pub fn reset_stats(&self) {
+        self.stages.lock().expect("stats lock").clear();
+    }
+
+    fn record(&self, label: &str, tasks: usize, wall: Duration, busy_ns: u64, idle_ns: u64) {
+        let mut stages = self.stages.lock().expect("stats lock");
+        let idx = match stages.iter().position(|s| s.label == label) {
+            Some(i) => i,
+            None => {
+                stages.push(StageStats {
+                    label: label.to_string(),
+                    ..StageStats::default()
+                });
+                stages.len() - 1
+            }
+        };
+        let s = &mut stages[idx];
+        s.calls += 1;
+        s.tasks += tasks as u64;
+        s.wall_ns += wall.as_nanos() as u64;
+        s.busy_ns += busy_ns;
+        s.idle_ns += idle_ns;
+    }
+
+    /// Runs `job(0..n)` across the pool, collecting results in index order.
+    ///
+    /// The scheduling granularity adapts to the worker count, but which
+    /// worker runs which index never affects the output: slot `i` of the
+    /// result always holds `job(i)`.
+    fn run_indexed<R, F>(&self, label: &str, n: usize, job: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let call_start = Instant::now();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let t = Instant::now();
+            let out: Vec<R> = (0..n).map(&job).collect();
+            let busy = t.elapsed().as_nanos() as u64;
+            self.record(label, n, call_start.elapsed(), busy, 0);
+            return out;
+        }
+
+        // Work distribution: an atomic cursor over index ranges. The grain
+        // only controls contention, not results.
+        let grain = (n / (workers * 4)).max(1);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut busy_total = 0u64;
+        let mut idle_total = 0u64;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let worker_start = Instant::now();
+                        let mut busy = Duration::ZERO;
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = next.fetch_add(grain, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + grain).min(n);
+                            let t = Instant::now();
+                            for i in start..end {
+                                local.push((i, job(i)));
+                            }
+                            busy += t.elapsed();
+                        }
+                        (local, worker_start.elapsed(), busy)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (local, wall, busy) = h.join().expect("exec worker panicked");
+                busy_total += busy.as_nanos() as u64;
+                idle_total += wall.saturating_sub(busy).as_nanos() as u64;
+                for (i, r) in local {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        self.record(label, n, call_start.elapsed(), busy_total, idle_total);
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index executed"))
+            .collect()
+    }
+
+    /// Applies `f` to every element, returning results in input order.
+    ///
+    /// `f` receives `(index, &item)`; it must be a pure function of those
+    /// for the determinism contract to hold. Counters accrue under `label`.
+    pub fn par_map<T, R, F>(&self, label: &str, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_indexed(label, items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Applies `f` to fixed slices of `chunk_size` consecutive elements
+    /// (the last chunk may be shorter), returning per-chunk results in
+    /// chunk order.
+    ///
+    /// Use this when a task needs per-chunk setup (cloning a simulator,
+    /// seeding an RNG) amortized over many elements. Pick `chunk_size` from
+    /// the *data* (e.g. [`reduce_chunk_size`]), never from the thread
+    /// count, to keep results thread-count independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn par_chunks<T, R, F>(&self, label: &str, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let n = items.len().div_ceil(chunk_size);
+        self.run_indexed(label, n, |k| {
+            let start = k * chunk_size;
+            let end = (start + chunk_size).min(items.len());
+            f(k, &items[start..end])
+        })
+    }
+
+    /// Maps every element with `map` and folds the results with `fold`.
+    ///
+    /// The input is split into [`reduce_chunk_size`]-sized chunks; each
+    /// chunk is folded sequentially in element order, and the per-chunk
+    /// results are then folded **in chunk order** starting from `identity`.
+    /// Because the chunk boundaries depend only on `items.len()`, the
+    /// result is bit-identical for every thread count — including
+    /// non-associative folds such as floating-point addition. For an
+    /// associative `fold` with a true identity, the result equals the
+    /// sequential `items.iter().fold(...)`.
+    pub fn par_reduce<T, A, M, F>(&self, label: &str, items: &[T], identity: A, map: M, fold: F) -> A
+    where
+        T: Sync,
+        A: Send,
+        M: Fn(usize, &T) -> A + Sync,
+        F: Fn(A, A) -> A + Sync,
+    {
+        let chunk = reduce_chunk_size(items.len());
+        let partials = self.par_chunks(label, items, chunk, |k, slice| {
+            let base = k * chunk;
+            let mut it = slice.iter().enumerate();
+            let (j0, first) = it.next().expect("chunks are non-empty");
+            let mut acc = map(base + j0, first);
+            for (j, x) in it {
+                acc = fold(acc, map(base + j, x));
+            }
+            acc
+        });
+        partials.into_iter().fold(identity, &fold)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::with_threads(threads);
+            let items: Vec<u64> = (0..997).collect();
+            let out = pool.par_map("t", &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(out.len(), items.len());
+            assert!(out.iter().enumerate().all(|(i, &y)| y == i as u64 * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let pool = Pool::with_threads(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map("e", &empty, |_, &x| x).is_empty());
+        assert_eq!(pool.par_map("s", &[42u32], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        let pool = Pool::with_threads(4);
+        let items: Vec<usize> = (0..103).collect();
+        let chunks = pool.par_chunks("c", &items, 10, |k, slice| (k, slice.to_vec()));
+        let flat: Vec<usize> = chunks.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        assert_eq!(flat, items);
+        assert_eq!(chunks.len(), 11);
+        assert_eq!(chunks.last().unwrap().1.len(), 3);
+    }
+
+    #[test]
+    fn par_reduce_matches_sequential_sum() {
+        let items: Vec<u64> = (0..1500).map(|i| i * i + 7).collect();
+        let expect: u64 = items.iter().sum();
+        for threads in [1, 2, 8] {
+            let pool = Pool::with_threads(threads);
+            let got = pool.par_reduce("sum", &items, 0u64, |_, &x| x, |a, b| a + b);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_float_bits_identical_across_thread_counts() {
+        // 0.1-style values make float addition order-sensitive; the chunked
+        // fold must still give the same bits for every thread count.
+        let items: Vec<f64> = (0..977).map(|i| (i as f64) * 0.1 + 0.3).collect();
+        let reference = Pool::with_threads(1).par_reduce("f", &items, 0.0f64, |_, &x| x, |a, b| a + b);
+        for threads in [2, 3, 8, 17] {
+            let pool = Pool::with_threads(threads);
+            let got = pool.par_reduce("f", &items, 0.0f64, |_, &x| x, |a, b| a + b);
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_per_stage() {
+        let pool = Pool::with_threads(2);
+        let items: Vec<u32> = (0..100).collect();
+        let _ = pool.par_map("stage_a", &items, |_, &x| x);
+        let _ = pool.par_map("stage_a", &items, |_, &x| x);
+        let _ = pool.par_reduce("stage_b", &items, 0u32, |_, &x| x, |a, b| a.wrapping_add(b));
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 2);
+        let a = stats.stages.iter().find(|s| s.label == "stage_a").unwrap();
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.tasks, 200);
+        let b = stats.stages.iter().find(|s| s.label == "stage_b").unwrap();
+        assert_eq!(b.calls, 1);
+        assert!(stats.total_tasks() >= 200);
+        pool.reset_stats();
+        assert!(pool.stats().stages.is_empty());
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("nope")), None);
+        assert_eq!(parse_threads(Some("8")), Some(8));
+        assert_eq!(parse_threads(Some(" 3 ")), Some(3));
+    }
+
+    #[test]
+    fn with_threads_floors_at_one() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert_eq!(Pool::with_threads(5).threads(), 5);
+    }
+
+    #[test]
+    fn reduce_chunk_size_depends_on_len_only() {
+        assert_eq!(reduce_chunk_size(0), 1);
+        assert_eq!(reduce_chunk_size(1), 1);
+        assert_eq!(reduce_chunk_size(64), 1);
+        assert_eq!(reduce_chunk_size(65), 2);
+        assert_eq!(reduce_chunk_size(6400), 100);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global() as *const Pool;
+        let b = global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+    }
+}

@@ -144,10 +144,9 @@ pub fn anti_sat(original: &Circuit, config: &AntiSatConfig) -> Result<LockedCirc
     let mut ga_bits = Vec::with_capacity(n);
     let mut gb_bits = Vec::with_capacity(n);
     for half in 0..2 {
-        for i in 0..n {
+        for (i, &x) in data_inputs.iter().enumerate().take(n) {
             let k = circuit.add_input(format!("keyin{}_{i}", ["a", "b"][half]));
             key_inputs.push(k);
-            let x = data_inputs[i];
             let xo = circuit.add_gate(
                 GateKind::Xor,
                 vec![x, k],

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! Sequential circuits use `q = DFF(d)` lines; we map those onto the
-//! [`Circuit`](crate::Circuit) flip-flop boundary. As an extension, `CONST0()`
+//! [`Circuit`] flip-flop boundary. As an extension, `CONST0()`
 //! and `CONST1()` gates are accepted so optimized circuits round-trip.
 //!
 //! # Example

@@ -6,7 +6,7 @@
 //! - [`Circuit`]: a gate-level netlist whose sequential elements (D flip-flops)
 //!   are kept at the boundary, exposing the *combinational part* the way the
 //!   OraP paper (and every combinational logic-locking work) treats circuits.
-//! - [`bench`]: a parser and writer for the ISCAS-89 `.bench` format used by
+//! - [`mod@bench`]: a parser and writer for the ISCAS-89 `.bench` format used by
 //!   the ISCAS'89 and ITC'99 benchmark suites.
 //! - [`generate`]: a deterministic synthetic benchmark generator that matches
 //!   the published size profiles of the circuits used in the paper

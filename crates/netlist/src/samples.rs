@@ -134,17 +134,17 @@ pub fn counter(bits: usize) -> Circuit {
     // state logic exists.
     let q: Vec<NetId> = (0..bits).map(|i| c.add_input(format!("q{i}"))).collect();
     let mut carry = en;
-    for i in 0..bits {
+    for (i, &qi) in q.iter().enumerate() {
         let d = c
-            .add_gate(GateKind::Xor, vec![q[i], carry], format!("d{i}"))
+            .add_gate(GateKind::Xor, vec![qi, carry], format!("d{i}"))
             .unwrap();
         if i + 1 < bits {
             carry = c
-                .add_gate(GateKind::And, vec![q[i], carry], format!("cy{i}"))
+                .add_gate(GateKind::And, vec![qi, carry], format!("cy{i}"))
                 .unwrap();
         }
-        c.convert_input_to_dff(q[i], d).unwrap();
-        c.mark_output(q[i]);
+        c.convert_input_to_dff(qi, d).unwrap();
+        c.mark_output(qi);
     }
     c
 }

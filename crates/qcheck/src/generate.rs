@@ -1,7 +1,7 @@
 //! Deterministic value generators and their shrinking rules.
 //!
 //! A [`Gen`] produces values from the workspace's stable
-//! [`SplitMix64`](netlist::rng::SplitMix64) stream, so every generated case
+//! [`SplitMix64`] stream, so every generated case
 //! is reproducible from a single `u64` seed — that seed is what the runner
 //! persists in `.qcheck-regressions` when a property fails.
 //!

@@ -6,6 +6,17 @@ fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
     (0..n).map(|_| s.new_var()).collect()
 }
 
+/// Pigeonhole exclusivity: no two pigeons (rows) share a hole (column).
+fn at_most_one_per_hole(s: &mut Solver, p: &[Vec<Var>]) {
+    for (i1, row1) in p.iter().enumerate() {
+        for row2 in &p[i1 + 1..] {
+            for (a, b) in row1.iter().zip(row2) {
+                s.add_clause(&[a.negative(), b.negative()]);
+            }
+        }
+    }
+}
+
 /// Naive DPLL-free truth-table check for reference.
 fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
     assert!(num_vars <= 20);
@@ -76,13 +87,13 @@ fn xor_chain_sat() {
     let mut s = Solver::new();
     let x = vars(&mut s, 8);
     let mut prev = x[0];
-    for i in 1..8 {
+    for &xi in &x[1..] {
         let t = s.new_var();
-        // t = prev XOR x[i]
-        s.add_clause(&[t.negative(), prev.positive(), x[i].positive()]);
-        s.add_clause(&[t.negative(), prev.negative(), x[i].negative()]);
-        s.add_clause(&[t.positive(), prev.negative(), x[i].positive()]);
-        s.add_clause(&[t.positive(), prev.positive(), x[i].negative()]);
+        // t = prev XOR xi
+        s.add_clause(&[t.negative(), prev.positive(), xi.positive()]);
+        s.add_clause(&[t.negative(), prev.negative(), xi.negative()]);
+        s.add_clause(&[t.positive(), prev.negative(), xi.positive()]);
+        s.add_clause(&[t.positive(), prev.positive(), xi.negative()]);
         prev = t;
     }
     s.add_clause(&[prev.positive()]);
@@ -98,17 +109,11 @@ fn pigeonhole_4_into_3_unsat() {
     // p_{i,j}: pigeon i in hole j. 4 pigeons, 3 holes.
     let mut s = Solver::new();
     let p: Vec<Vec<Var>> = (0..4).map(|_| vars(&mut s, 3)).collect();
-    for i in 0..4 {
-        let clause: Vec<Lit> = (0..3).map(|j| p[i][j].positive()).collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
         s.add_clause(&clause);
     }
-    for j in 0..3 {
-        for i1 in 0..4 {
-            for i2 in (i1 + 1)..4 {
-                s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
-            }
-        }
-    }
+    at_most_one_per_hole(&mut s, &p);
     assert_eq!(s.solve(), SolveResult::Unsat);
 }
 
@@ -120,13 +125,7 @@ fn pigeonhole_5_into_5_sat() {
         let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
         s.add_clause(&clause);
     }
-    for j in 0..5 {
-        for i1 in 0..5 {
-            for i2 in (i1 + 1)..5 {
-                s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
-            }
-        }
-    }
+    at_most_one_per_hole(&mut s, &p);
     assert_eq!(s.solve(), SolveResult::Sat);
 }
 
@@ -166,13 +165,7 @@ fn conflict_budget_reports_unknown() {
         let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
         s.add_clause(&clause);
     }
-    for j in 0..6 {
-        for i1 in 0..7 {
-            for i2 in (i1 + 1)..7 {
-                s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
-            }
-        }
-    }
+    at_most_one_per_hole(&mut s, &p);
     s.set_conflict_budget(Some(1));
     assert_eq!(s.solve(), SolveResult::Unknown);
     s.set_conflict_budget(None);

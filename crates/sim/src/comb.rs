@@ -133,6 +133,20 @@ impl CombSim {
         self.exec(values);
     }
 
+    /// Evaluates many independent 64-pattern batches across `pool`,
+    /// returning one output-word vector per batch, in batch order.
+    ///
+    /// Each batch is one `eval_words` call; batches are distributed over
+    /// the pool's workers with results collected in input order, so the
+    /// output is bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any batch's length differs from the number of inputs.
+    pub fn eval_words_many(&self, pool: &exec::Pool, batches: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        pool.par_map("comb_eval_batches", batches, |_, words| self.eval_words(words))
+    }
+
     /// Evaluates a single pattern of booleans.
     ///
     /// # Panics

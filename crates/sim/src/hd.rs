@@ -77,16 +77,32 @@ pub fn hamming_between_keys(
     patterns: usize,
     seed: u64,
 ) -> Result<HdReport, Error> {
-    assert_eq!(key_a.len(), key_nets.len(), "key_a width mismatch");
-    assert_eq!(key_b.len(), key_nets.len(), "key_b width mismatch");
     let sim = CombSim::new(circuit)?;
     let (data_pos, key_pos) = input_roles(&sim, key_nets);
+    Ok(hamming_on_sim(
+        &sim, &data_pos, &key_pos, key_a, key_b, patterns, seed,
+    ))
+}
+
+/// Core HD measurement against a prebuilt simulator (shared by the public
+/// entry points so the parallel key sweep compiles the circuit only once).
+fn hamming_on_sim(
+    sim: &CombSim,
+    data_pos: &[usize],
+    key_pos: &[usize],
+    key_a: &[bool],
+    key_b: &[bool],
+    patterns: usize,
+    seed: u64,
+) -> HdReport {
+    assert_eq!(key_a.len(), key_pos.len(), "key_a width mismatch");
+    assert_eq!(key_b.len(), key_pos.len(), "key_b width mismatch");
     let mut rng = SplitMix64::new(seed);
     let words = patterns.div_ceil(64).max(1);
     let mut input = vec![0u64; sim.inputs().len()];
     let mut flipped = 0u64;
     for _ in 0..words {
-        for &d in &data_pos {
+        for &d in data_pos {
             input[d] = rng.next_u64();
         }
         for (k, &pos) in key_pos.iter().enumerate() {
@@ -101,11 +117,11 @@ pub fn hamming_between_keys(
             flipped += (wa ^ wb).count_ones() as u64;
         }
     }
-    Ok(HdReport {
+    HdReport {
         patterns: words * 64,
         outputs: sim.outputs().len(),
         flipped,
-    })
+    }
 }
 
 /// Measures the average Hamming distance between the valid key and
@@ -128,28 +144,72 @@ pub fn average_hd_random_keys(
     patterns_per_key: usize,
     seed: u64,
 ) -> Result<f64, Error> {
+    average_hd_random_keys_on(
+        exec::global(),
+        circuit,
+        key_nets,
+        correct_key,
+        num_random_keys,
+        patterns_per_key,
+        seed,
+    )
+}
+
+/// [`average_hd_random_keys`] on an explicit [`exec::Pool`].
+///
+/// The wrong keys are drawn sequentially from one PRNG stream (so the key
+/// set is independent of the thread count), then each key's measurement
+/// runs as one pool task and the per-key percentages are averaged in key
+/// order — the result is bit-identical for any pool size.
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+///
+/// # Panics
+///
+/// Panics if `correct_key.len() != key_nets.len()`.
+pub fn average_hd_random_keys_on(
+    pool: &exec::Pool,
+    circuit: &Circuit,
+    key_nets: &[NetId],
+    correct_key: &[bool],
+    num_random_keys: usize,
+    patterns_per_key: usize,
+    seed: u64,
+) -> Result<f64, Error> {
     assert_eq!(correct_key.len(), key_nets.len(), "key width mismatch");
+    let sim = CombSim::new(circuit)?;
+    let (data_pos, key_pos) = input_roles(&sim, key_nets);
     let mut rng = SplitMix64::new(seed ^ 0x4844_5f4b_4559_u64);
-    let mut total = 0.0;
-    let mut counted = 0usize;
-    for k in 0..num_random_keys {
-        let mut wrong: Vec<bool> = (0..key_nets.len()).map(|_| rng.bool()).collect();
-        if wrong == correct_key {
-            // Astronomically unlikely for real key sizes; flip one bit.
-            wrong[0] = !wrong[0];
-        }
-        let rep = hamming_between_keys(
-            circuit,
-            key_nets,
+    let wrong_keys: Vec<Vec<bool>> = (0..num_random_keys)
+        .map(|_| {
+            let mut wrong: Vec<bool> = (0..key_nets.len()).map(|_| rng.bool()).collect();
+            if wrong == correct_key {
+                // Astronomically unlikely for real key sizes; flip one bit.
+                wrong[0] = !wrong[0];
+            }
+            wrong
+        })
+        .collect();
+    let percents = pool.par_map("hd_random_keys", &wrong_keys, |k, wrong| {
+        hamming_on_sim(
+            &sim,
+            &data_pos,
+            &key_pos,
             correct_key,
-            &wrong,
+            wrong,
             patterns_per_key,
             seed.wrapping_add(k as u64 + 1),
-        )?;
-        total += rep.percent();
-        counted += 1;
-    }
-    Ok(if counted == 0 { 0.0 } else { total / counted as f64 })
+        )
+        .percent()
+    });
+    let total: f64 = percents.iter().fold(0.0, |a, &p| a + p);
+    Ok(if wrong_keys.is_empty() {
+        0.0
+    } else {
+        total / wrong_keys.len() as f64
+    })
 }
 
 #[cfg(test)]
@@ -196,8 +256,8 @@ mod tests {
         let (c, keys) = xor_locked(8);
         let a = vec![false; 8];
         let mut b = vec![false; 8];
-        for i in 0..4 {
-            b[i] = true;
+        for bit in b.iter_mut().take(4) {
+            *bit = true;
         }
         let rep = hamming_between_keys(&c, &keys, &a, &b, 256, 1).unwrap();
         assert_eq!(rep.percent(), 50.0);

@@ -28,6 +28,8 @@
 //! assert_eq!(out, vec![false, true]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod equiv;
 pub mod hd;
 pub mod scan;

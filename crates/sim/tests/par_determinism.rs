@@ -1,0 +1,71 @@
+//! Thread-count determinism: the pattern-parallel hot paths must produce
+//! byte-identical results on 1, 2 and 8 threads (the `exec` determinism
+//! contract, exercised through real workloads).
+
+use gatesim::{hd, CombSim};
+use netlist::rng::SplitMix64;
+use netlist::{Circuit, NetId};
+
+/// A random circuit with its last `key_bits` inputs designated as key nets
+/// (any comb-input subset works for the HD measurement — no locking-crate
+/// dependency needed, which would be a dev-dep cycle).
+fn keyed_circuit(key_bits: usize) -> (Circuit, Vec<NetId>, Vec<bool>) {
+    let c = netlist::generate::random_comb(42, 16, 6, 250).unwrap();
+    let inputs = c.comb_inputs();
+    let key_nets: Vec<NetId> = inputs[inputs.len() - key_bits..].to_vec();
+    let mut rng = SplitMix64::new(1234);
+    let correct: Vec<bool> = (0..key_bits).map(|_| rng.bool()).collect();
+    (c, key_nets, correct)
+}
+
+#[test]
+fn average_hd_random_keys_identical_for_1_2_8_threads() {
+    let (c, key_nets, correct) = keyed_circuit(6);
+    let reference =
+        hd::average_hd_random_keys_on(&exec::Pool::with_threads(1), &c, &key_nets, &correct, 12, 512, 77)
+            .unwrap();
+    assert!(reference > 0.0, "random logic must show some corruption");
+    for threads in [2, 8] {
+        let pool = exec::Pool::with_threads(threads);
+        let avg =
+            hd::average_hd_random_keys_on(&pool, &c, &key_nets, &correct, 12, 512, 77).unwrap();
+        assert_eq!(
+            avg.to_bits(),
+            reference.to_bits(),
+            "HD average diverged on {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pool_entry_point_matches_global_entry_point() {
+    let (c, key_nets, correct) = keyed_circuit(6);
+    let via_global = hd::average_hd_random_keys(&c, &key_nets, &correct, 5, 256, 3).unwrap();
+    let via_pool = hd::average_hd_random_keys_on(
+        &exec::Pool::with_threads(3),
+        &c,
+        &key_nets,
+        &correct,
+        5,
+        256,
+        3,
+    )
+    .unwrap();
+    assert_eq!(via_global.to_bits(), via_pool.to_bits());
+}
+
+#[test]
+fn eval_words_many_identical_for_1_2_8_threads() {
+    let c = netlist::generate::random_comb(5, 12, 8, 300).unwrap();
+    let sim = CombSim::new(&c).unwrap();
+    let mut rng = SplitMix64::new(11);
+    let batches: Vec<Vec<u64>> = (0..37)
+        .map(|_| (0..sim.inputs().len()).map(|_| rng.next_u64()).collect())
+        .collect();
+    let sequential: Vec<Vec<u64>> = batches.iter().map(|b| sim.eval_words(b)).collect();
+    for threads in [1, 2, 8] {
+        let pool = exec::Pool::with_threads(threads);
+        let par = sim.eval_words_many(&pool, &batches);
+        assert_eq!(par, sequential, "{threads} threads");
+    }
+}

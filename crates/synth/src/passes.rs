@@ -43,8 +43,8 @@ fn reachable(aig: &Aig) -> Vec<bool> {
             stack.push(b.node());
         }
     }
-    for i in 0..=aig.num_inputs() {
-        mark[i] = true;
+    for m in mark.iter_mut().take(aig.num_inputs() + 1) {
+        *m = true;
     }
     mark
 }

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("chip unlocked: key register holds the correct key");
 
     // 4. Functional operation now matches the original design.
-    chip.set_state_ffs(&vec![false; 16]);
+    chip.set_state_ffs(&[false; 16]);
     let mut reference = gatesim::SeqSim::new(&design)?;
     for cycle in 0..5 {
         let out = chip.clock(&[true], &vec![false; chip.num_scan_chains()]);

@@ -141,7 +141,7 @@ fn shadow_trojan_keeps_functional_behaviour() {
     let mut chip = ProtectedChip::new(&p).expect("chip");
     arm(&mut chip, ThreatScenario::ShadowRegister);
     chip.power_on_and_unlock();
-    chip.set_state_ffs(&vec![false; 12]);
+    chip.set_state_ffs(&[false; 12]);
     let mut reference = gatesim::SeqSim::new(&design).expect("sim");
     for _ in 0..10 {
         let out = chip.clock(&[true], &vec![false; chip.num_scan_chains()]);
@@ -155,7 +155,7 @@ fn suppression_trojan_keeps_functional_behaviour() {
     let mut chip = ProtectedChip::new(&p).expect("chip");
     arm(&mut chip, ThreatScenario::SuppressPerCellReset);
     chip.power_on_and_unlock();
-    chip.set_state_ffs(&vec![false; 12]);
+    chip.set_state_ffs(&[false; 12]);
     let mut reference = gatesim::SeqSim::new(&design).expect("sim");
     for _ in 0..10 {
         let out = chip.clock(&[true], &vec![false; chip.num_scan_chains()]);
