@@ -55,7 +55,8 @@ pub fn attack(
     let sim = match gatesim::CombSim::new(&locked.circuit) {
         Ok(s) => s,
         Err(_) => {
-            return AttackOutcome::failed(FailureReason::Inconclusive, 0, 0);
+            return AttackOutcome::failed(FailureReason::Inconclusive, 0, 0)
+                .with_telemetry(ctx.telemetry());
         }
     };
     let key_pos: Vec<usize> = locked
@@ -79,15 +80,17 @@ pub fn attack(
                 FailureReason::IterationLimit,
                 iterations,
                 oracle.queries_attempted(),
-            );
+            )
+            .with_telemetry(ctx.telemetry());
         }
-        match ctx.solver.solve() {
+        match ctx.solve_miter() {
             SolveResult::Unknown => {
                 return AttackOutcome::failed(
                     FailureReason::SolverBudget,
                     iterations,
                     oracle.queries_attempted(),
-                );
+                )
+                .with_telemetry(ctx.telemetry());
             }
             SolveResult::Unsat => break,
             SolveResult::Sat => {
@@ -98,7 +101,8 @@ pub fn attack(
                         FailureReason::OracleUnavailable,
                         iterations,
                         oracle.queries_attempted(),
-                    );
+                    )
+                    .with_telemetry(ctx.telemetry());
                 };
                 ctx.learn(&x, &y);
             }
@@ -114,7 +118,8 @@ pub fn attack(
                             FailureReason::OracleUnavailable,
                             iterations,
                             oracle.queries_attempted(),
-                        );
+                        )
+                        .with_telemetry(ctx.telemetry());
                     };
                     answered += 1;
                     // Simulate the locked circuit under the candidate key.
@@ -140,23 +145,28 @@ pub fn attack(
                         failure: None,
                         iterations,
                         oracle_queries: oracle.queries_attempted(),
+                        telemetry: ctx.telemetry(),
                     };
                 }
             }
         }
     }
-    match ctx.extract_key() {
+    let key = ctx.extract_key();
+    let telemetry = ctx.telemetry();
+    match key {
         Some(key) => AttackOutcome {
             key: Some(key),
             failure: None,
             iterations,
             oracle_queries: oracle.queries_attempted(),
+            telemetry,
         },
         None => AttackOutcome::failed(
             FailureReason::Inconclusive,
             iterations,
             oracle.queries_attempted(),
-        ),
+        )
+        .with_telemetry(telemetry),
     }
 }
 

@@ -9,16 +9,16 @@
 //! C(X,K1) ≠ C(X,K2)  ∧  C(X,K3) ≠ C(X,K4)  ∧  (K1 ≠ K3 ∨ K2 ≠ K4)
 //! ```
 //!
-//! When no 2-discriminating input remains, the attack falls back to the
-//! plain SAT attack seeded with everything learnt so far.
+//! All four copies go through the AIG-reduced encoder, so they share the
+//! key-independent cone and one strashed structure. When no 2-discriminating
+//! input remains, the attack falls back to the plain SAT attack on the
+//! two-copy context that has been accumulating the same constraints all
+//! along (no re-encoding or history replay needed).
 
-use std::collections::HashMap;
-
-use cdcl::{Lit, SolveResult, Solver, Var};
+use cdcl::{SolveResult, Solver};
 use locking::LockedCircuit;
-use netlist::NetId;
 
-use crate::cnf::{add_io_constraint, bind_fresh, encode, encode_xor};
+use crate::aigcnf::{xor_pos, ReducedEncoder};
 use crate::sat::AttackContext;
 use crate::{AttackOutcome, FailureReason, Oracle};
 
@@ -42,44 +42,24 @@ impl Default for DoubleDipConfig {
 
 struct FourCopyMiter {
     solver: Solver,
-    data_vars: Vec<Var>,
-    keys: [HashMap<NetId, Lit>; 4],
+    enc: ReducedEncoder,
 }
 
-fn build_miter(locked: &LockedCircuit, data_inputs: &[NetId], outputs: &[NetId]) -> FourCopyMiter {
-    let c = &locked.circuit;
+fn build_miter(locked: &LockedCircuit) -> FourCopyMiter {
     let mut solver = Solver::new();
-    let (data_bind, data_vars) = bind_fresh(&mut solver, data_inputs);
-    let keys: [HashMap<NetId, Lit>; 4] = std::array::from_fn(|_| {
-        let (k, _) = bind_fresh(&mut solver, &locked.key_inputs);
-        k
-    });
-    let mut out_lits: Vec<Vec<Lit>> = Vec::with_capacity(4);
-    for k in &keys {
-        let mut bound = data_bind.clone();
-        bound.extend(k.iter().map(|(n, l)| (*n, *l)));
-        let lits = encode(&mut solver, c, &bound);
-        out_lits.push(outputs.iter().map(|o| lits[o.index()]).collect());
-    }
-    // Pair miters.
-    for pair in [(0usize, 1usize), (2, 3)] {
-        let diffs: Vec<Lit> = (0..outputs.len())
-            .map(|i| encode_xor(&mut solver, out_lits[pair.0][i], out_lits[pair.1][i]))
-            .collect();
-        solver.add_clause(&diffs);
-    }
+    let mut enc = ReducedEncoder::new(locked, &mut solver, 4);
+    enc.assert_miter(&mut solver, 0, 1, None);
+    enc.assert_miter(&mut solver, 2, 3, None);
     // Distinctness: (K1,K2) != (K3,K4).
     let mut distinct = Vec::new();
-    for &n in &locked.key_inputs {
-        distinct.push(encode_xor(&mut solver, keys[0][&n], keys[2][&n]));
-        distinct.push(encode_xor(&mut solver, keys[1][&n], keys[3][&n]));
+    for j in 0..locked.key_inputs.len() {
+        let (k1, k2) = (enc.key_vars(0)[j], enc.key_vars(1)[j]);
+        let (k3, k4) = (enc.key_vars(2)[j], enc.key_vars(3)[j]);
+        distinct.push(xor_pos(&mut solver, k1.positive(), k3.positive()));
+        distinct.push(xor_pos(&mut solver, k2.positive(), k4.positive()));
     }
     solver.add_clause(&distinct);
-    FourCopyMiter {
-        solver,
-        data_vars,
-        keys,
-    }
+    FourCopyMiter { solver, enc }
 }
 
 /// Runs the Double-DIP attack.
@@ -88,10 +68,11 @@ pub fn attack(
     oracle: &mut dyn Oracle,
     config: &DoubleDipConfig,
 ) -> AttackOutcome {
-    // Reuse the plain attack context for extraction bookkeeping; build the
-    // four-copy miter separately.
+    // The plain two-copy context accumulates the same constraints in
+    // parallel; after the 2-discriminating phase it continues as the
+    // fallback attack and performs key extraction.
     let mut ctx = AttackContext::new(locked);
-    let mut miter = build_miter(locked, &ctx.data_inputs, &ctx.outputs);
+    let mut miter = build_miter(locked);
     let mut iterations = 0usize;
 
     loop {
@@ -100,7 +81,8 @@ pub fn attack(
                 FailureReason::IterationLimit,
                 iterations,
                 oracle.queries_attempted(),
-            );
+            )
+            .with_telemetry(ctx.telemetry());
         }
         match miter.solver.solve() {
             SolveResult::Unknown => {
@@ -108,13 +90,15 @@ pub fn attack(
                     FailureReason::SolverBudget,
                     iterations,
                     oracle.queries_attempted(),
-                );
+                )
+                .with_telemetry(ctx.telemetry());
             }
             SolveResult::Unsat => break,
             SolveResult::Sat => {
                 iterations += 1;
                 let x: Vec<bool> = miter
-                    .data_vars
+                    .enc
+                    .data_vars()
                     .iter()
                     .map(|&v| miter.solver.value(v).unwrap_or(false))
                     .collect();
@@ -123,33 +107,21 @@ pub fn attack(
                         FailureReason::OracleUnavailable,
                         iterations,
                         oracle.queries_attempted(),
-                    );
+                    )
+                    .with_telemetry(ctx.telemetry());
                 };
-                // Constrain all four key copies plus the extraction context.
-                for k in &miter.keys {
-                    add_io_constraint(
-                        &mut miter.solver,
-                        &locked.circuit,
-                        &ctx.data_inputs,
-                        k,
-                        &x,
-                        &y,
-                        &ctx.outputs,
-                    );
+                // Constrain all four key copies plus the fallback context.
+                for copy in 0..4 {
+                    miter.enc.add_io_constraint(&mut miter.solver, copy, &x, &y);
                 }
                 ctx.learn(&x, &y);
             }
         }
     }
 
-    // No 2-discriminating input remains: finish with the plain SAT attack,
-    // replaying the accumulated history into a fresh context.
-    let history = ctx.history.clone();
-    let mut fresh = AttackContext::new(locked);
-    for (x, y) in &history {
-        fresh.learn(x, y);
-    }
-    let fallback = run_plain_from(fresh, oracle, config.fallback_iterations);
+    // No 2-discriminating input remains: finish with the plain SAT attack
+    // on the context that already holds every learnt constraint.
+    let fallback = run_plain_from(ctx, oracle, config.fallback_iterations);
     AttackOutcome {
         iterations: iterations + fallback.iterations,
         ..fallback
@@ -157,7 +129,7 @@ pub fn attack(
 }
 
 fn run_plain_from(
-    mut ctx: AttackContext<'_>,
+    mut ctx: AttackContext,
     oracle: &mut dyn Oracle,
     max_iterations: usize,
 ) -> AttackOutcome {
@@ -168,15 +140,17 @@ fn run_plain_from(
                 FailureReason::IterationLimit,
                 iterations,
                 oracle.queries_attempted(),
-            );
+            )
+            .with_telemetry(ctx.telemetry());
         }
-        match ctx.solver.solve() {
+        match ctx.solve_miter() {
             SolveResult::Unknown => {
                 return AttackOutcome::failed(
                     FailureReason::SolverBudget,
                     iterations,
                     oracle.queries_attempted(),
-                );
+                )
+                .with_telemetry(ctx.telemetry());
             }
             SolveResult::Unsat => break,
             SolveResult::Sat => {
@@ -187,24 +161,29 @@ fn run_plain_from(
                         FailureReason::OracleUnavailable,
                         iterations,
                         oracle.queries_attempted(),
-                    );
+                    )
+                    .with_telemetry(ctx.telemetry());
                 };
                 ctx.learn(&x, &y);
             }
         }
     }
-    match ctx.extract_key() {
+    let key = ctx.extract_key();
+    let telemetry = ctx.telemetry();
+    match key {
         Some(key) => AttackOutcome {
             key: Some(key),
             failure: None,
             iterations,
             oracle_queries: oracle.queries_attempted(),
+            telemetry,
         },
         None => AttackOutcome::failed(
             FailureReason::Inconclusive,
             iterations,
             oracle.queries_attempted(),
-        ),
+        )
+        .with_telemetry(telemetry),
     }
 }
 

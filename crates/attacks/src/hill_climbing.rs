@@ -15,7 +15,7 @@ use gatesim::CombSim;
 use locking::LockedCircuit;
 use netlist::rng::SplitMix64;
 
-use crate::{AttackOutcome, FailureReason, Oracle};
+use crate::{AttackOutcome, AttackTelemetry, FailureReason, Oracle};
 
 /// Hill-climbing configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +140,7 @@ pub fn attack_with_responses(
                 failure: None,
                 iterations: restarts_used,
                 oracle_queries: queries_attempted,
+                telemetry: AttackTelemetry::default(),
             };
         }
         for _sweep in 0..config.max_sweeps {
@@ -160,6 +161,7 @@ pub fn attack_with_responses(
                     failure: None,
                     iterations: restarts_used,
                     oracle_queries: queries_attempted,
+                    telemetry: AttackTelemetry::default(),
                 };
             }
             if !improved {

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aigcnf;
 pub mod appsat;
 pub mod cnf;
 pub mod double_dip;
@@ -84,6 +85,31 @@ impl std::fmt::Display for FailureReason {
     }
 }
 
+/// Telemetry for one learned distinguishing input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DipTelemetry {
+    /// Clauses the DIP's I/O constraints added to the attack solver — with
+    /// the AIG-reduced encoding this is the key-dependent residue of the
+    /// cofactored circuit, not two full netlist clones.
+    pub clauses_added: usize,
+    /// Cumulative solver conflicts right after this DIP was learned.
+    pub conflicts: u64,
+}
+
+/// Aggregate per-run telemetry of the SAT-attack family, surfaced through
+/// [`AttackOutcome`] and exported by the experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttackTelemetry {
+    /// One record per distinguishing input, in attack order.
+    pub dips: Vec<DipTelemetry>,
+    /// Cumulative solver statistics at the end of the run.
+    pub solver: cdcl::SolverStats,
+    /// Final problem-clause count of the attack solver.
+    pub clauses: usize,
+    /// Final variable count of the attack solver.
+    pub vars: usize,
+}
+
 /// Outcome of an oracle-guided attack.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttackOutcome {
@@ -96,6 +122,8 @@ pub struct AttackOutcome {
     pub iterations: usize,
     /// Oracle queries attempted (including refused ones).
     pub oracle_queries: usize,
+    /// Solver/encoding telemetry (empty for the non-SAT attacks).
+    pub telemetry: AttackTelemetry,
 }
 
 impl AttackOutcome {
@@ -110,7 +138,13 @@ impl AttackOutcome {
             failure: Some(reason),
             iterations,
             oracle_queries: queries,
+            telemetry: AttackTelemetry::default(),
         }
+    }
+
+    pub(crate) fn with_telemetry(mut self, telemetry: AttackTelemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 

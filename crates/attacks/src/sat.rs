@@ -9,17 +9,22 @@
 //! remaining key is functionally correct — any model of the accumulated
 //! constraints is an unlocking key.
 //!
+//! All encoding goes through [`crate::aigcnf::ReducedEncoder`]: the miter
+//! compares only key-dependent output cones and shares the key-independent
+//! logic between the copies, and each per-DIP constraint is cofactored under
+//! the DIP's constants before any clause is emitted. Key extraction runs on
+//! the *same* solver — the miter disjunction carries an activation literal,
+//! so assuming it disables the miter and leaves exactly the accumulated I/O
+//! constraints, reusing everything the solver has learned.
+//!
 //! Against OraP the very first oracle query fails, so the attack terminates
 //! with [`FailureReason::OracleUnavailable`] — the paper's central claim.
 
-use std::collections::HashMap;
-
-use cdcl::{Lit, SolveResult, Solver, Var};
+use cdcl::{Lit, SolveResult, Solver};
 use locking::LockedCircuit;
-use netlist::NetId;
 
-use crate::cnf::{add_io_constraint, bind_fresh, encode, encode_xor};
-use crate::{AttackOutcome, FailureReason, Oracle};
+use crate::aigcnf::ReducedEncoder;
+use crate::{AttackOutcome, AttackTelemetry, DipTelemetry, FailureReason, Oracle};
 
 /// SAT attack configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,118 +44,87 @@ impl Default for SatAttackConfig {
     }
 }
 
-/// The shared plumbing of the SAT-attack family.
-pub(crate) struct AttackContext<'l> {
-    pub locked: &'l LockedCircuit,
-    pub data_inputs: Vec<NetId>,
-    pub outputs: Vec<NetId>,
-    /// Miter solver.
+/// The shared plumbing of the SAT-attack family: one solver holding the
+/// activation-gated miter plus every observed I/O constraint.
+pub(crate) struct AttackContext {
     pub solver: Solver,
-    pub data_vars: Vec<Var>,
-    pub k1: HashMap<NetId, Lit>,
-    pub k2: HashMap<NetId, Lit>,
-    /// Constraint-only solver for key extraction.
-    pub extraction: Solver,
-    pub ke: HashMap<NetId, Lit>,
-    pub ke_vars: Vec<Var>,
+    pub enc: ReducedEncoder,
+    /// Miter activation literal: assumed true for DIP search, false for key
+    /// extraction (folding the old separate extraction solver into this one).
+    act: Lit,
     /// Observed I/O pairs.
     pub history: Vec<(Vec<bool>, Vec<bool>)>,
+    /// Per-DIP telemetry, parallel to `history`.
+    pub dips: Vec<DipTelemetry>,
 }
 
-impl<'l> AttackContext<'l> {
-    pub fn new(locked: &'l LockedCircuit) -> Self {
-        let c = &locked.circuit;
-        let data_inputs: Vec<NetId> = c
-            .comb_inputs()
-            .into_iter()
-            .filter(|n| !locked.key_inputs.contains(n))
-            .collect();
-        let outputs = c.comb_outputs();
-
+impl AttackContext {
+    pub fn new(locked: &LockedCircuit) -> Self {
         let mut solver = Solver::new();
-        let (data_bind, data_vars) = bind_fresh(&mut solver, &data_inputs);
-        let (k1, _) = bind_fresh(&mut solver, &locked.key_inputs);
-        let (k2, _) = bind_fresh(&mut solver, &locked.key_inputs);
-
-        // Two circuit copies sharing X, differing in key bindings.
-        let mut bound1 = data_bind.clone();
-        bound1.extend(k1.iter().map(|(k, v)| (*k, *v)));
-        let lits1 = encode(&mut solver, c, &bound1);
-        let mut bound2 = data_bind;
-        bound2.extend(k2.iter().map(|(k, v)| (*k, *v)));
-        let lits2 = encode(&mut solver, c, &bound2);
-
-        // Miter: at least one output differs.
-        let diffs: Vec<Lit> = outputs
-            .iter()
-            .map(|o| encode_xor(&mut solver, lits1[o.index()], lits2[o.index()]))
-            .collect();
-        solver.add_clause(&diffs);
-
-        let mut extraction = Solver::new();
-        let (ke, ke_vars) = bind_fresh(&mut extraction, &locked.key_inputs);
-
+        let mut enc = ReducedEncoder::new(locked, &mut solver, 2);
+        let act = solver.new_var().positive();
+        enc.assert_miter(&mut solver, 0, 1, Some(!act));
+        // The miter is symmetric under swapping its key copies; keep only
+        // the ordered representatives.
+        enc.assert_key_lex_le(&mut solver, 0, 1);
         AttackContext {
-            locked,
-            data_inputs,
-            outputs,
             solver,
-            data_vars,
-            k1,
-            k2,
-            extraction,
-            ke,
-            ke_vars,
+            enc,
+            act,
             history: Vec::new(),
+            dips: Vec::new(),
         }
+    }
+
+    /// Searches for the next distinguishing input (miter enabled).
+    pub fn solve_miter(&mut self) -> SolveResult {
+        self.solver.solve_with(&[self.act])
     }
 
     /// Reads the current DIP from the miter solver's model.
     pub fn model_dip(&self) -> Vec<bool> {
-        self.data_vars
+        self.enc
+            .data_vars()
             .iter()
             .map(|&v| self.solver.value(v).unwrap_or(false))
             .collect()
     }
 
-    /// Records an oracle response: constrains both miter key copies and the
-    /// extraction key to reproduce it.
+    /// Records an oracle response: constrains both miter key copies to
+    /// reproduce it.
     pub fn learn(&mut self, x: &[bool], y: &[bool]) {
-        let c = &self.locked.circuit;
-        for keys in [&self.k1, &self.k2] {
-            add_io_constraint(
-                &mut self.solver,
-                c,
-                &self.data_inputs,
-                keys,
-                x,
-                y,
-                &self.outputs,
-            );
-        }
-        add_io_constraint(
-            &mut self.extraction,
-            c,
-            &self.data_inputs,
-            &self.ke,
-            x,
-            y,
-            &self.outputs,
-        );
+        let before = self.solver.num_clauses();
+        self.enc.add_io_constraint(&mut self.solver, 0, x, y);
+        self.enc.add_io_constraint(&mut self.solver, 1, x, y);
+        self.dips.push(DipTelemetry {
+            clauses_added: self.solver.num_clauses().saturating_sub(before),
+            conflicts: self.solver.stats().conflicts,
+        });
         self.history.push((x.to_vec(), y.to_vec()));
     }
 
-    /// Solves the extraction problem: any key consistent with all observed
-    /// I/O pairs.
+    /// Solves the extraction problem — any key consistent with all observed
+    /// I/O pairs — by disabling the miter on the same solver.
     pub fn extract_key(&mut self) -> Option<Vec<bool>> {
-        match self.extraction.solve() {
+        match self.solver.solve_with(&[!self.act]) {
             SolveResult::Sat => Some(
-                self.ke_vars
+                self.enc
+                    .key_vars(0)
                     .iter()
-                    .map(|&v| self.extraction.value(v).unwrap_or(false))
+                    .map(|&v| self.solver.value(v).unwrap_or(false))
                     .collect(),
             ),
             _ => None,
+        }
+    }
+
+    /// Snapshot of the run's telemetry.
+    pub fn telemetry(&self) -> AttackTelemetry {
+        AttackTelemetry {
+            dips: self.dips.clone(),
+            solver: *self.solver.stats(),
+            clauses: self.solver.num_clauses(),
+            vars: self.solver.num_vars(),
         }
     }
 }
@@ -170,15 +144,17 @@ pub fn attack(
                 FailureReason::IterationLimit,
                 iterations,
                 oracle.queries_attempted(),
-            );
+            )
+            .with_telemetry(ctx.telemetry());
         }
-        match ctx.solver.solve() {
+        match ctx.solve_miter() {
             SolveResult::Unknown => {
                 return AttackOutcome::failed(
                     FailureReason::SolverBudget,
                     iterations,
                     oracle.queries_attempted(),
-                );
+                )
+                .with_telemetry(ctx.telemetry());
             }
             SolveResult::Unsat => break,
             SolveResult::Sat => {
@@ -190,33 +166,38 @@ pub fn attack(
                             FailureReason::OracleUnavailable,
                             iterations,
                             oracle.queries_attempted(),
-                        );
+                        )
+                        .with_telemetry(ctx.telemetry());
                     }
                     Some(y) => ctx.learn(&x, &y),
                 }
             }
         }
     }
-    match ctx.extract_key() {
+    let key = ctx.extract_key();
+    let telemetry = ctx.telemetry();
+    match key {
         Some(key) => AttackOutcome {
             key: Some(key),
             failure: None,
             iterations,
             oracle_queries: oracle.queries_attempted(),
+            telemetry,
         },
         None => AttackOutcome::failed(
             FailureReason::Inconclusive,
             iterations,
             oracle.queries_attempted(),
-        ),
+        )
+        .with_telemetry(telemetry),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oracle::{CombOracle, DeadOracle};
     use crate::key_is_functionally_correct;
+    use crate::oracle::{CombOracle, DeadOracle};
     use locking::random::RllConfig;
     use locking::weighted::WllConfig;
     use netlist::samples;
@@ -331,5 +312,22 @@ mod tests {
         let out = attack(&locked, &mut oracle, &SatAttackConfig::default());
         assert_eq!(out.iterations, 0, "miter is UNSAT from the start");
         assert!(out.key.is_some());
+    }
+
+    #[test]
+    fn telemetry_tracks_one_record_per_dip() {
+        let original = samples::ripple_adder(4);
+        let locked =
+            locking::random::lock(&original, &RllConfig { key_bits: 8, seed: 3 }).unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &SatAttackConfig::default());
+        assert!(out.key.is_some());
+        assert_eq!(out.telemetry.dips.len(), out.iterations);
+        assert!(out.telemetry.clauses > 0);
+        assert!(out.telemetry.solver.solves as usize >= out.iterations);
+        // Cumulative conflict counts never decrease along the run.
+        for w in out.telemetry.dips.windows(2) {
+            assert!(w[0].conflicts <= w[1].conflicts);
+        }
     }
 }

@@ -15,7 +15,7 @@ use locking::LockedCircuit;
 use netlist::NetId;
 
 use crate::cnf::{add_io_constraint, bind_fresh, encode, encode_xor};
-use crate::{AttackOutcome, FailureReason, Oracle};
+use crate::{AttackOutcome, AttackTelemetry, FailureReason, Oracle};
 
 /// Sensitization configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,6 +184,7 @@ pub fn attack(
             failure: None,
             iterations: probes,
             oracle_queries: oracle.queries_attempted(),
+            telemetry: AttackTelemetry::default(),
         }
     } else {
         AttackOutcome::failed(

@@ -27,6 +27,7 @@ struct Row {
     iterations: usize,
     queries: usize,
     failure: Option<String>,
+    telemetry: attacks::AttackTelemetry,
 }
 
 impl ToJson for Row {
@@ -40,6 +41,7 @@ impl ToJson for Row {
             iterations: self.iterations,
             queries: self.queries,
             failure: self.failure,
+            telemetry: self.telemetry,
         }
     }
 }
@@ -78,6 +80,7 @@ fn run_attack(
         iterations: outcome.iterations,
         queries: outcome.oracle_queries,
         failure: outcome.failure.map(|f| f.to_string()),
+        telemetry: outcome.telemetry,
     }
 }
 
@@ -173,6 +176,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     } else {
                         Some("no removable skewed signal".into())
                     },
+                    telemetry: attacks::AttackTelemetry::default(),
                 })
             }
         }

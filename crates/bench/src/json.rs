@@ -540,6 +540,50 @@ impl<'a> Parser<'a> {
     }
 }
 
+impl ToJson for cdcl::SolverStats {
+    fn to_json(&self) -> Json {
+        crate::json_object! {
+            solves: self.solves,
+            decisions: self.decisions,
+            propagations: self.propagations,
+            conflicts: self.conflicts,
+            restarts: self.restarts,
+            learned_clauses: self.learned_clauses,
+            learned_literals_pre: self.learned_literals_pre,
+            learned_literals_post: self.learned_literals_post,
+            db_reductions: self.db_reductions,
+            clauses_deleted: self.clauses_deleted,
+        }
+    }
+}
+
+impl ToJson for attacks::DipTelemetry {
+    fn to_json(&self) -> Json {
+        crate::json_object! {
+            clauses_added: self.clauses_added,
+            conflicts: self.conflicts,
+        }
+    }
+}
+
+impl ToJson for attacks::AttackTelemetry {
+    fn to_json(&self) -> Json {
+        let avg_clauses_per_dip = if self.dips.is_empty() {
+            0.0
+        } else {
+            self.dips.iter().map(|d| d.clauses_added).sum::<usize>() as f64
+                / self.dips.len() as f64
+        };
+        crate::json_object! {
+            dips: self.dips.len(),
+            avg_clauses_per_dip: avg_clauses_per_dip,
+            clauses: self.clauses,
+            vars: self.vars,
+            solver: self.solver,
+        }
+    }
+}
+
 impl ToJson for exec::StageStats {
     fn to_json(&self) -> Json {
         crate::json_object! {

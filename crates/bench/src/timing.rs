@@ -82,7 +82,8 @@ pub struct Harness {
     results: Vec<Measurement>,
 }
 
-fn human_time(ns: f64) -> String {
+/// Formats a nanosecond duration with an adaptive unit (ns/µs/ms/s).
+pub fn human_time(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
     } else if ns >= 1e6 {

@@ -4,15 +4,22 @@
 //! central adversary the OraP paper defends against; it needs an incremental
 //! SAT solver at its core. This crate implements a MiniSat-class solver:
 //!
-//! - two-watched-literal unit propagation,
-//! - first-UIP conflict-driven clause learning,
+//! - two-watched-literal unit propagation over a flat clause arena, with
+//!   blocker literals and dedicated binary-clause watch lists (a binary
+//!   visit touches no clause memory at all),
+//! - first-UIP conflict-driven clause learning with configurable
+//!   learnt-clause minimization ([`CcMin`]: none, local, or recursive
+//!   MiniSat `ccmin-mode=2`-style),
 //! - exponential VSIDS branching with phase saving,
-//! - Luby-sequence restarts,
-//! - activity-driven learnt-clause deletion,
+//! - Luby-sequence restarts (unit configurable via [`SolverConfig`]),
+//! - literal-block-distance (LBD) tracking with glue-clause protection and
+//!   LBD-driven learnt-clause database reduction,
 //! - incremental solving under assumptions, with clause addition between
 //!   calls (exactly what the attack's query loop needs),
 //! - optional conflict budgets (returning [`SolveResult::Unknown`]), used by
 //!   the approximate attacks,
+//! - cumulative search statistics ([`SolverStats`]) exported by the
+//!   experiment harness,
 //! - DIMACS CNF I/O ([`dimacs`]).
 //!
 //! # Example
@@ -30,9 +37,11 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dimacs;
 mod solver;
 mod types;
 
-pub use solver::{SolveResult, Solver};
+pub use solver::{CcMin, SolveResult, Solver, SolverConfig, SolverStats};
 pub use types::{Lit, Var};

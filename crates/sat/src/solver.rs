@@ -15,29 +15,157 @@ const UNDEF: i8 = 0;
 const TRUE: i8 = 1;
 const FALSE: i8 = -1;
 
+/// Arena offset of a clause's header word.
 type ClauseRef = u32;
 const REASON_NONE: ClauseRef = u32::MAX;
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    activity: f32,
-    learnt: bool,
-    deleted: bool,
-}
+// Clauses live in one flat `Vec<u32>` arena so that propagation walks
+// contiguous memory instead of chasing a `Vec<Lit>` heap pointer per
+// clause. Layout per clause, starting at its `ClauseRef` offset:
+//
+//   [ header | lbd | activity (f32 bits) | lit 0 | lit 1 | ... ]
+//
+// The header packs the length with three flag bits. `lbd` is the
+// literal-block distance: distinct decision levels in the clause at learn
+// time, refreshed whenever the clause participates in conflict analysis;
+// glue clauses (`lbd <= glue_lbd`) are never deleted.
+const HDR: usize = 3;
+const LEN_MASK: u32 = 0x0FFF_FFFF;
+const FLAG_LEARNT: u32 = 1 << 28;
+const FLAG_DELETED: u32 = 1 << 29;
+/// Used in conflict analysis since the last DB reduction; such clauses
+/// survive one extra reduction round (Glucose-style protection).
+const FLAG_USED: u32 = 1 << 30;
 
 #[derive(Debug, Clone, Copy)]
 struct Watch {
     cref: ClauseRef,
+    /// For long clauses: a cached literal whose truth lets the visit skip
+    /// the clause entirely. For binary clauses: the *other* literal, making
+    /// the watch entry self-contained (no clause-memory access at all).
     blocker: Lit,
+}
+
+/// Learned-clause minimization mode (MiniSat's `ccmin-mode`).
+///
+/// `Deep` removes the most literals but walks the implication graph for
+/// every candidate; on the incremental miter proofs of the SAT-attack
+/// family the walk costs more than the shorter clauses save, so the
+/// default is `Basic` (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcMin {
+    /// Keep first-UIP clauses as derived.
+    None,
+    /// Local check: a literal is redundant if its reason clause is already
+    /// absorbed by the learnt clause.
+    Basic,
+    /// Recursive check through the implication graph (MiniSat
+    /// `ccmin-mode=2`).
+    Deep,
+}
+
+/// Tunable search parameters, all with MiniSat/Glucose-class defaults.
+///
+/// The knobs are read at each [`Solver::solve_with`] call, so they can be
+/// adjusted between incremental solves. See `EXPERIMENTS.md` ("Solver
+/// knobs") for guidance on when to change them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Luby restart unit: the restart interval is `luby(i) * restart_base`
+    /// conflicts. Smaller values restart more aggressively.
+    pub restart_base: u64,
+    /// Learnt clauses with LBD at or below this are *glue* clauses and are
+    /// never deleted by DB reduction.
+    pub glue_lbd: u32,
+    /// Conflicts before the first learnt-clause DB reduction.
+    pub reduce_base: u64,
+    /// Increment added to the reduction interval after every reduction, so
+    /// the DB is allowed to grow over time.
+    pub reduce_increment: u64,
+    /// VSIDS variable-activity decay factor (activity increment is divided
+    /// by this after each conflict).
+    pub var_decay: f64,
+    /// Clause-activity decay factor.
+    pub cla_decay: f64,
+    /// Learned-clause minimization mode.
+    pub ccmin: CcMin,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            restart_base: 100,
+            glue_lbd: 2,
+            reduce_base: 2000,
+            reduce_increment: 300,
+            var_decay: 0.95,
+            cla_decay: 0.999,
+            ccmin: CcMin::Basic,
+        }
+    }
+}
+
+/// Cumulative search statistics, monotone across incremental solves.
+///
+/// Read them with [`Solver::stats`]; experiment binaries export them through
+/// `orap_bench::json`. `learned_literals_pre/post` measure how much
+/// recursive clause minimization shrinks first-UIP clauses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// `solve`/`solve_with` calls completed.
+    pub solves: u64,
+    /// Branching decisions (assumption applications excluded).
+    pub decisions: u64,
+    /// Literals enqueued by unit propagation.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses attached (units included).
+    pub learned_clauses: u64,
+    /// Total literals in learnt clauses before minimization.
+    pub learned_literals_pre: u64,
+    /// Total literals in learnt clauses after recursive minimization.
+    pub learned_literals_post: u64,
+    /// Learnt-clause database reductions.
+    pub db_reductions: u64,
+    /// Learnt clauses deleted by DB reductions.
+    pub clauses_deleted: u64,
+}
+
+impl SolverStats {
+    /// Difference `self - earlier`, for per-phase deltas of cumulative
+    /// counters.
+    #[must_use]
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves - earlier.solves,
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            conflicts: self.conflicts - earlier.conflicts,
+            restarts: self.restarts - earlier.restarts,
+            learned_clauses: self.learned_clauses - earlier.learned_clauses,
+            learned_literals_pre: self.learned_literals_pre - earlier.learned_literals_pre,
+            learned_literals_post: self.learned_literals_post - earlier.learned_literals_post,
+            db_reductions: self.db_reductions - earlier.db_reductions,
+            clauses_deleted: self.clauses_deleted - earlier.clauses_deleted,
+        }
+    }
 }
 
 /// A CDCL SAT solver. See the [crate documentation](crate) for an overview
 /// and example.
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    /// Flat clause storage (see the layout comment at [`HDR`]).
+    arena: Vec<u32>,
+    /// Arena words occupied by deleted clauses; triggers garbage collection.
+    wasted: usize,
+    /// Live (non-deleted) attached clauses.
+    live_clauses: usize,
     watches: Vec<Vec<Watch>>, // indexed by Lit::code of the *falsified* literal
+    watches_bin: Vec<Vec<Watch>>, // binary clauses, same indexing
     assigns: Vec<i8>,         // indexed by var
     level: Vec<u32>,
     reason: Vec<ClauseRef>,
@@ -53,14 +181,22 @@ pub struct Solver {
 
     cla_inc: f32,
     learnt_count: usize,
-    max_learnts: f64,
+    /// Conflicts since the last DB reduction.
+    conflicts_since_reduce: u64,
+    /// Conflict count that triggers the next DB reduction.
+    next_reduce: u64,
 
+    config: SolverConfig,
     ok: bool,
-    conflicts_total: u64,
+    stats: SolverStats,
     budget: Option<u64>,
 
-    // scratch for analyze
+    // scratch for analyze / minimization / LBD
     seen: Vec<bool>,
+    analyze_stack: Vec<Lit>,
+    analyze_toclear: Vec<Lit>,
+    lbd_stamp: Vec<u64>,
+    lbd_counter: u64,
 
     /// Model snapshot from the last successful solve (empty otherwise).
     assigns_model: Vec<i8>,
@@ -73,11 +209,19 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with default [`SolverConfig`].
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with explicit search parameters.
+    pub fn with_config(config: SolverConfig) -> Self {
         Solver {
-            clauses: Vec::new(),
+            arena: Vec::new(),
+            wasted: 0,
+            live_clauses: 0,
             watches: Vec::new(),
+            watches_bin: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -90,13 +234,36 @@ impl Solver {
             saved_phase: Vec::new(),
             cla_inc: 1.0,
             learnt_count: 0,
-            max_learnts: 4000.0,
+            conflicts_since_reduce: 0,
+            next_reduce: config.reduce_base,
+            config,
             ok: true,
-            conflicts_total: 0,
+            stats: SolverStats::default(),
             budget: None,
             seen: Vec::new(),
+            analyze_stack: Vec::new(),
+            analyze_toclear: Vec::new(),
+            lbd_stamp: Vec::new(),
+            lbd_counter: 0,
             assigns_model: Vec::new(),
         }
+    }
+
+    /// The current search parameters.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Replaces the search parameters (effective from the next conflict).
+    /// The DB-reduction schedule restarts from the new `reduce_base`.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.next_reduce = config.reduce_base;
+        self.config = config;
+    }
+
+    /// Cumulative search statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
     }
 
     /// Allocates a fresh variable.
@@ -110,6 +277,8 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.watches_bin.push(Vec::new());
+        self.watches_bin.push(Vec::new());
         if !self.assigns_model.is_empty() {
             self.assigns_model.push(UNDEF);
         }
@@ -124,12 +293,17 @@ impl Solver {
 
     /// Number of (non-deleted) clauses, including learnt ones.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted).count()
+        self.live_clauses
+    }
+
+    /// Number of live learnt clauses.
+    pub fn num_learnts(&self) -> usize {
+        self.learnt_count
     }
 
     /// Total conflicts encountered so far (monotone across calls).
     pub fn conflicts(&self) -> u64 {
-        self.conflicts_total
+        self.stats.conflicts
     }
 
     /// Limits the *next* solve calls to `budget` additional conflicts each;
@@ -207,28 +381,37 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(simplified, false);
+                self.attach_clause(&simplified, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as ClauseRef;
-        let w0 = lits[0];
-        let w1 = lits[1];
-        self.clauses.push(Clause {
-            lits,
-            activity: 0.0,
-            learnt,
-            deleted: false,
-        });
+        debug_assert!(lits.len() as u32 <= LEN_MASK);
+        let cref = self.arena.len() as ClauseRef;
+        let mut header = lits.len() as u32;
+        if learnt {
+            header |= FLAG_LEARNT;
+        }
+        self.arena.push(header);
+        self.arena.push(lbd);
+        self.arena.push(0f32.to_bits());
+        self.arena.extend(lits.iter().map(|l| l.0));
+        self.live_clauses += 1;
         if learnt {
             self.learnt_count += 1;
         }
-        self.watches[(!w0).code()].push(Watch { cref, blocker: w1 });
-        self.watches[(!w1).code()].push(Watch { cref, blocker: w0 });
+        let w0 = lits[0];
+        let w1 = lits[1];
+        let lists = if lits.len() == 2 {
+            &mut self.watches_bin
+        } else {
+            &mut self.watches
+        };
+        lists[(!w0).code()].push(Watch { cref, blocker: w1 });
+        lists[(!w1).code()].push(Watch { cref, blocker: w0 });
         cref
     }
 
@@ -251,13 +434,36 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
-            // Take the watch list for the falsified literal !p... we watch
-            // on (!w) so the list for p.code() holds clauses where `p`'s
-            // negation is watched; following MiniSat convention: watches
-            // indexed by the literal that just became TRUE's negation.
+
+            // Binary clauses first: the watch entry carries the other
+            // literal, so a visit costs no clause-memory access and the
+            // watch never moves.
+            let bins = std::mem::take(&mut self.watches_bin[p.code()]);
+            let mut conflict: Option<ClauseRef> = None;
+            for w in &bins {
+                match self.lit_value(w.blocker) {
+                    TRUE => {}
+                    FALSE => {
+                        conflict = Some(w.cref);
+                        break;
+                    }
+                    _ => {
+                        self.stats.propagations += 1;
+                        self.unchecked_enqueue(w.blocker, w.cref);
+                    }
+                }
+            }
+            self.watches_bin[p.code()] = bins;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+
+            // The list at p.code() holds clauses in which !p is watched;
+            // !p just became false, so each needs a new watch or is
+            // unit/conflicting (MiniSat convention).
             let mut ws = std::mem::take(&mut self.watches[p.code()]);
             let mut i = 0;
-            let mut conflict: Option<ClauseRef> = None;
             'watches: while i < ws.len() {
                 let w = ws[i];
                 // Quick skip via blocker.
@@ -266,31 +472,30 @@ impl Solver {
                     continue;
                 }
                 let cref = w.cref;
-                if self.clauses[cref as usize].deleted {
+                let base = cref as usize;
+                let header = self.arena[base];
+                if header & FLAG_DELETED != 0 {
                     ws.swap_remove(i);
                     continue;
                 }
                 // Make sure the falsified watch is at position 1.
                 let false_lit = !p;
-                {
-                    let c = &mut self.clauses[cref as usize];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                if Lit(self.arena[base + HDR]) == false_lit {
+                    self.arena.swap(base + HDR, base + HDR + 1);
                 }
-                let first = self.clauses[cref as usize].lits[0];
+                debug_assert_eq!(Lit(self.arena[base + HDR + 1]), false_lit);
+                let first = Lit(self.arena[base + HDR]);
                 if first != w.blocker && self.lit_value(first) == TRUE {
                     ws[i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cref as usize].lits.len();
+                let len = (header & LEN_MASK) as usize;
                 for k in 2..len {
-                    let lk = self.clauses[cref as usize].lits[k];
+                    let lk = Lit(self.arena[base + HDR + k]);
                     if self.lit_value(lk) != FALSE {
-                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.arena.swap(base + HDR + 1, base + HDR + k);
                         self.watches[(!lk).code()].push(Watch {
                             cref,
                             blocker: first,
@@ -304,16 +509,11 @@ impl Solver {
                 if self.lit_value(first) == FALSE {
                     conflict = Some(cref);
                     self.qhead = self.trail.len();
-                    // keep remaining watches
-                    i += 1;
-                    while i < ws.len() {
-                        i += 1;
-                    }
                     break;
-                } else {
-                    self.unchecked_enqueue(first, cref);
-                    i += 1;
                 }
+                self.stats.propagations += 1;
+                self.unchecked_enqueue(first, cref);
+                i += 1;
             }
             let slot = &mut self.watches[p.code()];
             if slot.is_empty() {
@@ -343,33 +543,96 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
+        let slot = cref as usize + 2;
+        let act = f32::from_bits(self.arena[slot]) + self.cla_inc;
+        self.arena[slot] = act.to_bits();
+        if act > 1e20 {
+            let mut off = 0usize;
+            while off < self.arena.len() {
+                let a = f32::from_bits(self.arena[off + 2]) * 1e-20;
+                self.arena[off + 2] = a.to_bits();
+                off += HDR + (self.arena[off] & LEN_MASK) as usize;
             }
             self.cla_inc *= 1e-20;
         }
     }
 
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    /// Literal-block distance of a literal slice: the number of distinct
+    /// non-root decision levels among its variables.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        if self.lbd_stamp.len() < self.trail_lim.len() + 2 {
+            self.lbd_stamp.resize(self.trail_lim.len() + 2, 0);
+        }
+        let mut lbd = 0u32;
+        for l in lits {
+            let lv = self.level[l.var().index()] as usize;
+            if lv > 0 && self.lbd_stamp[lv] != stamp {
+                self.lbd_stamp[lv] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// [`compute_lbd`](Self::compute_lbd) over a clause stored in the arena.
+    fn compute_lbd_clause(&mut self, cref: ClauseRef) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        if self.lbd_stamp.len() < self.trail_lim.len() + 2 {
+            self.lbd_stamp.resize(self.trail_lim.len() + 2, 0);
+        }
+        let base = cref as usize;
+        let len = (self.arena[base] & LEN_MASK) as usize;
+        let mut lbd = 0u32;
+        for k in 0..len {
+            let lv = self.level[Lit(self.arena[base + HDR + k]).var().index()] as usize;
+            if lv > 0 && self.lbd_stamp[lv] != stamp {
+                self.lbd_stamp[lv] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// First-UIP conflict analysis with recursive (MiniSat `ccmin-mode=2`)
+    /// clause minimization. Returns the learnt clause (asserting literal
+    /// first), its LBD, and the backtrack level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
+        self.analyze_toclear.clear();
 
         loop {
             self.bump_clause(conflict);
-            let start = usize::from(p.is_some());
-            let clen = self.clauses[conflict as usize].lits.len();
-            for k in start..clen {
-                let q = self.clauses[conflict as usize].lits[k];
+            let base = conflict as usize;
+            if self.arena[base] & FLAG_LEARNT != 0 {
+                self.arena[base] |= FLAG_USED;
+                // Refresh the LBD of learnt clauses that keep causing
+                // conflicts; a clause that has become glue gains permanent
+                // protection.
+                let fresh = self.compute_lbd_clause(conflict);
+                if fresh < self.arena[base + 1] {
+                    self.arena[base + 1] = fresh;
+                }
+            }
+            // When expanding a reason clause, skip the implied literal
+            // itself. Long clauses keep it at slot 0, but binary-clause
+            // literals are never reordered, so match on the variable.
+            let pv = p.map(Lit::var);
+            let clen = (self.arena[base] & LEN_MASK) as usize;
+            for k in 0..clen {
+                let q = Lit(self.arena[base + HDR + k]);
+                if Some(q.var()) == pv {
+                    continue;
+                }
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
+                    self.analyze_toclear.push(q);
                     self.bump_var(v);
                     if self.level[v] >= self.decision_level() {
                         counter += 1;
@@ -398,20 +661,46 @@ impl Solver {
             debug_assert_ne!(conflict, REASON_NONE, "UIP literal must have a reason");
         }
 
-        // Clause minimization: drop literals implied by the rest (the `seen`
-        // flags currently mark exactly the variables of `learnt[1..]`).
-        let keep: Vec<Lit> = learnt[1..]
-            .iter()
-            .copied()
-            .filter(|&l| !self.is_redundant(l))
-            .collect();
-        let mut minimized = vec![learnt[0]];
-        minimized.extend(keep);
+        self.stats.learned_literals_pre += learnt.len() as u64;
 
-        // Clear seen flags.
-        for l in &learnt {
-            self.seen[l.var().index()] = false;
+        // Clause minimization: a literal is redundant if its reason-side
+        // cone is entirely absorbed by the remaining clause (the `seen`
+        // flags mark exactly the variables of `learnt[1..]`).
+        let mut minimized = vec![learnt[0]];
+        match self.config.ccmin {
+            CcMin::None => minimized.extend_from_slice(&learnt[1..]),
+            CcMin::Basic => {
+                minimized.extend(learnt[1..].iter().copied().filter(|&l| {
+                    self.reason[l.var().index()] == REASON_NONE || !self.lit_redundant_basic(l)
+                }));
+            }
+            CcMin::Deep => {
+                let mut abstract_levels = 0u64;
+                for l in &learnt[1..] {
+                    abstract_levels |= 1u64 << (self.level[l.var().index()] & 63);
+                }
+                let keep: Vec<Lit> = learnt[1..]
+                    .iter()
+                    .copied()
+                    .filter(|&l| {
+                        self.reason[l.var().index()] == REASON_NONE
+                            || !self.lit_redundant(l, abstract_levels)
+                    })
+                    .collect();
+                minimized.extend(keep);
+            }
         }
+        self.stats.learned_literals_post += minimized.len() as u64;
+
+        // Clear seen flags (learnt literals and everything marked during
+        // redundancy checks).
+        self.seen[learnt[0].var().index()] = false;
+        for i in 0..self.analyze_toclear.len() {
+            let v = self.analyze_toclear[i].var().index();
+            self.seen[v] = false;
+        }
+
+        let lbd = self.compute_lbd(&minimized);
 
         // Backtrack level: second-highest level in the clause.
         let bt = if minimized.len() == 1 {
@@ -428,22 +717,74 @@ impl Solver {
             minimized.swap(1, max_i);
             self.level[minimized[1].var().index()]
         };
-        (minimized, bt)
+        (minimized, lbd, bt)
     }
 
-    /// Local (non-recursive) redundancy test: a literal is redundant if its
-    /// reason clause's other literals are all already in the learnt clause
-    /// (marked `seen`) or assigned at level 0.
-    fn is_redundant(&self, l: Lit) -> bool {
-        let r = self.reason[l.var().index()];
-        if r == REASON_NONE {
-            return false;
+    /// Local (non-recursive) redundancy test: `l` is redundant if every
+    /// other literal of its reason clause is already in the learnt clause
+    /// (`seen`) or fixed at level 0.
+    fn lit_redundant_basic(&self, l: Lit) -> bool {
+        let cref = self.reason[l.var().index()];
+        debug_assert_ne!(cref, REASON_NONE);
+        let base = cref as usize;
+        let clen = (self.arena[base] & LEN_MASK) as usize;
+        for k in 0..clen {
+            let q = Lit(self.arena[base + HDR + k]);
+            if q.var() == l.var() {
+                continue;
+            }
+            let v = q.var().index();
+            if !self.seen[v] && self.level[v] > 0 {
+                return false;
+            }
         }
-        self.clauses[r as usize]
-            .lits
-            .iter()
-            .skip(1)
-            .all(|&q| self.level[q.var().index()] == 0 || self.seen[q.var().index()])
+        true
+    }
+
+    /// Recursive redundancy test (MiniSat's `litRedundant`): `l` is
+    /// redundant if every path through its implication cone reaches either a
+    /// literal already in the learnt clause (`seen`) or level 0 — checked
+    /// iteratively with an explicit stack. Newly marked variables are
+    /// recorded in `analyze_toclear`; on failure the marks added by this
+    /// call are rolled back.
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u64) -> bool {
+        debug_assert_ne!(self.reason[l.var().index()], REASON_NONE);
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let top = self.analyze_toclear.len();
+        while let Some(p) = self.analyze_stack.pop() {
+            let cref = self.reason[p.var().index()];
+            debug_assert_ne!(cref, REASON_NONE);
+            let base = cref as usize;
+            let clen = (self.arena[base] & LEN_MASK) as usize;
+            for k in 0..clen {
+                let q = Lit(self.arena[base + HDR + k]);
+                if q.var() == p.var() {
+                    continue; // the implied literal (see `analyze`)
+                }
+                let v = q.var().index();
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                // Not absorbed yet: the literal can only be redundant if its
+                // own reason cone stays inside the clause's decision levels.
+                if self.reason[v] != REASON_NONE
+                    && (1u64 << (self.level[v] & 63)) & abstract_levels != 0
+                {
+                    self.seen[v] = true;
+                    self.analyze_stack.push(q);
+                    self.analyze_toclear.push(q);
+                } else {
+                    // Roll back the marks added during this check.
+                    for j in top..self.analyze_toclear.len() {
+                        self.seen[self.analyze_toclear[j].var().index()] = false;
+                    }
+                    self.analyze_toclear.truncate(top);
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     fn backtrack_to(&mut self, level: u32) {
@@ -473,33 +814,114 @@ impl Solver {
         None
     }
 
+    /// LBD-driven learnt-clause DB reduction: sort deletable learnt clauses
+    /// worst-first (highest LBD, then lowest activity) and delete half.
+    /// Glue clauses, reason clauses, binary clauses, and clauses used in a
+    /// conflict since the last reduction are kept (the latter lose their
+    /// protection mark for the next round).
     fn reduce_db(&mut self) {
-        // Collect learnt, non-reason clauses sorted by activity.
-        let mut cands: Vec<(f32, usize)> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| {
-                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(*i as ClauseRef)
-            })
-            .map(|(i, c)| (c.activity, i))
-            .collect();
-        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let glue = self.config.glue_lbd;
+        let mut cands: Vec<(u32, f32, ClauseRef)> = Vec::new();
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let header = self.arena[off];
+            let len = (header & LEN_MASK) as usize;
+            let cref = off as ClauseRef;
+            off += HDR + len;
+            if header & FLAG_LEARNT == 0
+                || header & (FLAG_DELETED | FLAG_USED) != 0
+                || len <= 2
+                || self.arena[cref as usize + 1] <= glue
+                || self.is_reason(cref)
+            {
+                continue;
+            }
+            cands.push((
+                self.arena[cref as usize + 1],
+                f32::from_bits(self.arena[cref as usize + 2]),
+                cref,
+            ));
+        }
+        // Worst first: highest LBD, ties broken by lowest activity.
+        cands.sort_by(|a, b| {
+            b.0.cmp(&a.0).then(
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
         let to_delete = cands.len() / 2;
-        for &(_, i) in cands.iter().take(to_delete) {
-            self.clauses[i].deleted = true;
+        for &(_, _, cref) in cands.iter().take(to_delete) {
+            let base = cref as usize;
+            self.arena[base] |= FLAG_DELETED;
+            self.wasted += HDR + (self.arena[base] & LEN_MASK) as usize;
             self.learnt_count -= 1;
+            self.live_clauses -= 1;
+        }
+        // Protection is one-round: clear the marks so clauses must stay
+        // useful to survive the next reduction too.
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let header = self.arena[off];
+            if header & FLAG_LEARNT != 0 && header & FLAG_DELETED == 0 {
+                self.arena[off] = header & !FLAG_USED;
+            }
+            off += HDR + (header & LEN_MASK) as usize;
+        }
+        self.stats.db_reductions += 1;
+        self.stats.clauses_deleted += to_delete as u64;
+        // Compact the arena once a third of it is dead weight.
+        if self.wasted * 3 > self.arena.len() {
+            self.collect_garbage();
+        }
+    }
+
+    /// Rebuilds the arena without deleted clauses, remapping every watch
+    /// list and reason reference. Reasons always point at live clauses
+    /// (binary and glue clauses are never deleted, and `reduce_db` skips
+    /// clauses currently acting as reasons).
+    fn collect_garbage(&mut self) {
+        let mut new_arena: Vec<u32> = Vec::with_capacity(self.arena.len() - self.wasted);
+        let mut remap: std::collections::HashMap<ClauseRef, ClauseRef> =
+            std::collections::HashMap::with_capacity(self.live_clauses);
+        for list in self.watches.iter_mut().chain(self.watches_bin.iter_mut()) {
+            list.clear();
+        }
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let header = self.arena[off];
+            let len = (header & LEN_MASK) as usize;
+            if header & FLAG_DELETED == 0 {
+                let cref = new_arena.len() as ClauseRef;
+                remap.insert(off as ClauseRef, cref);
+                new_arena.extend_from_slice(&self.arena[off..off + HDR + len]);
+                let w0 = Lit(self.arena[off + HDR]);
+                let w1 = Lit(self.arena[off + HDR + 1]);
+                let lists = if len == 2 {
+                    &mut self.watches_bin
+                } else {
+                    &mut self.watches
+                };
+                lists[(!w0).code()].push(Watch { cref, blocker: w1 });
+                lists[(!w1).code()].push(Watch { cref, blocker: w0 });
+            }
+            off += HDR + len;
+        }
+        self.arena = new_arena;
+        self.wasted = 0;
+        for v in 0..self.reason.len() {
+            if self.assigns[v] != UNDEF && self.reason[v] != REASON_NONE {
+                self.reason[v] = remap[&self.reason[v]];
+            }
         }
     }
 
     fn is_reason(&self, cref: ClauseRef) -> bool {
-        let c = &self.clauses[cref as usize];
-        if let Some(&first) = c.lits.first() {
-            let v = first.var().index();
-            self.assigns[v] != UNDEF && self.reason[v] == cref
-        } else {
-            false
-        }
+        // Propagation keeps the implied literal of a long clause at slot 0
+        // for as long as the clause acts as a reason (binary clauses are
+        // never deletion candidates, so they never reach this check).
+        let first = Lit(self.arena[cref as usize + HDR]);
+        let v = first.var().index();
+        self.assigns[v] != UNDEF && self.reason[v] == cref
     }
 
     /// Solves the formula without assumptions.
@@ -517,15 +939,16 @@ impl Solver {
         }
         debug_assert!(self.trail_lim.is_empty());
 
-        let budget_end = self.budget.map(|b| self.conflicts_total + b);
+        let budget_end = self.budget.map(|b| self.stats.conflicts + b);
         let mut restart_idx = 0u32;
-        let mut conflicts_until_restart = luby(restart_idx) * 100;
+        let mut conflicts_until_restart = luby(restart_idx) * self.config.restart_base;
         let result;
 
         'main: loop {
             match self.propagate() {
                 Some(conflict) => {
-                    self.conflicts_total += 1;
+                    self.stats.conflicts += 1;
+                    self.conflicts_since_reduce += 1;
                     if self.decision_level() == 0 {
                         self.ok = false;
                         result = SolveResult::Unsat;
@@ -533,24 +956,27 @@ impl Solver {
                     }
                     // Conflict below/at the assumption prefix: under these
                     // assumptions the formula is UNSAT.
-                    let (learnt, bt) = self.analyze(conflict);
+                    let (learnt, lbd, bt) = self.analyze(conflict);
                     if (self.decision_level() as usize) <= assumptions.len() {
                         // Learn the clause anyway if it is at root level.
                         self.backtrack_to(0);
                         if learnt.len() == 1 {
                             if self.lit_value(learnt[0]) == UNDEF {
                                 self.unchecked_enqueue(learnt[0], REASON_NONE);
+                                self.stats.learned_clauses += 1;
                             } else if self.lit_value(learnt[0]) == FALSE {
                                 self.ok = false;
                             }
                         } else {
-                            let cref = self.attach_clause(learnt, true);
+                            let cref = self.attach_clause(&learnt, true, lbd);
+                            self.stats.learned_clauses += 1;
                             self.bump_clause(cref);
                         }
                         result = SolveResult::Unsat;
                         break 'main;
                     }
                     self.backtrack_to(bt);
+                    self.stats.learned_clauses += 1;
                     if learnt.len() == 1 {
                         // Unit clauses are asserted at the root; any
                         // assumptions above `bt` are re-applied by the main
@@ -563,30 +989,34 @@ impl Solver {
                             break 'main;
                         }
                     } else {
-                        let cref = self.attach_clause(learnt.clone(), true);
+                        let cref = self.attach_clause(&learnt, true, lbd);
                         self.bump_clause(cref);
                         if self.lit_value(learnt[0]) == UNDEF {
                             self.unchecked_enqueue(learnt[0], cref);
                         }
                     }
-                    self.var_inc /= 0.95;
-                    self.cla_inc /= 0.999;
+                    self.var_inc /= self.config.var_decay;
+                    self.cla_inc /= self.config.cla_decay as f32;
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                     if let Some(end) = budget_end {
-                        if self.conflicts_total >= end {
+                        if self.stats.conflicts >= end {
                             result = SolveResult::Unknown;
                             break 'main;
                         }
                     }
-                    if self.learnt_count as f64 > self.max_learnts {
+                    if self.conflicts_since_reduce >= self.next_reduce {
                         self.reduce_db();
-                        self.max_learnts *= 1.3;
+                        self.conflicts_since_reduce = 0;
+                        self.next_reduce += self.config.reduce_increment;
                     }
                 }
                 None => {
-                    if conflicts_until_restart == 0 && (self.decision_level() as usize) > assumptions.len() {
+                    if conflicts_until_restart == 0
+                        && (self.decision_level() as usize) > assumptions.len()
+                    {
                         restart_idx += 1;
-                        conflicts_until_restart = luby(restart_idx) * 100;
+                        conflicts_until_restart = luby(restart_idx) * self.config.restart_base;
+                        self.stats.restarts += 1;
                         self.backtrack_to(assumptions.len() as u32);
                         continue;
                     }
@@ -617,6 +1047,7 @@ impl Solver {
                             break 'main;
                         }
                         Some(l) => {
+                            self.stats.decisions += 1;
                             self.trail_lim.push(self.trail.len());
                             self.unchecked_enqueue(l, REASON_NONE);
                         }
@@ -625,15 +1056,14 @@ impl Solver {
             }
         }
 
+        self.stats.solves += 1;
         if result == SolveResult::Sat {
-            // Leave the model readable, then backtrack lazily on next use:
-            // we must backtrack now but keep assigns for value(). MiniSat
-            // copies the model; we do the same.
-            // (assigns are reset by backtrack, so snapshot first)
+            // The model must stay readable through `value` after the
+            // mandatory backtrack to level 0, so snapshot `assigns` first
+            // (MiniSat copies the model the same way).
             let model: Vec<i8> = self.assigns.clone();
             self.backtrack_to(0);
             self.assigns_model = model;
-            // Restore: `value` reads from assigns_model when set.
         } else {
             self.backtrack_to(0);
             self.assigns_model.clear();

@@ -1,0 +1,138 @@
+//! Property-based tests (qcheck) for the CDCL solver and DIMACS I/O.
+//!
+//! The solver properties run with a deliberately hostile configuration —
+//! restarts every conflict and a clause database that reduces almost
+//! immediately — so the Luby/LBD machinery is exercised even on tiny
+//! formulas where the defaults would never trigger it.
+
+use cdcl::{dimacs, CcMin, SolveResult, Solver, SolverConfig, Var};
+use qcheck::{any_bool, vec_of};
+
+/// A configuration that restarts and reduces as aggressively as possible,
+/// with the most elaborate minimization mode.
+fn hostile_config() -> SolverConfig {
+    SolverConfig {
+        restart_base: 1,
+        reduce_base: 1,
+        reduce_increment: 1,
+        ccmin: CcMin::Deep,
+        ..SolverConfig::default()
+    }
+}
+
+/// Builds clauses over `num_vars` variables from raw generator output.
+fn build_clauses(raw: &[Vec<(u64, bool)>], num_vars: usize) -> Vec<Vec<cdcl::Lit>> {
+    raw.iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .map(|&(v, sign)| Var::from_index((v % num_vars as u64) as usize).lit(sign))
+                .collect()
+        })
+        .collect()
+}
+
+/// Exhaustive satisfiability check over all `2^num_vars` assignments.
+fn brute_force_sat(clauses: &[Vec<cdcl::Lit>], num_vars: usize) -> bool {
+    (0u32..1 << num_vars).any(|m| {
+        clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
+        })
+    })
+}
+
+qcheck::props! {
+    config = qcheck::Config::with_cases(64);
+
+    /// `dimacs::write` followed by `dimacs::parse` reproduces the formula
+    /// exactly (variable count, clause order, literal signs, even empty
+    /// clauses).
+    fn dimacs_roundtrip(
+        num_vars in 1usize..17,
+        raw in vec_of(vec_of((0u64..1 << 30, any_bool()), 0..8), 0..30),
+    ) {
+        let cnf = dimacs::Cnf {
+            num_vars,
+            clauses: build_clauses(&raw, num_vars),
+        };
+        let text = dimacs::write(&cnf);
+        let again = dimacs::parse(&text)
+            .map_err(|e| format!("write produced unparsable text: {e}"))?;
+        qcheck::prop_assert_eq!(cnf, again);
+    }
+
+    /// The solver agrees with brute force on random small CNFs while
+    /// restarting on every conflict and reducing the learnt database on
+    /// every check — the verdict must be invariant under both.
+    fn solver_agrees_with_brute_force_under_hostile_config(
+        num_vars in 1usize..13,
+        raw in vec_of(vec_of((0u64..1 << 30, any_bool()), 1..5), 0..60),
+    ) {
+        let clauses = build_clauses(&raw, num_vars);
+        let expect = brute_force_sat(&clauses, num_vars);
+        let mut solver = Solver::with_config(hostile_config());
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for c in &clauses {
+            solver.add_clause(c);
+        }
+        let verdict = solver.solve();
+        qcheck::prop_assert_eq!(
+            verdict,
+            if expect { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+        if verdict == SolveResult::Sat {
+            // The model must actually satisfy every clause.
+            for c in &clauses {
+                qcheck::prop_assert!(
+                    c.iter().any(|l| solver.value(l.var()) == Some(l.is_positive())),
+                    "model violates clause {c:?}"
+                );
+            }
+        }
+        // The hostile schedule must have been exercised when there was any
+        // real search (sanity check that the property tests what it claims).
+        if solver.stats().conflicts >= 2 {
+            qcheck::prop_assert!(solver.stats().restarts >= 1);
+        }
+    }
+
+    /// Incremental solving under assumptions stays consistent with brute
+    /// force: for a random assumption literal, the assumed solve matches
+    /// brute force on the formula plus that unit clause.
+    fn assumption_solve_matches_unit_clause(
+        num_vars in 1usize..10,
+        raw in vec_of(vec_of((0u64..1 << 30, any_bool()), 1..4), 0..40),
+        pick in (0u64..1 << 30, any_bool()),
+    ) {
+        let clauses = build_clauses(&raw, num_vars);
+        let lit = Var::from_index((pick.0 % num_vars as u64) as usize).lit(pick.1);
+        let mut with_unit = clauses.clone();
+        with_unit.push(vec![lit]);
+        let expect = brute_force_sat(&with_unit, num_vars);
+        let mut solver = Solver::with_config(hostile_config());
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for c in &clauses {
+            solver.add_clause(c);
+        }
+        let verdict = solver.solve_with(&[lit]);
+        qcheck::prop_assert_eq!(
+            verdict,
+            if expect { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+        // The solver must stay reusable after the assumed call.
+        let unassumed = solver.solve();
+        qcheck::prop_assert_eq!(
+            unassumed,
+            if brute_force_sat(&clauses, num_vars) {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            }
+        );
+    }
+}

@@ -118,6 +118,24 @@ fn pigeonhole_4_into_3_unsat() {
 }
 
 #[test]
+fn pigeonhole_unsat_under_every_ccmin_mode() {
+    use cdcl::{CcMin, SolverConfig};
+    for ccmin in [CcMin::None, CcMin::Basic, CcMin::Deep] {
+        let mut s = Solver::with_config(SolverConfig {
+            ccmin,
+            ..SolverConfig::default()
+        });
+        let p: Vec<Vec<Var>> = (0..5).map(|_| vars(&mut s, 4)).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        at_most_one_per_hole(&mut s, &p);
+        assert_eq!(s.solve(), SolveResult::Unsat, "ccmin mode {ccmin:?}");
+    }
+}
+
+#[test]
 fn pigeonhole_5_into_5_sat() {
     let mut s = Solver::new();
     let p: Vec<Vec<Var>> = (0..5).map(|_| vars(&mut s, 5)).collect();

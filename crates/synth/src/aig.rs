@@ -122,6 +122,38 @@ impl Aig {
         }
     }
 
+    /// The input index of an input node, or `None` for ANDs/constant.
+    pub fn input_of(&self, node: usize) -> Option<usize> {
+        match self.nodes[node] {
+            Node::Input(i) => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    /// Per-node cone-of-influence membership: `result[n]` is `true` iff some
+    /// input `i` with `flagged[i]` set lies in node `n`'s transitive fanin
+    /// (inputs themselves included). One forward pass — node indices are
+    /// topologically ordered by construction.
+    ///
+    /// The SAT-attack encoder uses this with the key inputs flagged to
+    /// restrict miter encoding to the key-affected output cones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flagged.len() != num_inputs`.
+    pub fn input_dependence(&self, flagged: &[bool]) -> Vec<bool> {
+        assert_eq!(flagged.len(), self.num_inputs, "flag width mismatch");
+        let mut dep = vec![false; self.nodes.len()];
+        for n in 0..self.nodes.len() {
+            dep[n] = match self.nodes[n] {
+                Node::Const => false,
+                Node::Input(i) => flagged[i as usize],
+                Node::And(a, b) => dep[a.node()] || dep[b.node()],
+            };
+        }
+        dep
+    }
+
     /// AND of two literals, with structural hashing and trivial-case folding.
     pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
         // Normalize order.

@@ -32,6 +32,8 @@
 //! assert!(report.area <= aig.num_ands());
 //! ```
 
+#![warn(missing_docs)]
+
 mod aig;
 pub mod passes;
 
