@@ -30,6 +30,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps --quiet
 echo "==> SAT-attack bench (smoke mode) -> results/BENCH_sat_smoke.json"
 ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench sat_attack --offline
 
+echo "==> engine bench (smoke mode) -> results/BENCH_engine_smoke.json"
+ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench engine --offline
+
 echo "==> verifying the dependency graph is path-only"
 if cargo metadata --format-version 1 --offline \
     | grep -o '"source":"registry[^"]*"' | head -1 | grep -q registry; then

@@ -1,32 +1,134 @@
 //! Parallel-pattern fault simulation with fault dropping (the HOPE role).
 
-use netlist::{Circuit, Error, GateKind, Levelization, NetId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use netlist::{Circuit, CompiledCircuit, EngineCounters, Error};
 
 use crate::fault::{Fault, FaultSite};
 
-/// A 64-pattern-parallel fault simulator.
+/// Per-evaluation scratch of the fault kernel: the faulty mirror, the undo
+/// list, and the rank-ordered event queue. One instance per worker thread —
+/// the compiled circuit itself is shared read-only.
+#[derive(Debug, Clone)]
+struct FaultScratch {
+    faulty: Vec<u64>,
+    /// Nets whose faulty value currently diverges from the good value.
+    touched: Vec<u32>,
+    /// Scheduled flags for the event queue.
+    scheduled: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Events processed (nets popped off the queue), for telemetry.
+    events: u64,
+}
+
+impl FaultScratch {
+    fn new(num_nets: usize) -> Self {
+        FaultScratch {
+            faulty: vec![0; num_nets],
+            touched: Vec::new(),
+            scheduled: vec![false; num_nets],
+            heap: BinaryHeap::new(),
+            events: 0,
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, cc: &CompiledCircuit, net: u32) {
+        if !self.scheduled[net as usize] {
+            self.scheduled[net as usize] = true;
+            self.heap.push(Reverse((cc.rank(net), net)));
+        }
+    }
+}
+
+/// Event-driven propagation of one fault over the current 64-pattern batch,
+/// against shared good values. Returns the mask of patterns on which some
+/// output differs; the faulty mirror in `s` is restored to `good` before
+/// returning.
+fn fault_effect(cc: &CompiledCircuit, good: &[u64], s: &mut FaultScratch, fault: &Fault) -> u64 {
+    debug_assert!(s.touched.is_empty());
+    let stuck = if fault.stuck_at { !0u64 } else { 0u64 };
+    let mut diff = 0u64;
+
+    // Seed the queue.
+    let forced_pin = match fault.site {
+        FaultSite::Stem(n) => {
+            let i = n.index();
+            if s.faulty[i] != stuck {
+                s.faulty[i] = stuck;
+                s.touched.push(i as u32);
+                if cc.is_output(i as u32) {
+                    diff |= good[i] ^ stuck;
+                }
+                for &f in cc.fanout(i as u32) {
+                    s.schedule(cc, f);
+                }
+            }
+            None
+        }
+        FaultSite::Pin { gate_out, pin } => {
+            s.schedule(cc, gate_out.index() as u32);
+            Some((gate_out.index() as u32, pin))
+        }
+    };
+
+    let stem_net = match fault.site {
+        // The stem stays forced; it cannot re-enter the queue (only its
+        // strictly-upstream fanins could schedule it), but guard anyway.
+        FaultSite::Stem(n) => n.index() as u32,
+        _ => u32::MAX,
+    };
+
+    while let Some(Reverse((_, n))) = s.heap.pop() {
+        s.scheduled[n as usize] = false;
+        s.events += 1;
+        if n == stem_net {
+            continue;
+        }
+        let Some(kind) = cc.kind_of(n) else { continue };
+        let fanin = cc.fanin(n);
+        let new = match forced_pin {
+            Some((g, pin)) if g == n => {
+                CompiledCircuit::eval_gate_with_pin(kind, fanin, &s.faulty, pin, stuck)
+            }
+            _ => CompiledCircuit::eval_gate(kind, fanin, &s.faulty),
+        };
+        if new != s.faulty[n as usize] {
+            if s.faulty[n as usize] == good[n as usize] {
+                s.touched.push(n);
+            }
+            s.faulty[n as usize] = new;
+            if cc.is_output(n) {
+                diff |= good[n as usize] ^ new;
+            }
+            for &f in cc.fanout(n) {
+                s.schedule(cc, f);
+            }
+        }
+    }
+
+    // Undo: restore the faulty mirror to the good values.
+    for &n in &s.touched {
+        s.faulty[n as usize] = good[n as usize];
+    }
+    s.touched.clear();
+    diff
+}
+
+/// A 64-pattern-parallel fault simulator over a shared [`CompiledCircuit`].
 ///
 /// For each batch of 64 input patterns it computes the good-circuit values
-/// once; every candidate fault is then simulated *event-driven*: only the
-/// gates whose value actually changes are re-evaluated, in topological
-/// order, which keeps per-fault cost proportional to the disturbed cone
-/// rather than the whole circuit.
+/// once (the engine's full-sweep kernel); every candidate fault is then
+/// simulated *event-driven*: only the gates whose value actually changes
+/// are re-evaluated, in topological order, which keeps per-fault cost
+/// proportional to the disturbed cone rather than the whole circuit.
 #[derive(Debug, Clone)]
 pub struct FaultSim {
-    order: Vec<NetId>,
-    /// Topological rank of each net (for the event queue).
-    rank: Vec<u32>,
-    gates: Vec<Option<(GateKind, Vec<u32>)>>,
-    fanouts: Vec<Vec<u32>>,
-    inputs: Vec<NetId>,
-    output_mask: Vec<bool>,
-    num_nets: usize,
+    cc: Arc<CompiledCircuit>,
     good: Vec<u64>,
-    faulty: Vec<u64>,
-    /// Scratch: nets touched by the last fault propagation.
-    touched: Vec<u32>,
-    /// Scratch: scheduled flags for the event queue.
-    scheduled: Vec<bool>,
+    scratch: FaultScratch,
 }
 
 impl FaultSim {
@@ -36,172 +138,31 @@ impl FaultSim {
     ///
     /// Returns a netlist error if the circuit is cyclic.
     pub fn new(circuit: &Circuit) -> Result<Self, Error> {
-        let lv = Levelization::build(circuit)?;
-        let mut gates = vec![None; circuit.num_nets()];
-        for id in circuit.net_ids() {
-            if let Some(g) = circuit.gate(id) {
-                gates[id.index()] = Some((
-                    g.kind,
-                    g.fanin.iter().map(|f| f.index() as u32).collect(),
-                ));
-            }
-        }
-        let mut rank = vec![0u32; circuit.num_nets()];
-        for (r, id) in lv.order().iter().enumerate() {
-            rank[id.index()] = r as u32;
-        }
-        let fanouts: Vec<Vec<u32>> = circuit
-            .fanouts()
-            .into_iter()
-            .map(|v| v.into_iter().map(|n| n.index() as u32).collect())
-            .collect();
-        let mut output_mask = vec![false; circuit.num_nets()];
-        for o in circuit.comb_outputs() {
-            output_mask[o.index()] = true;
-        }
-        Ok(FaultSim {
-            order: lv.order().to_vec(),
-            rank,
-            gates,
-            fanouts,
-            inputs: circuit.comb_inputs(),
-            output_mask,
-            num_nets: circuit.num_nets(),
-            good: vec![0; circuit.num_nets()],
-            faulty: vec![0; circuit.num_nets()],
-            touched: Vec::new(),
-            scheduled: vec![false; circuit.num_nets()],
-        })
+        Ok(Self::from_compiled(Arc::new(CompiledCircuit::compile(
+            circuit,
+        )?)))
     }
 
-    fn eval_gate(kind: GateKind, fanin: &[u32], values: &[u64]) -> u64 {
-        match kind {
-            GateKind::And => fanin.iter().fold(!0u64, |a, &x| a & values[x as usize]),
-            GateKind::Nand => !fanin.iter().fold(!0u64, |a, &x| a & values[x as usize]),
-            GateKind::Or => fanin.iter().fold(0u64, |a, &x| a | values[x as usize]),
-            GateKind::Nor => !fanin.iter().fold(0u64, |a, &x| a | values[x as usize]),
-            GateKind::Xor => fanin.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
-            GateKind::Xnor => !fanin.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
-            GateKind::Not => !values[fanin[0] as usize],
-            GateKind::Buf => values[fanin[0] as usize],
-            GateKind::Const0 => 0,
-            GateKind::Const1 => !0,
+    /// Wraps an already-compiled artifact (shares it, no recompilation).
+    pub fn from_compiled(cc: Arc<CompiledCircuit>) -> Self {
+        let n = cc.num_nets();
+        FaultSim {
+            cc,
+            good: vec![0; n],
+            scratch: FaultScratch::new(n),
         }
+    }
+
+    /// The shared compiled artifact backing this simulator.
+    pub fn compiled(&self) -> &Arc<CompiledCircuit> {
+        &self.cc
     }
 
     fn run_good(&mut self, input_words: &[u64]) {
-        assert_eq!(input_words.len(), self.inputs.len(), "input width mismatch");
-        for v in self.good.iter_mut() {
-            *v = 0;
-        }
-        for (net, &w) in self.inputs.iter().zip(input_words) {
-            self.good[net.index()] = w;
-        }
-        for &id in &self.order {
-            if let Some((kind, fanin)) = &self.gates[id.index()] {
-                self.good[id.index()] = Self::eval_gate(*kind, fanin, &self.good);
-            }
-        }
+        self.cc.eval_full_into(input_words, &mut self.good);
         // Faulty mirror starts equal; fault_effect keeps it in sync through
         // the `touched` undo list.
-        self.faulty.copy_from_slice(&self.good);
-    }
-
-    /// Event-driven propagation of one fault over the current batch.
-    /// Returns the mask of patterns on which some output differs.
-    fn fault_effect(&mut self, fault: &Fault) -> u64 {
-        debug_assert!(self.touched.is_empty());
-        let stuck = if fault.stuck_at { !0u64 } else { 0u64 };
-        let mut diff = 0u64;
-        // Min-rank-first event queue.
-        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
-            std::collections::BinaryHeap::new();
-        let push = |queue: &mut std::collections::BinaryHeap<_>,
-                        scheduled: &mut [bool],
-                        rank: &[u32],
-                        n: u32| {
-            if !scheduled[n as usize] {
-                scheduled[n as usize] = true;
-                queue.push(std::cmp::Reverse((rank[n as usize], n)));
-            }
-        };
-
-        // Seed the queue.
-        let forced_pin = match fault.site {
-            FaultSite::Stem(n) => {
-                let i = n.index();
-                if self.faulty[i] != stuck {
-                    self.faulty[i] = stuck;
-                    self.touched.push(i as u32);
-                    if self.output_mask[i] {
-                        diff |= self.good[i] ^ stuck;
-                    }
-                    for &f in &self.fanouts[i] {
-                        push(&mut queue, &mut self.scheduled, &self.rank, f);
-                    }
-                }
-                None
-            }
-            FaultSite::Pin { gate_out, pin } => {
-                push(
-                    &mut queue,
-                    &mut self.scheduled,
-                    &self.rank,
-                    gate_out.index() as u32,
-                );
-                Some((gate_out.index() as u32, pin))
-            }
-        };
-
-        let stem_forced = matches!(fault.site, FaultSite::Stem(_));
-        let stem_net = match fault.site {
-            FaultSite::Stem(n) => n.index() as u32,
-            _ => u32::MAX,
-        };
-
-        while let Some(std::cmp::Reverse((_, n))) = queue.pop() {
-            self.scheduled[n as usize] = false;
-            if stem_forced && n == stem_net {
-                continue; // the stem stays forced
-            }
-            let Some((kind, fanin)) = &self.gates[n as usize] else {
-                continue;
-            };
-            let new = match forced_pin {
-                Some((g, pin)) if g == n => {
-                    let mut acc_vals: Vec<u64> = fanin
-                        .iter()
-                        .map(|&x| self.faulty[x as usize])
-                        .collect();
-                    acc_vals[pin] = stuck;
-                    let idxs: Vec<u32> = (0..acc_vals.len() as u32).collect();
-                    Self::eval_gate(*kind, &idxs, &acc_vals)
-                }
-                _ => Self::eval_gate(*kind, fanin, &self.faulty),
-            };
-            if new != self.faulty[n as usize] {
-                if self.faulty[n as usize] == self.good[n as usize] {
-                    self.touched.push(n);
-                }
-                self.faulty[n as usize] = new;
-                if self.output_mask[n as usize] {
-                    diff |= self.good[n as usize] ^ new;
-                }
-                for &f in &self.fanouts[n as usize] {
-                    push(&mut queue, &mut self.scheduled, &self.rank, f);
-                }
-            } else if self.faulty[n as usize] != self.good[n as usize] {
-                // Value did not change on requeue but is still divergent;
-                // keep it in the touched list (it already is).
-            }
-        }
-
-        // Undo: restore the faulty mirror to the good values.
-        for &n in &self.touched {
-            self.faulty[n as usize] = self.good[n as usize];
-        }
-        self.touched.clear();
-        diff
+        self.scratch.faulty.copy_from_slice(&self.good);
     }
 
     /// Simulates a batch of 64 patterns and returns the indices (into
@@ -215,7 +176,7 @@ impl FaultSim {
         self.run_good(input_words);
         let mut detected = Vec::new();
         for (i, f) in faults.iter().enumerate() {
-            if self.fault_effect(f) != 0 {
+            if fault_effect(&self.cc, &self.good, &mut self.scratch, f) != 0 {
                 detected.push(i);
             }
         }
@@ -225,9 +186,9 @@ impl FaultSim {
     /// Like [`detect_batch`](FaultSim::detect_batch) but distributes the
     /// fault list across `pool` in fixed-size chunks.
     ///
-    /// The good-circuit simulation runs once on a prototype copy; each
-    /// chunk task then clones the prototype (good values and the restored
-    /// faulty mirror included) and propagates its faults event-driven.
+    /// The good-circuit simulation runs once; each chunk task shares the
+    /// compiled circuit and the good values read-only and owns only a
+    /// per-thread `FaultScratch` (faulty mirror, undo list, event queue).
     /// Chunk boundaries depend only on `faults.len()`, and every fault's
     /// effect is independent of chunk placement (the faulty mirror is
     /// restored after each fault), so the detected set is bit-identical to
@@ -244,23 +205,51 @@ impl FaultSim {
         input_words: &[u64],
         faults: &[Fault],
     ) -> Vec<usize> {
-        let mut proto = self.clone();
-        proto.run_good(input_words);
+        self.detect_batch_par_counted(pool, input_words, faults).0
+    }
+
+    /// [`detect_batch_par`](FaultSim::detect_batch_par) plus the engine
+    /// work counters of the run (one full sweep; one incremental
+    /// propagation per fault; events summed over all chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the combinational input
+    /// count.
+    pub fn detect_batch_par_counted(
+        &self,
+        pool: &exec::Pool,
+        input_words: &[u64],
+        faults: &[Fault],
+    ) -> (Vec<usize>, EngineCounters) {
+        let mut good = Vec::new();
+        self.cc.eval_full_into(input_words, &mut good);
         // Chunk size from the data only (determinism), floored so the
-        // per-chunk simulator clone is amortized over enough faults.
+        // per-chunk scratch allocation is amortized over enough faults.
         let chunk = exec::reduce_chunk_size(faults.len()).max(16);
         let per_chunk = pool.par_chunks("fsim_fault_chunks", faults, chunk, |ci, slice| {
-            let mut sim = proto.clone();
+            let mut scratch = FaultScratch::new(self.cc.num_nets());
+            scratch.faulty.copy_from_slice(&good);
             let base = ci * chunk;
             let mut detected = Vec::new();
             for (j, f) in slice.iter().enumerate() {
-                if sim.fault_effect(f) != 0 {
+                if fault_effect(&self.cc, &good, &mut scratch, f) != 0 {
                     detected.push(base + j);
                 }
             }
-            detected
+            (detected, scratch.events)
         });
-        per_chunk.into_iter().flatten().collect()
+        let mut detected = Vec::new();
+        let mut counters = EngineCounters {
+            full_evals: 1,
+            incremental_props: faults.len() as u64,
+            events: 0,
+        };
+        for (d, events) in per_chunk {
+            detected.extend(d);
+            counters.events += events;
+        }
+        (detected, counters)
     }
 
     /// Checks whether a single pattern (booleans over the combinational
@@ -272,16 +261,16 @@ impl FaultSim {
     pub fn detects(&mut self, pattern: &[bool], fault: &Fault) -> bool {
         let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
         self.run_good(&words);
-        self.fault_effect(fault) & 1 == 1
+        fault_effect(&self.cc, &self.good, &mut self.scratch, fault) & 1 == 1
     }
 
     /// Number of nets in the compiled circuit.
     pub fn num_nets(&self) -> usize {
-        self.num_nets
+        self.cc.num_nets()
     }
 
     #[cfg(test)]
-    fn good_value(&self, net: NetId) -> u64 {
+    fn good_value(&self, net: netlist::NetId) -> u64 {
         self.good[net.index()]
     }
 }
@@ -290,6 +279,7 @@ impl FaultSim {
 mod tests {
     use super::*;
     use netlist::samples;
+    use netlist::{GateKind, Levelization};
 
     /// Reference implementation: full resimulation with the fault injected.
     fn full_resim_effect(c: &Circuit, input_words: &[u64], fault: &Fault) -> u64 {
@@ -365,7 +355,7 @@ mod tests {
             let words: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
             sim.run_good(&words);
             for f in &faults {
-                let fast = sim.fault_effect(f);
+                let fast = fault_effect(&sim.cc, &sim.good, &mut sim.scratch, f);
                 let slow = full_resim_effect(&c, &words, f);
                 assert_eq!(fast, slow, "fault {f} in seed-{seed} circuit");
             }
@@ -380,8 +370,11 @@ mod tests {
         let words = vec![0xDEAD_BEEFu64; 5];
         sim.run_good(&words);
         for f in &faults {
-            let _ = sim.fault_effect(f);
-            assert_eq!(sim.faulty, sim.good, "mirror must be restored after {f}");
+            let _ = fault_effect(&sim.cc, &sim.good, &mut sim.scratch, f);
+            assert_eq!(
+                sim.scratch.faulty, sim.good,
+                "mirror must be restored after {f}"
+            );
         }
     }
 
@@ -416,7 +409,7 @@ mod tests {
         };
         let words = vec![!0u64, !0u64];
         sim.run_good(&words);
-        let diff = sim.fault_effect(&pin_fault);
+        let diff = fault_effect(&sim.cc, &sim.good, &mut sim.scratch, &pin_fault);
         assert_eq!(diff, !0u64);
         let _ = sim.good_value(g2);
     }
@@ -434,7 +427,7 @@ mod tests {
         let f = Fault::stem_sa0(a);
         let words = vec![!0u64, 0u64];
         sim.run_good(&words);
-        let diff = sim.fault_effect(&f);
+        let diff = fault_effect(&sim.cc, &sim.good, &mut sim.scratch, &f);
         assert_eq!(diff, !0u64);
     }
 
@@ -453,6 +446,25 @@ mod tests {
                 assert_eq!(par, sequential, "seed {seed}, {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn par_counters_are_thread_invariant() {
+        let c = netlist::generate::random_comb(5, 10, 6, 200).unwrap();
+        let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+        let sim = FaultSim::new(&c).unwrap();
+        let words = vec![0x0123_4567_89AB_CDEFu64; 10];
+        let mut seen = Vec::new();
+        for threads in [1, 2, 8] {
+            let pool = exec::Pool::with_threads(threads);
+            let (_, counters) = sim.detect_batch_par_counted(&pool, &words, &faults);
+            assert_eq!(counters.full_evals, 1);
+            assert_eq!(counters.incremental_props, faults.len() as u64);
+            assert!(counters.events > 0);
+            seen.push(counters);
+        }
+        assert_eq!(seen[0], seen[1]);
+        assert_eq!(seen[1], seen[2]);
     }
 
     #[test]

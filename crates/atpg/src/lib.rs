@@ -24,6 +24,8 @@
 //! assert_eq!(report.redundant, 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fault;
 pub mod fsim;
 pub mod podem;
@@ -94,7 +96,10 @@ pub fn run_atpg(circuit: &Circuit, config: &AtpgConfig) -> Result<AtpgReport, Er
     let pool = exec::global();
     let faults = collapse(circuit, enumerate_faults(circuit));
     let total = faults.len();
-    let sim = fsim::FaultSim::new(circuit)?;
+    // One compiled artifact shared by the fault simulator and PODEM: the
+    // circuit is levelized exactly once for the whole flow.
+    let cc = std::sync::Arc::new(netlist::CompiledCircuit::compile(circuit)?);
+    let sim = fsim::FaultSim::from_compiled(std::sync::Arc::clone(&cc));
     let mut alive: Vec<Fault> = faults;
     let mut tests: Vec<Vec<bool>> = Vec::new();
 
@@ -123,7 +128,7 @@ pub fn run_atpg(circuit: &Circuit, config: &AtpgConfig) -> Result<AtpgReport, Er
 
     // Phase 2: PODEM on the survivors, dropping further faults with each
     // successful test.
-    let mut podem_gen = podem::Podem::new(circuit, config.backtrack_limit)?;
+    let mut podem_gen = podem::Podem::from_compiled(cc, config.backtrack_limit);
     let mut detected_det = 0usize;
     let mut redundant = 0usize;
     let mut aborted = 0usize;

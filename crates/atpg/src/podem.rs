@@ -8,7 +8,9 @@
 //! *aborts* the fault. These are exactly the Atalanta outcome classes that
 //! the paper's Table II counts.
 
-use netlist::{Circuit, Error, GateKind, Levelization, NetId};
+use std::sync::Arc;
+
+use netlist::{Circuit, CompiledCircuit, Error, GateKind, NetId};
 
 use crate::fault::{Fault, FaultSite};
 
@@ -24,17 +26,11 @@ pub enum Outcome {
     Aborted,
 }
 
-/// A PODEM test generator compiled for one circuit.
+/// A PODEM test generator over a shared [`CompiledCircuit`].
 #[derive(Debug)]
 pub struct Podem {
-    order: Vec<NetId>,
-    gates: Vec<Option<(GateKind, Vec<u32>)>>,
-    fanouts: Vec<Vec<u32>>,
-    rank: Vec<u32>,
-    inputs: Vec<NetId>,
+    cc: Arc<CompiledCircuit>,
     input_pos: Vec<Option<u32>>, // net index -> comb input position
-    outputs: Vec<NetId>,
-    output_mask: Vec<bool>,
     backtrack_limit: usize,
     good: Vec<Option<bool>>,
     faulty: Vec<Option<bool>>,
@@ -90,51 +86,29 @@ impl Podem {
     ///
     /// Returns a netlist error if the circuit is cyclic.
     pub fn new(circuit: &Circuit, backtrack_limit: usize) -> Result<Self, Error> {
-        let lv = Levelization::build(circuit)?;
-        let mut gates = vec![None; circuit.num_nets()];
-        for id in circuit.net_ids() {
-            if let Some(g) = circuit.gate(id) {
-                gates[id.index()] = Some((
-                    g.kind,
-                    g.fanin.iter().map(|f| f.index() as u32).collect(),
-                ));
-            }
-        }
-        let inputs = circuit.comb_inputs();
-        let mut input_pos = vec![None; circuit.num_nets()];
-        for (i, n) in inputs.iter().enumerate() {
-            input_pos[n.index()] = Some(i as u32);
-        }
-        let mut rank = vec![0u32; circuit.num_nets()];
-        for (r, id) in lv.order().iter().enumerate() {
-            rank[id.index()] = r as u32;
-        }
-        let fanouts: Vec<Vec<u32>> = circuit
-            .fanouts()
-            .into_iter()
-            .map(|v| v.into_iter().map(|n| n.index() as u32).collect())
-            .collect();
-        let outputs = circuit.comb_outputs();
-        let mut output_mask = vec![false; circuit.num_nets()];
-        for o in &outputs {
-            output_mask[o.index()] = true;
-        }
-        Ok(Podem {
-            order: lv.order().to_vec(),
-            gates,
-            fanouts,
-            rank,
-            inputs,
-            input_pos,
-            outputs,
-            output_mask,
+        Ok(Self::from_compiled(
+            Arc::new(CompiledCircuit::compile(circuit)?),
             backtrack_limit,
-            good: vec![None; circuit.num_nets()],
-            faulty: vec![None; circuit.num_nets()],
-            effected: vec![false; circuit.num_nets()],
+        ))
+    }
+
+    /// Wraps an already-compiled artifact (shares it, no recompilation).
+    pub fn from_compiled(cc: Arc<CompiledCircuit>, backtrack_limit: usize) -> Self {
+        let n = cc.num_nets();
+        let mut input_pos = vec![None; n];
+        for (i, id) in cc.inputs().iter().enumerate() {
+            input_pos[id.index()] = Some(i as u32);
+        }
+        Podem {
+            cc,
+            input_pos,
+            backtrack_limit,
+            good: vec![None; n],
+            faulty: vec![None; n],
+            effected: vec![false; n],
             effect_at_outputs: 0,
-            scheduled: vec![false; circuit.num_nets()],
-        })
+            scheduled: vec![false; n],
+        }
     }
 
     /// Refreshes the effect bookkeeping for one net after its values change.
@@ -145,7 +119,7 @@ impl Podem {
         );
         if now != self.effected[net] {
             self.effected[net] = now;
-            if self.output_mask[net] {
+            if self.cc.is_output(net as u32) {
                 if now {
                     self.effect_at_outputs += 1;
                 } else {
@@ -158,9 +132,11 @@ impl Podem {
     /// Recomputes one gate's good/faulty values under `fault`. Returns true
     /// when either value changed.
     fn recompute(&mut self, net: usize, fault: &Fault) -> bool {
-        let Some((kind, fanin)) = self.gates[net].clone() else {
+        let cc = Arc::clone(&self.cc);
+        let Some(kind) = cc.kind_of(net as u32) else {
             return false;
         };
+        let fanin = cc.fanin(net as u32);
         let gvals: Vec<Option<bool>> = fanin.iter().map(|&f| self.good[f as usize]).collect();
         let new_good = eval3(kind, &gvals);
         let mut fvals: Vec<Option<bool>> =
@@ -187,21 +163,22 @@ impl Podem {
 
     /// Event-driven re-implication after one primary input changed.
     fn propagate_from(&mut self, start_net: usize, fault: &Fault) {
+        let cc = Arc::clone(&self.cc);
         let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
             std::collections::BinaryHeap::new();
-        for &f in &self.fanouts[start_net].clone() {
+        for &f in cc.fanout(start_net as u32) {
             if !self.scheduled[f as usize] {
                 self.scheduled[f as usize] = true;
-                queue.push(std::cmp::Reverse((self.rank[f as usize], f)));
+                queue.push(std::cmp::Reverse((cc.rank(f), f)));
             }
         }
         while let Some(std::cmp::Reverse((_, n))) = queue.pop() {
             self.scheduled[n as usize] = false;
             if self.recompute(n as usize, fault) {
-                for &f in &self.fanouts[n as usize].clone() {
+                for &f in cc.fanout(n) {
                     if !self.scheduled[f as usize] {
                         self.scheduled[f as usize] = true;
-                        queue.push(std::cmp::Reverse((self.rank[f as usize], f)));
+                        queue.push(std::cmp::Reverse((cc.rank(f), f)));
                     }
                 }
             }
@@ -211,7 +188,7 @@ impl Podem {
     /// Applies one primary-input change (assignment or retraction) and
     /// re-implies incrementally.
     fn update_pi(&mut self, idx: usize, value: Option<bool>, fault: &Fault) {
-        let net = self.inputs[idx].index();
+        let net = self.cc.inputs()[idx].index();
         self.good[net] = value;
         self.faulty[net] = value;
         if let FaultSite::Stem(n) = fault.site {
@@ -226,6 +203,7 @@ impl Podem {
     /// Three-valued dual (good/faulty) implication from scratch (used once
     /// per fault; decisions and backtracks then use [`Self::update_pi`]).
     fn imply(&mut self, pi: &[Option<bool>], fault: &Fault) {
+        let cc = Arc::clone(&self.cc);
         self.effected.iter_mut().for_each(|b| *b = false);
         self.effect_at_outputs = 0;
         for v in self.good.iter_mut() {
@@ -234,7 +212,7 @@ impl Podem {
         for v in self.faulty.iter_mut() {
             *v = None;
         }
-        for (i, n) in self.inputs.iter().enumerate() {
+        for (i, n) in cc.inputs().iter().enumerate() {
             self.good[n.index()] = pi[i];
             self.faulty[n.index()] = pi[i];
         }
@@ -242,11 +220,11 @@ impl Podem {
         if let FaultSite::Stem(n) = fault.site {
             self.faulty[n.index()] = stuck;
         }
-        for oi in 0..self.order.len() {
-            let id = self.order[oi];
-            let Some((kind, fanin)) = self.gates[id.index()].clone() else {
+        for &id in cc.order() {
+            let Some(kind) = cc.kind_of(id.index() as u32) else {
                 continue;
             };
+            let fanin = cc.fanin(id.index() as u32);
             let gvals: Vec<Option<bool>> =
                 fanin.iter().map(|&f| self.good[f as usize]).collect();
             self.good[id.index()] = eval3(kind, &gvals);
@@ -274,7 +252,8 @@ impl Podem {
     fn effect_at_output(&self) -> bool {
         debug_assert_eq!(
             self.effect_at_outputs,
-            self.outputs
+            self.cc
+                .outputs()
                 .iter()
                 .filter(|o| matches!(
                     (self.good[o.index()], self.faulty[o.index()]),
@@ -300,9 +279,8 @@ impl Podem {
         let (site_net, site_good) = match fault.site {
             FaultSite::Stem(n) => (n, self.good[n.index()]),
             FaultSite::Pin { gate_out, pin } => {
-                let (_, fanin) = self.gates[gate_out.index()]
-                    .as_ref()
-                    .expect("pin fault implies gate");
+                let fanin = self.cc.fanin(gate_out.index() as u32);
+                debug_assert!(!fanin.is_empty(), "pin fault implies gate");
                 let n = NetId::from_index(fanin[pin] as usize);
                 (n, self.good[n.index()])
             }
@@ -321,19 +299,23 @@ impl Podem {
         for (n, &eff) in self.effected.iter().enumerate() {
             if eff {
                 candidates.extend(
-                    self.fanouts[n].iter().map(|&f| NetId::from_index(f as usize)),
+                    self.cc
+                        .fanout(n as u32)
+                        .iter()
+                        .map(|&f| NetId::from_index(f as usize)),
                 );
             }
         }
         if let FaultSite::Pin { gate_out, .. } = fault.site {
             candidates.push(gate_out);
         }
-        candidates.sort_by_key(|n| self.rank[n.index()]);
+        candidates.sort_by_key(|n| self.cc.rank(n.index() as u32));
         candidates.dedup();
         for &id in &candidates {
-            let Some((kind, fanin)) = &self.gates[id.index()] else {
+            let Some(kind) = self.cc.kind_of(id.index() as u32) else {
                 continue;
             };
+            let fanin = self.cc.fanin(id.index() as u32);
             if self.has_effect(id.index()) {
                 continue;
             }
@@ -382,7 +364,8 @@ impl Podem {
                 debug_assert!(self.good[net.index()].is_none());
                 return Some((pos as usize, value));
             }
-            let (kind, fanin) = self.gates[net.index()].as_ref()?;
+            let kind = self.cc.kind_of(net.index() as u32)?;
+            let fanin = self.cc.fanin(net.index() as u32);
             let x_input = fanin
                 .iter()
                 .find(|&&f| self.good[f as usize].is_none())
@@ -403,7 +386,7 @@ impl Podem {
 
     /// Attempts to generate a test for `fault`.
     pub fn generate(&mut self, fault: &Fault) -> Outcome {
-        let n_pi = self.inputs.len();
+        let n_pi = self.cc.inputs().len();
         let mut pi: Vec<Option<bool>> = vec![None; n_pi];
         // Decision stack: (pi index, current value, other value tried?).
         let mut decisions: Vec<(usize, bool, bool)> = Vec::new();

@@ -7,44 +7,43 @@
 use std::collections::HashMap;
 
 use cdcl::{Lit, Solver, Var};
-use netlist::{Circuit, GateKind, Levelization, NetId};
+use netlist::{CompiledCircuit, GateKind, NetId};
 
-/// Encodes one instance of `circuit` into `solver`.
+/// Encodes one instance of the compiled circuit into `solver`.
 ///
 /// `bound` maps nets (typically the combinational inputs) to existing
 /// literals so that several instances can share inputs or key variables;
 /// unbound inputs receive fresh variables. Returns a literal for every net,
 /// indexed by [`NetId::index`].
 ///
-/// # Panics
-///
-/// Panics if the circuit is cyclic (encode validated circuits).
+/// Taking a [`CompiledCircuit`] means the levelization is computed once per
+/// artifact, no matter how many miter copies or per-observation instances an
+/// attack encodes.
 pub fn encode(
     solver: &mut Solver,
-    circuit: &Circuit,
+    cc: &CompiledCircuit,
     bound: &HashMap<NetId, Lit>,
 ) -> Vec<Lit> {
-    let lv = Levelization::build(circuit).expect("encode requires an acyclic circuit");
     // Fallback constant (lazily created on first Const gate).
     let mut const_false: Option<Lit> = None;
-    let mut lits: Vec<Option<Lit>> = vec![None; circuit.num_nets()];
-    for &id in lv.order() {
+    let mut lits: Vec<Option<Lit>> = vec![None; cc.num_nets()];
+    for &id in cc.order() {
         if let Some(&l) = bound.get(&id) {
             lits[id.index()] = Some(l);
             continue;
         }
-        match circuit.gate(id) {
+        match cc.kind_of(id.index() as u32) {
             None => {
                 // Unbound input: fresh free variable.
                 lits[id.index()] = Some(solver.new_var().positive());
             }
-            Some(g) => {
-                let fan: Vec<Lit> = g
-                    .fanin
+            Some(kind) => {
+                let fan: Vec<Lit> = cc
+                    .fanin(id.index() as u32)
                     .iter()
-                    .map(|f| lits[f.index()].expect("topological order"))
+                    .map(|f| lits[*f as usize].expect("topological order"))
                     .collect();
-                let lit = match g.kind {
+                let lit = match kind {
                     GateKind::Buf => fan[0],
                     GateKind::Not => !fan[0],
                     GateKind::And => encode_and(solver, &fan),
@@ -123,7 +122,7 @@ pub fn bind_fresh(solver: &mut Solver, nets: &[NetId]) -> (HashMap<NetId, Lit>, 
 /// `data_inputs`/`x` and `outputs`/`y` are positionally matched.
 pub fn add_io_constraint(
     solver: &mut Solver,
-    circuit: &Circuit,
+    cc: &CompiledCircuit,
     data_inputs: &[NetId],
     key_binding: &HashMap<NetId, Lit>,
     x: &[bool],
@@ -138,7 +137,7 @@ pub fn add_io_constraint(
         solver.add_clause(&[v.lit(b)]);
         bound.insert(n, v.positive());
     }
-    let lits = encode(solver, circuit, &bound);
+    let lits = encode(solver, cc, &bound);
     for (&o, &b) in outputs.iter().zip(y) {
         let l = lits[o.index()];
         solver.add_clause(&[if b { l } else { !l }]);
@@ -155,12 +154,13 @@ mod tests {
     #[test]
     fn encoding_matches_simulation() {
         let c = samples::full_adder();
+        let cc = netlist::CompiledCircuit::compile(&c).unwrap();
         let sim = gatesim::CombSim::new(&c).unwrap();
         for m in 0..8u32 {
             let input: Vec<bool> = (0..3).map(|k| (m >> k) & 1 == 1).collect();
             let mut solver = Solver::new();
             let (bound, vars) = bind_fresh(&mut solver, &c.comb_inputs());
-            let lits = encode(&mut solver, &c, &bound);
+            let lits = encode(&mut solver, &cc, &bound);
             for (v, &b) in vars.iter().zip(&input) {
                 solver.add_clause(&[v.lit(b)]);
             }
@@ -177,13 +177,14 @@ mod tests {
     #[test]
     fn encoding_matches_simulation_random_circuit() {
         let c = netlist::generate::random_comb(13, 8, 5, 80).unwrap();
+        let cc = netlist::CompiledCircuit::compile(&c).unwrap();
         let sim = gatesim::CombSim::new(&c).unwrap();
         let mut rng = netlist::rng::SplitMix64::new(2);
         for _ in 0..20 {
             let input: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
             let mut solver = Solver::new();
             let (bound, vars) = bind_fresh(&mut solver, &c.comb_inputs());
-            let lits = encode(&mut solver, &c, &bound);
+            let lits = encode(&mut solver, &cc, &bound);
             for (v, &b) in vars.iter().zip(&input) {
                 solver.add_clause(&[v.lit(b)]);
             }
@@ -208,6 +209,7 @@ mod tests {
         )
         .unwrap();
         let c = &locked.circuit;
+        let cc = netlist::CompiledCircuit::compile(c).unwrap();
         let data: Vec<NetId> = c
             .comb_inputs()
             .into_iter()
@@ -222,7 +224,7 @@ mod tests {
             let y = sim.eval_bools(&x);
             add_io_constraint(
                 &mut solver,
-                c,
+                &cc,
                 &data,
                 &key_bind,
                 &x,

@@ -10,10 +10,18 @@
 //! so those responses correspond to the locked circuit and the attack learns
 //! nothing — [`attack_with_responses`] lets experiments demonstrate exactly
 //! that.
+//!
+//! Scoring runs on the compiled engine's *incremental* kernel: the sampled
+//! patterns are packed 64 per word batch and fully swept once per restart;
+//! each candidate key-bit flip then re-evaluates only the downstream cone of
+//! that key input ([`EvalScratch::propagate`]), committing on improvement
+//! and reverting otherwise. Scores are exact mismatch counts, so the greedy
+//! trajectory is identical to full re-simulation — just without re-running
+//! the untouched logic.
 
-use gatesim::CombSim;
 use locking::LockedCircuit;
 use netlist::rng::SplitMix64;
+use netlist::{CompiledCircuit, EngineCounters, EvalScratch};
 
 use crate::{AttackOutcome, AttackTelemetry, FailureReason, Oracle};
 
@@ -82,98 +90,131 @@ pub fn attack_with_responses(
     queries_attempted: usize,
 ) -> AttackOutcome {
     assert_eq!(patterns.len(), responses.len(), "pattern/response mismatch");
-    let Ok(sim) = CombSim::new(&locked.circuit) else {
+    let Ok(cc) = CompiledCircuit::compile(&locked.circuit) else {
         return AttackOutcome::failed(FailureReason::Inconclusive, 0, queries_attempted);
     };
+    let inputs = cc.inputs().to_vec();
+    let outputs = cc.outputs().to_vec();
     let key_pos: Vec<usize> = locked
         .key_inputs
         .iter()
         .map(|k| {
-            sim.inputs()
+            inputs
                 .iter()
                 .position(|n| n == k)
                 .expect("key input present")
         })
         .collect();
-    let data_pos: Vec<usize> = (0..sim.inputs().len())
+    let data_pos: Vec<usize> = (0..inputs.len())
         .filter(|i| !key_pos.contains(i))
         .collect();
     let nk = key_pos.len();
     let mut rng = SplitMix64::new(config.seed ^ 0x5eed);
 
-    // Objective: mismatching output bits against the sampled responses,
-    // pattern-parallel on the shared pool. The per-pattern counts are u64s
-    // summed associatively, so the score — and hence the whole greedy
-    // search — is bit-identical for any thread count.
-    let pool = exec::global();
-    let score = |key: &[bool]| -> u64 {
-        pool.par_reduce(
-            "hill_climb_score",
-            patterns,
-            0u64,
-            |i, x: &Vec<bool>| {
-                let mut input = vec![false; sim.inputs().len()];
-                for (&p, &b) in data_pos.iter().zip(x) {
-                    input[p] = b;
-                }
-                for (&p, &b) in key_pos.iter().zip(key) {
-                    input[p] = b;
-                }
-                let got = sim.eval_bools(&input);
-                got.iter()
-                    .zip(&responses[i])
-                    .filter(|(g, w)| g != w)
-                    .count() as u64
-            },
-            |a, b| a + b,
-        )
+    // Pack the sampled patterns 64 per batch: one scratch and one
+    // input-word buffer per batch, the oracle responses as want-words, and
+    // a lane mask for the ragged tail.
+    let n_p = patterns.len();
+    let n_batches = n_p.div_ceil(64);
+    let mut batch_words: Vec<Vec<u64>> = vec![vec![0u64; inputs.len()]; n_batches];
+    let mut batch_want: Vec<Vec<u64>> = vec![vec![0u64; outputs.len()]; n_batches];
+    let mut batch_mask: Vec<u64> = vec![0u64; n_batches];
+    for (pi, (x, y)) in patterns.iter().zip(responses).enumerate() {
+        let (b, lane) = (pi / 64, pi % 64);
+        batch_mask[b] |= 1u64 << lane;
+        for (&p, &bit) in data_pos.iter().zip(x) {
+            if bit {
+                batch_words[b][p] |= 1u64 << lane;
+            }
+        }
+        for (w, &bit) in batch_want[b].iter_mut().zip(y) {
+            if bit {
+                *w |= 1u64 << lane;
+            }
+        }
+    }
+    let mut scratches: Vec<EvalScratch> = (0..n_batches).map(|_| EvalScratch::new(&cc)).collect();
+
+    // Mismatching output bits of one batch against the oracle responses.
+    let mismatch = |s: &EvalScratch, b: usize| -> u64 {
+        outputs
+            .iter()
+            .zip(&batch_want[b])
+            .map(|(o, &want)| ((s.value(o.index() as u32) ^ want) & batch_mask[b]).count_ones() as u64)
+            .sum()
+    };
+    let drain_counters = |scratches: &[EvalScratch]| -> EngineCounters {
+        let mut total = EngineCounters::default();
+        for s in scratches {
+            total.merge(s.counters());
+        }
+        total
+    };
+    let done = |key: Vec<bool>, iters: usize, engine: EngineCounters| AttackOutcome {
+        key: Some(key),
+        failure: None,
+        iterations: iters,
+        oracle_queries: queries_attempted,
+        telemetry: AttackTelemetry {
+            engine,
+            ..AttackTelemetry::default()
+        },
     };
 
+    // The whole search is sequential over word batches, so the greedy
+    // trajectory (and every score) is bit-identical for any thread count.
     let mut restarts_used = 0usize;
     for restart in 0..config.restarts {
         restarts_used = restart + 1;
-        let mut key: Vec<bool> = (0..nk).map(|_| rng.bool()).collect();
-        let mut best = score(&key);
+        let key: Vec<bool> = (0..nk).map(|_| rng.bool()).collect();
+        // Full sweep once per restart with the fresh key.
+        let mut best = 0u64;
+        for (b, s) in scratches.iter_mut().enumerate() {
+            for (&p, &bit) in key_pos.iter().zip(&key) {
+                batch_words[b][p] = if bit { !0u64 } else { 0 };
+            }
+            s.eval_full(&cc, &batch_words[b]);
+            best += mismatch(s, b);
+        }
+        let mut key = key;
         if best == 0 {
-            return AttackOutcome {
-                key: Some(key),
-                failure: None,
-                iterations: restarts_used,
-                oracle_queries: queries_attempted,
-                telemetry: AttackTelemetry::default(),
-            };
+            return done(key, restarts_used, drain_counters(&scratches));
         }
         for _sweep in 0..config.max_sweeps {
             let mut improved = false;
             for bit in 0..nk {
-                key[bit] = !key[bit];
-                let s = score(&key);
-                if s < best {
-                    best = s;
+                // Tentatively flip: propagate only the key input's cone.
+                let net = inputs[key_pos[bit]].index() as u32;
+                let word = if key[bit] { 0u64 } else { !0u64 };
+                let mut s_new = 0u64;
+                for (b, s) in scratches.iter_mut().enumerate() {
+                    s.propagate(&cc, net, word);
+                    s_new += mismatch(s, b);
+                }
+                if s_new < best {
+                    best = s_new;
                     improved = true;
-                } else {
                     key[bit] = !key[bit];
+                    scratches.iter_mut().for_each(EvalScratch::commit);
+                } else {
+                    scratches.iter_mut().for_each(EvalScratch::revert);
                 }
             }
             if best == 0 {
-                return AttackOutcome {
-                    key: Some(key),
-                    failure: None,
-                    iterations: restarts_used,
-                    oracle_queries: queries_attempted,
-                    telemetry: AttackTelemetry::default(),
-                };
+                return done(key, restarts_used, drain_counters(&scratches));
             }
             if !improved {
                 break;
             }
         }
     }
-    AttackOutcome::failed(
+    let mut out = AttackOutcome::failed(
         FailureReason::Inconclusive,
         restarts_used,
         queries_attempted,
-    )
+    );
+    out.telemetry.engine = drain_counters(&scratches);
+    out
 }
 
 #[cfg(test)]
@@ -181,6 +222,7 @@ mod tests {
     use super::*;
     use crate::key_is_functionally_correct;
     use crate::oracle::{CombOracle, DeadOracle};
+    use gatesim::CombSim;
     use netlist::samples;
 
     #[test]
@@ -195,6 +237,24 @@ mod tests {
         let out = attack(&locked, &mut oracle, &HillClimbConfig::default());
         let key = out.key.expect("hill climbing breaks small RLL");
         assert!(key_is_functionally_correct(&locked, &key, 1024).unwrap());
+    }
+
+    #[test]
+    fn engine_counters_reflect_incremental_scoring() {
+        let original = samples::ripple_adder(4);
+        let locked = locking::random::lock(
+            &original,
+            &locking::random::RllConfig { key_bits: 8, seed: 6 },
+        )
+        .unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let out = attack(&locked, &mut oracle, &HillClimbConfig::default());
+        let e = out.telemetry.engine;
+        assert!(e.full_evals > 0, "each restart starts with a full sweep");
+        assert!(
+            e.incremental_props > e.full_evals,
+            "bit flips must use the incremental kernel: {e:?}"
+        );
     }
 
     #[test]

@@ -108,6 +108,9 @@ pub struct AttackTelemetry {
     pub clauses: usize,
     /// Final variable count of the attack solver.
     pub vars: usize,
+    /// Simulation-engine work counters (full sweeps vs incremental events;
+    /// populated by the simulation-driven attacks such as hill climbing).
+    pub engine: netlist::EngineCounters,
 }
 
 /// Outcome of an oracle-guided attack.

@@ -125,6 +125,7 @@ impl AttackContext {
             solver: *self.solver.stats(),
             clauses: self.solver.num_clauses(),
             vars: self.solver.num_vars(),
+            engine: netlist::EngineCounters::default(),
         }
     }
 }

@@ -57,6 +57,9 @@ pub fn attack(
     config: &SensitizationConfig,
 ) -> SensitizationReport {
     let c = &locked.circuit;
+    // One compiled artifact feeds every miter copy and consistency
+    // constraint: the circuit is levelized once for the whole attack.
+    let cc = netlist::CompiledCircuit::compile(c).expect("attack targets are acyclic");
     let data_inputs: Vec<NetId> = c
         .comb_inputs()
         .into_iter()
@@ -96,11 +99,11 @@ pub fn attack(
         let mut bound1 = data_bind.clone();
         bound1.extend(shared_keys.iter().map(|(n, l)| (*n, *l)));
         bound1.insert(key_net, bit0.positive());
-        let lits1 = encode(&mut miter, c, &bound1);
+        let lits1 = encode(&mut miter, &cc, &bound1);
         let mut bound2 = data_bind.clone();
         bound2.extend(shared_keys.iter().map(|(n, l)| (*n, *l)));
         bound2.insert(key_net, bit1.positive());
-        let lits2 = encode(&mut miter, c, &bound2);
+        let lits2 = encode(&mut miter, &cc, &bound2);
         let diffs: Vec<Lit> = outputs
             .iter()
             .map(|o| encode_xor(&mut miter, lits1[o.index()], lits2[o.index()]))
@@ -129,7 +132,7 @@ pub fn attack(
                     };
                     add_io_constraint(
                         &mut consistency,
-                        c,
+                        &cc,
                         &data_inputs,
                         &kc,
                         &x,

@@ -557,6 +557,16 @@ impl ToJson for cdcl::SolverStats {
     }
 }
 
+impl ToJson for netlist::EngineCounters {
+    fn to_json(&self) -> Json {
+        crate::json_object! {
+            full_evals: self.full_evals,
+            incremental_props: self.incremental_props,
+            events: self.events,
+        }
+    }
+}
+
 impl ToJson for attacks::DipTelemetry {
     fn to_json(&self) -> Json {
         crate::json_object! {
@@ -580,6 +590,7 @@ impl ToJson for attacks::AttackTelemetry {
             clauses: self.clauses,
             vars: self.vars,
             solver: self.solver,
+            engine: self.engine,
         }
     }
 }

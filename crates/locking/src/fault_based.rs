@@ -5,9 +5,7 @@
 //! logic locking picks its insertion points.
 
 use netlist::rng::SplitMix64;
-use netlist::{Circuit, Error, NetId};
-
-use gatesim::CombSim;
+use netlist::{Circuit, CompiledCircuit, Error, EvalScratch, NetId};
 
 use crate::insert::{lockable_nets, splice_key_gate};
 use crate::LockedCircuit;
@@ -68,55 +66,35 @@ pub fn toggle_impact_of(
     patterns: usize,
     seed: u64,
 ) -> Result<Vec<u64>, Error> {
-    let sim = CombSim::new(circuit)?;
-    let lv = netlist::Levelization::build(circuit)?;
+    let cc = CompiledCircuit::compile(circuit)?;
     let mut rng = SplitMix64::new(seed);
     let words = patterns.div_ceil(64).max(1);
     let mut scores = vec![0u64; candidates.len()];
-    let outputs = circuit.comb_outputs();
-    let mut base = Vec::new();
+    let outputs = cc.outputs().to_vec();
+    let mut scratch = EvalScratch::new(&cc);
+    let mut base_out = vec![0u64; outputs.len()];
     for _ in 0..words {
-        let input: Vec<u64> = (0..sim.inputs().len()).map(|_| rng.next_u64()).collect();
-        sim.eval_words_into(&input, &mut base);
-        // For each candidate net, re-simulate with the net inverted and
-        // count flipped output bits.
+        let input: Vec<u64> = (0..cc.inputs().len()).map(|_| rng.next_u64()).collect();
+        scratch.eval_full(&cc, &input);
+        for (b, &o) in base_out.iter_mut().zip(&outputs) {
+            *b = scratch.value(o.index() as u32);
+        }
+        // For each candidate: force the inverted value onto the net, let the
+        // incremental kernel re-evaluate just its cone, count flipped output
+        // bits, then revert to the base state.
         for (ci, &id) in candidates.iter().enumerate() {
-            let mut values = base.clone();
-            values[id.index()] = !values[id.index()];
-            for &g in lv.order() {
-                if g == id {
-                    continue;
-                }
-                if let Some(gate) = circuit.gate(g) {
-                    let v = eval_gate_words(gate, &values);
-                    values[g.index()] = v;
-                }
-            }
+            let net = id.index() as u32;
+            let inverted = !scratch.value(net);
+            scratch.propagate(&cc, net, inverted);
             let mut flips = 0u64;
-            for &o in &outputs {
-                flips += (values[o.index()] ^ base[o.index()]).count_ones() as u64;
+            for (&o, &b) in outputs.iter().zip(&base_out) {
+                flips += (scratch.value(o.index() as u32) ^ b).count_ones() as u64;
             }
             scores[ci] += flips;
+            scratch.revert();
         }
     }
     Ok(scores)
-}
-
-fn eval_gate_words(gate: &netlist::Gate, values: &[u64]) -> u64 {
-    use netlist::GateKind::*;
-    let f = &gate.fanin;
-    match gate.kind {
-        And => f.iter().fold(!0u64, |a, x| a & values[x.index()]),
-        Nand => !f.iter().fold(!0u64, |a, x| a & values[x.index()]),
-        Or => f.iter().fold(0u64, |a, x| a | values[x.index()]),
-        Nor => !f.iter().fold(0u64, |a, x| a | values[x.index()]),
-        Xor => f.iter().fold(0u64, |a, x| a ^ values[x.index()]),
-        Xnor => !f.iter().fold(0u64, |a, x| a ^ values[x.index()]),
-        Not => !values[f[0].index()],
-        Buf => values[f[0].index()],
-        Const0 => 0,
-        Const1 => !0,
-    }
 }
 
 /// Per-candidate *output coverage*: which combinational outputs flip (on any
@@ -132,33 +110,30 @@ pub fn output_coverage(
     patterns: usize,
     seed: u64,
 ) -> Result<Vec<Vec<u64>>, Error> {
-    let sim = CombSim::new(circuit)?;
-    let lv = netlist::Levelization::build(circuit)?;
+    let cc = CompiledCircuit::compile(circuit)?;
     let mut rng = SplitMix64::new(seed);
     let words = patterns.div_ceil(64).max(1);
-    let outputs = circuit.comb_outputs();
+    let outputs = cc.outputs().to_vec();
     let mask_words = outputs.len().div_ceil(64);
     let mut coverage = vec![vec![0u64; mask_words]; candidates.len()];
-    let mut base = Vec::new();
+    let mut scratch = EvalScratch::new(&cc);
+    let mut base_out = vec![0u64; outputs.len()];
     for _ in 0..words {
-        let input: Vec<u64> = (0..sim.inputs().len()).map(|_| rng.next_u64()).collect();
-        sim.eval_words_into(&input, &mut base);
+        let input: Vec<u64> = (0..cc.inputs().len()).map(|_| rng.next_u64()).collect();
+        scratch.eval_full(&cc, &input);
+        for (b, &o) in base_out.iter_mut().zip(&outputs) {
+            *b = scratch.value(o.index() as u32);
+        }
         for (ci, &id) in candidates.iter().enumerate() {
-            let mut values = base.clone();
-            values[id.index()] = !values[id.index()];
-            for &g in lv.order() {
-                if g == id {
-                    continue;
-                }
-                if let Some(gate) = circuit.gate(g) {
-                    values[g.index()] = eval_gate_words(gate, &values);
-                }
-            }
-            for (oi, &o) in outputs.iter().enumerate() {
-                if values[o.index()] != base[o.index()] {
+            let net = id.index() as u32;
+            let inverted = !scratch.value(net);
+            scratch.propagate(&cc, net, inverted);
+            for (oi, (&o, &b)) in outputs.iter().zip(&base_out).enumerate() {
+                if scratch.value(o.index() as u32) != b {
                     coverage[ci][oi / 64] |= 1u64 << (oi % 64);
                 }
             }
+            scratch.revert();
         }
     }
     Ok(coverage)

@@ -34,6 +34,8 @@
 //! assert!(locked.verify_against(&original, 256).expect("simulable"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fault_based;
 pub mod point_function;
 pub mod random;

@@ -21,8 +21,18 @@ impl NetId {
     ///
     /// Useful when iterating `0..circuit.num_nets()`; the id is only valid for
     /// the circuit whose net count bounds `index`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `index` exceeds `u32::MAX` (net ids are 32-bit;
+    /// circuits can never hand out such an index, see
+    /// [`Error::TooManyNets`]).
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        debug_assert!(
+            u32::try_from(index).is_ok(),
+            "net index {index} exceeds the u32 id space"
+        );
         NetId(index as u32)
     }
 }
@@ -230,6 +240,14 @@ impl Circuit {
         self.name = name.into();
     }
 
+    /// The id the next net will get, or [`Error::TooManyNets`] once the
+    /// 32-bit id space is exhausted (instead of silently wrapping).
+    fn next_id(&self) -> Result<NetId, Error> {
+        u32::try_from(self.nets.len())
+            .map(NetId)
+            .map_err(|_| Error::TooManyNets)
+    }
+
     fn intern_name(&mut self, want: &str, id: NetId) -> String {
         let mut name = want.to_owned();
         let mut i = 0u32;
@@ -245,8 +263,13 @@ impl Circuit {
     ///
     /// If `name` is already taken the input is given a fresh, deterministic
     /// variant of the name (`name$<id>_<n>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit already holds `u32::MAX` nets (the fallible
+    /// constructors return [`Error::TooManyNets`] instead).
     pub fn add_input(&mut self, name: impl AsRef<str>) -> NetId {
-        let id = NetId(self.nets.len() as u32);
+        let id = self.next_id().expect("net count exceeds the u32 id space");
         let name = self.intern_name(name.as_ref(), id);
         self.nets.push(Net { name, driver: None });
         self.pis.push(id);
@@ -259,8 +282,9 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::BadArity`] if the fanin count is illegal for `kind`
-    /// and [`Error::UnknownNet`] if any fanin id is out of range.
+    /// Returns [`Error::BadArity`] if the fanin count is illegal for `kind`,
+    /// [`Error::UnknownNet`] if any fanin id is out of range, and
+    /// [`Error::TooManyNets`] if the 32-bit id space is exhausted.
     ///
     /// [`add_input`]: Circuit::add_input
     pub fn add_gate(
@@ -275,7 +299,7 @@ impl Circuit {
             }
         }
         let gate = Gate::new(kind, fanin)?;
-        let id = NetId(self.nets.len() as u32);
+        let id = self.next_id()?;
         let name = self.intern_name(name.as_ref(), id);
         self.nets.push(Net {
             name,
@@ -297,12 +321,13 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownNet`] if `d` is out of range.
+    /// Returns [`Error::UnknownNet`] if `d` is out of range and
+    /// [`Error::TooManyNets`] if the 32-bit id space is exhausted.
     pub fn add_dff(&mut self, q_name: impl AsRef<str>, d: NetId) -> Result<NetId, Error> {
         if d.index() >= self.nets.len() {
             return Err(Error::UnknownNet(d.0));
         }
-        let q = NetId(self.nets.len() as u32);
+        let q = self.next_id()?;
         let name = self.intern_name(q_name.as_ref(), q);
         self.nets.push(Net { name, driver: None });
         self.dffs.push(Dff { q, d });
@@ -340,17 +365,19 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownNet`] if `net` is out of range, or
-    /// [`Error::Undriven`] if `net` has no driver (inputs cannot be split).
+    /// Returns [`Error::UnknownNet`] if `net` is out of range,
+    /// [`Error::Undriven`] if `net` has no driver (inputs cannot be split),
+    /// or [`Error::TooManyNets`] if the 32-bit id space is exhausted.
     pub fn split_net(&mut self, net: NetId, new_name: impl AsRef<str>) -> Result<NetId, Error> {
         if net.index() >= self.nets.len() {
             return Err(Error::UnknownNet(net.0));
         }
+        self.next_id()?;
         let driver = self.nets[net.index()]
             .driver
             .take()
             .ok_or_else(|| Error::Undriven(self.nets[net.index()].name.clone()))?;
-        let id = NetId(self.nets.len() as u32);
+        let id = self.next_id().expect("checked above");
         let name = self.intern_name(new_name.as_ref(), id);
         self.nets.push(Net {
             name,

@@ -1,0 +1,611 @@
+//! The compiled-netlist engine: one cache-friendly artifact shared by every
+//! evaluation layer (simulation, fault simulation, ATPG, CNF encoding,
+//! locking heuristics).
+//!
+//! [`CompiledCircuit::compile`] lowers a [`Circuit`] exactly once into flat
+//! CSR adjacency (fanin *and* fanout as `u32` pools with offset tables — no
+//! `Vec<Vec<u32>>`), per-net gate kinds, the cached [`Levelization`] with
+//! dense topological ranks, and the combinational input/output views. Two
+//! evaluation kernels run over the artifact:
+//!
+//! - the **full sweep** ([`CompiledCircuit::eval_full_into`]): the classic
+//!   64-pattern word-parallel pass over the whole topological order;
+//! - the **incremental kernel** ([`EvalScratch::propagate`]): an
+//!   event-driven update that re-evaluates only the cone disturbed by a
+//!   single net change, using a rank-ordered event queue and reusable
+//!   scratch buffers, with an undo log ([`EvalScratch::revert`]) so a
+//!   rejected change costs the same as the cone it touched.
+//!
+//! Consumers share one artifact (typically behind `Arc<CompiledCircuit>`)
+//! instead of privately re-levelizing the netlist; [`EngineCounters`]
+//! records how much work each kernel did for benchmark telemetry.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Circuit, Error, GateKind, Levelization, NetId};
+
+/// Work counters of the two evaluation kernels, exported as benchmark
+/// telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Full word-parallel sweeps executed.
+    pub full_evals: u64,
+    /// Incremental propagations started (one per forced net change).
+    pub incremental_props: u64,
+    /// Events processed by the incremental kernel (nets re-evaluated).
+    pub events: u64,
+}
+
+impl EngineCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &EngineCounters) {
+        self.full_evals += other.full_evals;
+        self.incremental_props += other.incremental_props;
+        self.events += other.events;
+    }
+}
+
+/// A [`Circuit`] lowered into flat, evaluation-ready form.
+///
+/// The artifact is immutable after [`compile`](CompiledCircuit::compile) and
+/// freely shareable across threads; per-evaluation state lives in
+/// [`EvalScratch`] (or in the consumer's own buffers).
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    num_nets: usize,
+    /// Gate kind per net; `None` for undriven nets (inputs).
+    kinds: Vec<Option<GateKind>>,
+    /// CSR fanin: `fanin_pool[fanin_start[n]..fanin_start[n+1]]`.
+    fanin_pool: Vec<u32>,
+    fanin_start: Vec<u32>,
+    /// CSR fanout: `fanout_pool[fanout_start[n]..fanout_start[n+1]]`.
+    fanout_pool: Vec<u32>,
+    fanout_start: Vec<u32>,
+    /// The levelization, built exactly once per artifact.
+    lv: Levelization,
+    /// Dense topological rank per net (position in `lv.order()`).
+    rank: Vec<u32>,
+    /// Combinational inputs (primary inputs then flip-flop outputs).
+    inputs: Vec<NetId>,
+    /// Combinational outputs (primary outputs then flip-flop inputs).
+    outputs: Vec<NetId>,
+    /// Membership mask over `outputs` (a net may appear there twice; the
+    /// mask is positional-duplicate-blind).
+    output_mask: Vec<bool>,
+    /// Wall-clock nanoseconds spent compiling, for telemetry.
+    compile_ns: u64,
+}
+
+impl CompiledCircuit {
+    /// Lowers `circuit` into the compiled artifact. This is the single
+    /// place [`Levelization::build`] runs for all engine consumers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CombinationalCycle`] if the combinational part is
+    /// cyclic.
+    pub fn compile(circuit: &Circuit) -> Result<Self, Error> {
+        let t0 = std::time::Instant::now();
+        let lv = Levelization::build(circuit)?;
+        let n = circuit.num_nets();
+
+        let mut kinds = vec![None; n];
+        let mut fanin_start = Vec::with_capacity(n + 1);
+        let mut fanin_pool = Vec::new();
+        fanin_start.push(0u32);
+        for id in circuit.net_ids() {
+            if let Some(g) = circuit.gate(id) {
+                kinds[id.index()] = Some(g.kind);
+                fanin_pool.extend(g.fanin.iter().map(|f| f.0));
+            }
+            fanin_start.push(fanin_pool.len() as u32);
+        }
+
+        // Fanout CSR via counting sort over the fanin pool.
+        let mut counts = vec![0u32; n];
+        for &f in &fanin_pool {
+            counts[f as usize] += 1;
+        }
+        let mut fanout_start = Vec::with_capacity(n + 1);
+        fanout_start.push(0u32);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            fanout_start.push(acc);
+        }
+        let mut fanout_pool = vec![0u32; fanin_pool.len()];
+        let mut cursor: Vec<u32> = fanout_start[..n].to_vec();
+        for id in circuit.net_ids() {
+            let (s, e) = (fanin_start[id.index()], fanin_start[id.index() + 1]);
+            for &f in &fanin_pool[s as usize..e as usize] {
+                fanout_pool[cursor[f as usize] as usize] = id.0;
+                cursor[f as usize] += 1;
+            }
+        }
+
+        let mut rank = vec![0u32; n];
+        for (r, id) in lv.order().iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        let outputs = circuit.comb_outputs();
+        let mut output_mask = vec![false; n];
+        for o in &outputs {
+            output_mask[o.index()] = true;
+        }
+
+        Ok(CompiledCircuit {
+            num_nets: n,
+            kinds,
+            fanin_pool,
+            fanin_start,
+            fanout_pool,
+            fanout_start,
+            lv,
+            rank,
+            inputs: circuit.comb_inputs(),
+            outputs,
+            output_mask,
+            compile_ns: t0.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// The gate kind driving `net`, or `None` for undriven nets.
+    #[inline]
+    pub fn kind_of(&self, net: u32) -> Option<GateKind> {
+        self.kinds[net as usize]
+    }
+
+    /// The fanin nets of `net`'s driving gate (empty for inputs).
+    #[inline]
+    pub fn fanin(&self, net: u32) -> &[u32] {
+        &self.fanin_pool[self.fanin_start[net as usize] as usize
+            ..self.fanin_start[net as usize + 1] as usize]
+    }
+
+    /// The nets whose driving gate reads `net`.
+    #[inline]
+    pub fn fanout(&self, net: u32) -> &[u32] {
+        &self.fanout_pool[self.fanout_start[net as usize] as usize
+            ..self.fanout_start[net as usize + 1] as usize]
+    }
+
+    /// Topological rank of `net` (its position in the cached order).
+    #[inline]
+    pub fn rank(&self, net: u32) -> u32 {
+        self.rank[net as usize]
+    }
+
+    /// Whether `net` is a combinational output (primary output or flip-flop
+    /// input).
+    #[inline]
+    pub fn is_output(&self, net: u32) -> bool {
+        self.output_mask[net as usize]
+    }
+
+    /// The cached levelization (order plus logic levels), built once at
+    /// compile time.
+    pub fn levelization(&self) -> &Levelization {
+        &self.lv
+    }
+
+    /// The nets in topological order.
+    pub fn order(&self) -> &[NetId] {
+        self.lv.order()
+    }
+
+    /// The combinational inputs: primary inputs then flip-flop outputs.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The combinational outputs: primary outputs then flip-flop inputs.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Wall-clock nanoseconds spent in [`compile`](CompiledCircuit::compile).
+    pub fn compile_ns(&self) -> u64 {
+        self.compile_ns
+    }
+
+    /// Evaluates one gate function over 64-pattern words drawn from
+    /// `values` at the `fanin` indices.
+    #[inline]
+    pub fn eval_gate(kind: GateKind, fanin: &[u32], values: &[u64]) -> u64 {
+        Self::fold(kind, fanin.iter().map(|&x| values[x as usize]))
+    }
+
+    /// Like [`eval_gate`](CompiledCircuit::eval_gate) but with fanin
+    /// position `pin` forced to `forced` — the gate-input-pin fault case,
+    /// evaluated without any temporary allocation.
+    #[inline]
+    pub fn eval_gate_with_pin(
+        kind: GateKind,
+        fanin: &[u32],
+        values: &[u64],
+        pin: usize,
+        forced: u64,
+    ) -> u64 {
+        Self::fold(
+            kind,
+            fanin
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| if i == pin { forced } else { values[x as usize] }),
+        )
+    }
+
+    #[inline]
+    fn fold(kind: GateKind, mut vals: impl Iterator<Item = u64>) -> u64 {
+        match kind {
+            GateKind::And => vals.fold(!0u64, |a, x| a & x),
+            GateKind::Nand => !vals.fold(!0u64, |a, x| a & x),
+            GateKind::Or => vals.fold(0u64, |a, x| a | x),
+            GateKind::Nor => !vals.fold(0u64, |a, x| a | x),
+            GateKind::Xor => vals.fold(0u64, |a, x| a ^ x),
+            GateKind::Xnor => !vals.fold(0u64, |a, x| a ^ x),
+            GateKind::Not => !vals.next().expect("NOT takes one fanin"),
+            GateKind::Buf => vals.next().expect("BUFF takes one fanin"),
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+        }
+    }
+
+    /// The full-sweep kernel: evaluates the whole circuit word-parallel
+    /// (one pattern per bit) into `values`, which is resized to
+    /// [`num_nets`](CompiledCircuit::num_nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the combinational input
+    /// count.
+    pub fn eval_full_into(&self, input_words: &[u64], values: &mut Vec<u64>) {
+        assert_eq!(
+            input_words.len(),
+            self.inputs.len(),
+            "expected {} input words",
+            self.inputs.len()
+        );
+        values.clear();
+        values.resize(self.num_nets, 0);
+        for (net, &w) in self.inputs.iter().zip(input_words) {
+            values[net.index()] = w;
+        }
+        for &id in self.lv.order() {
+            if let Some(kind) = self.kinds[id.index()] {
+                values[id.index()] = Self::eval_gate(kind, self.fanin(id.0), values);
+            }
+        }
+    }
+}
+
+/// Reusable per-thread state for the incremental evaluation kernel.
+///
+/// A scratch holds the current 64-pattern values of every net, the
+/// rank-ordered event queue, and an undo log. The intended cycle is:
+///
+/// 1. [`eval_full`](EvalScratch::eval_full) to establish a base state;
+/// 2. [`propagate`](EvalScratch::propagate) one or more forced net changes
+///    (only the disturbed cone is re-evaluated);
+/// 3. either [`commit`](EvalScratch::commit) to keep the new state or
+///    [`revert`](EvalScratch::revert) to restore the pre-propagation
+///    values in O(touched).
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    values: Vec<u64>,
+    scheduled: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Undo log: `(net, value before the first change)` in touch order.
+    touched: Vec<(u32, u64)>,
+    counters: EngineCounters,
+}
+
+impl EvalScratch {
+    /// Creates a scratch sized for `cc`.
+    pub fn new(cc: &CompiledCircuit) -> Self {
+        EvalScratch {
+            values: vec![0; cc.num_nets()],
+            scheduled: vec![false; cc.num_nets()],
+            heap: BinaryHeap::new(),
+            touched: Vec::new(),
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// Runs the full sweep into this scratch and clears the undo log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the combinational input
+    /// count of `cc`.
+    pub fn eval_full(&mut self, cc: &CompiledCircuit, input_words: &[u64]) {
+        cc.eval_full_into(input_words, &mut self.values);
+        self.touched.clear();
+        self.counters.full_evals += 1;
+    }
+
+    /// Current value word of `net`.
+    #[inline]
+    pub fn value(&self, net: u32) -> u64 {
+        self.values[net as usize]
+    }
+
+    /// Current value words of all nets, indexed by net id.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The undo log since the last [`eval_full`](EvalScratch::eval_full),
+    /// [`commit`](EvalScratch::commit) or [`revert`](EvalScratch::revert):
+    /// `(net, previous value)` pairs, each net at most once per
+    /// [`propagate`](EvalScratch::propagate) call.
+    pub fn touched(&self) -> &[(u32, u64)] {
+        &self.touched
+    }
+
+    /// Kernel work counters accumulated by this scratch.
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// The incremental kernel: forces `net` to `word` and re-evaluates only
+    /// the downstream cone, in rank order. The forced net keeps `word` even
+    /// if it has a driver (the stuck-at / key-flip semantics); every value
+    /// change is recorded in the undo log. Returns the mask of patterns on
+    /// which some combinational output changed relative to the state before
+    /// this call.
+    pub fn propagate(&mut self, cc: &CompiledCircuit, net: u32, word: u64) -> u64 {
+        self.counters.incremental_props += 1;
+        let mut out_diff = 0u64;
+        let old = self.values[net as usize];
+        if old == word {
+            return 0;
+        }
+        self.values[net as usize] = word;
+        self.touched.push((net, old));
+        if cc.is_output(net) {
+            out_diff |= old ^ word;
+        }
+        for &f in cc.fanout(net) {
+            self.schedule(cc, f);
+        }
+        // The forced net cannot re-enter the queue: only its fanins could
+        // schedule it, and they are strictly upstream of the disturbed cone.
+        while let Some(Reverse((_, n))) = self.heap.pop() {
+            self.scheduled[n as usize] = false;
+            self.counters.events += 1;
+            let Some(kind) = cc.kind_of(n) else { continue };
+            let new = CompiledCircuit::eval_gate(kind, cc.fanin(n), &self.values);
+            let cur = self.values[n as usize];
+            if new != cur {
+                self.values[n as usize] = new;
+                self.touched.push((n, cur));
+                if cc.is_output(n) {
+                    out_diff |= cur ^ new;
+                }
+                for &f in cc.fanout(n) {
+                    self.schedule(cc, f);
+                }
+            }
+        }
+        out_diff
+    }
+
+    #[inline]
+    fn schedule(&mut self, cc: &CompiledCircuit, net: u32) {
+        if !self.scheduled[net as usize] {
+            self.scheduled[net as usize] = true;
+            self.heap.push(Reverse((cc.rank(net), net)));
+        }
+    }
+
+    /// Accepts the propagated state: clears the undo log.
+    pub fn commit(&mut self) {
+        self.touched.clear();
+    }
+
+    /// Rejects the propagated state: restores every touched net to its
+    /// value before the first touch (reverse order, so nets touched by
+    /// several [`propagate`](EvalScratch::propagate) calls resolve to their
+    /// original value) and clears the undo log.
+    pub fn revert(&mut self) {
+        while let Some((net, old)) = self.touched.pop() {
+            self.values[net as usize] = old;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    /// Naive reference: per-gate bool eval over one pattern.
+    fn naive_eval(c: &Circuit, input: &[bool]) -> Vec<bool> {
+        let lv = Levelization::build(c).unwrap();
+        let mut values = vec![false; c.num_nets()];
+        for (net, &b) in c.comb_inputs().iter().zip(input) {
+            values[net.index()] = b;
+        }
+        for &id in lv.order() {
+            if let Some(g) = c.gate(id) {
+                values[id.index()] =
+                    g.kind.eval(g.fanin.iter().map(|f| values[f.index()]));
+            }
+        }
+        values
+    }
+
+    #[test]
+    fn csr_matches_circuit_adjacency() {
+        let c = samples::c17();
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let fanouts = c.fanouts();
+        for id in c.net_ids() {
+            let want_fanin: Vec<u32> = c
+                .gate(id)
+                .map(|g| g.fanin.iter().map(|f| f.0).collect())
+                .unwrap_or_default();
+            assert_eq!(cc.fanin(id.0), want_fanin.as_slice(), "fanin of {id}");
+            let mut want_fanout: Vec<u32> = fanouts[id.index()].iter().map(|n| n.0).collect();
+            let mut got_fanout = cc.fanout(id.0).to_vec();
+            want_fanout.sort_unstable();
+            got_fanout.sort_unstable();
+            assert_eq!(got_fanout, want_fanout, "fanout of {id}");
+        }
+    }
+
+    #[test]
+    fn rank_is_dense_topological_position() {
+        let c = samples::ripple_adder(4);
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        for (r, id) in cc.order().iter().enumerate() {
+            assert_eq!(cc.rank(id.0), r as u32);
+        }
+        for id in c.net_ids() {
+            for &f in cc.fanin(id.0) {
+                assert!(cc.rank(f) < cc.rank(id.0), "fanin rank must precede");
+            }
+        }
+    }
+
+    #[test]
+    fn full_sweep_matches_naive() {
+        let c = samples::full_adder();
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let mut values = Vec::new();
+        for m in 0..8u64 {
+            let input: Vec<bool> = (0..3).map(|k| (m >> k) & 1 == 1).collect();
+            let words: Vec<u64> = input.iter().map(|&b| if b { !0 } else { 0 }).collect();
+            cc.eval_full_into(&words, &mut values);
+            let want = naive_eval(&c, &input);
+            for id in c.net_ids() {
+                assert_eq!(
+                    values[id.index()] & 1 == 1,
+                    want[id.index()],
+                    "net {id} at m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_resweep() {
+        let c = crate::generate::random_comb(11, 8, 4, 120).unwrap();
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let mut rng = crate::rng::SplitMix64::new(99);
+        let base: Vec<u64> = (0..cc.inputs().len()).map(|_| rng.next_u64()).collect();
+        let mut scratch = EvalScratch::new(&cc);
+        scratch.eval_full(&cc, &base);
+        for step in 0..40 {
+            let i = (rng.next_u64() as usize) % cc.inputs().len();
+            let w = rng.next_u64();
+            let net = cc.inputs()[i].0;
+            scratch.propagate(&cc, net, w);
+            scratch.commit();
+            let mut full = Vec::new();
+            let current: Vec<u64> = cc.inputs().iter().map(|n| scratch.value(n.0)).collect();
+            cc.eval_full_into(&current, &mut full);
+            assert_eq!(scratch.values(), full.as_slice(), "step {step}");
+        }
+        assert!(scratch.counters().incremental_props >= 1);
+        assert!(scratch.counters().full_evals == 1);
+    }
+
+    #[test]
+    fn revert_restores_exact_state() {
+        let c = samples::c17();
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let mut scratch = EvalScratch::new(&cc);
+        let base = vec![0xAAAA_5555_u64; cc.inputs().len()];
+        scratch.eval_full(&cc, &base);
+        let before = scratch.values().to_vec();
+        // Two stacked propagations, then revert both.
+        scratch.propagate(&cc, cc.inputs()[0].0, !0);
+        scratch.propagate(&cc, cc.inputs()[1].0, 0);
+        scratch.revert();
+        assert_eq!(scratch.values(), before.as_slice());
+        assert!(scratch.touched().is_empty());
+    }
+
+    #[test]
+    fn propagate_reports_output_diff_mask() {
+        // y = AND(a, b): flipping a changes y only where b is 1.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = c.add_gate(GateKind::And, vec![a, b], "y").unwrap();
+        c.mark_output(y);
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let mut scratch = EvalScratch::new(&cc);
+        scratch.eval_full(&cc, &[0u64, 0b1100u64]);
+        let diff = scratch.propagate(&cc, a.0, !0u64);
+        assert_eq!(diff, 0b1100);
+        let _ = y;
+    }
+
+    #[test]
+    fn forced_gate_output_stays_forced() {
+        // Stuck-at semantics: forcing a driven net keeps the forced value.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::Not, vec![a], "g").unwrap();
+        let y = c.add_gate(GateKind::Not, vec![g], "y").unwrap();
+        c.mark_output(y);
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let mut scratch = EvalScratch::new(&cc);
+        scratch.eval_full(&cc, &[0u64]);
+        assert_eq!(scratch.value(y.0), 0);
+        let diff = scratch.propagate(&cc, g.0, 0u64); // g would be 1 naturally
+        assert_eq!(scratch.value(g.0), 0);
+        assert_eq!(scratch.value(y.0), !0u64);
+        assert_eq!(diff, !0u64);
+    }
+
+    #[test]
+    fn pin_override_eval_matches_temp_copy() {
+        let vals = [0b1010u64, 0b0110, 0b1100];
+        let fanin = [0u32, 1, 2];
+        for kind in [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Nand] {
+            for pin in 0..3 {
+                for forced in [0u64, !0u64, 0b1111] {
+                    let mut copy = vals;
+                    copy[pin] = forced;
+                    let want = CompiledCircuit::eval_gate(kind, &fanin, &copy);
+                    let got =
+                        CompiledCircuit::eval_gate_with_pin(kind, &fanin, &vals, pin, forced);
+                    assert_eq!(got, want, "{kind} pin {pin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_time_recorded() {
+        let cc = CompiledCircuit::compile(&samples::c17()).unwrap();
+        // Zero is possible on coarse clocks; just exercise the accessor.
+        let _ = cc.compile_ns();
+        assert_eq!(cc.num_nets(), 11);
+    }
+
+    #[test]
+    fn cyclic_circuit_rejected() {
+        let mut c = Circuit::new("cyc");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::And, vec![a, a], "g").unwrap();
+        let h = c.add_gate(GateKind::Not, vec![g], "h").unwrap();
+        c.set_driver(g, crate::Gate::new(GateKind::And, vec![a, h]).unwrap())
+            .unwrap();
+        assert!(matches!(
+            CompiledCircuit::compile(&c),
+            Err(Error::CombinationalCycle(_))
+        ));
+    }
+}

@@ -30,6 +30,8 @@ pub enum Error {
     },
     /// A generator profile was inconsistent (e.g. zero outputs).
     BadProfile(String),
+    /// The circuit would exceed the `u32::MAX` net-id space.
+    TooManyNets,
 }
 
 impl fmt::Display for Error {
@@ -47,6 +49,7 @@ impl fmt::Display for Error {
             Error::Undriven(n) => write!(f, "net `{n}` has no driver and is not an input"),
             Error::BenchSyntax { line, msg } => write!(f, "bench syntax error on line {line}: {msg}"),
             Error::BadProfile(msg) => write!(f, "invalid generator profile: {msg}"),
+            Error::TooManyNets => write!(f, "net count exceeds the u32 id space"),
         }
     }
 }

@@ -239,7 +239,11 @@ pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
             let mut fanin = Vec::with_capacity(arity);
             while fanin.len() < arity {
                 let f = pick_fanin(&mut rng, &all);
-                if !fanin.contains(&f) {
+                // Distinct fanins are preferred, but a tiny net pool (1-2
+                // combinational inputs before any gates exist) cannot supply
+                // `arity` distinct nets — accept a repeat rather than
+                // rejection-sample forever.
+                if !fanin.contains(&f) || fanin.len() >= all.len() {
                     fanin.push(f);
                 }
             }
@@ -357,6 +361,18 @@ pub fn random_comb(
 mod tests {
     use super::*;
     use crate::{CircuitStats, TransitiveFanin};
+
+    #[test]
+    fn tiny_input_profiles_terminate() {
+        // Regression: with < 3 combinational inputs the DAG starts with a
+        // net pool too small for a 3-input gate's distinct fanins, and the
+        // fanin picker used to rejection-sample forever. This exact profile
+        // hung before the pool-exhaustion escape was added.
+        let c = random_comb(147_956_845_291_676, 2, 3, 70).unwrap();
+        c.validate().unwrap();
+        let c1 = random_comb(9, 1, 2, 40).unwrap();
+        c1.validate().unwrap();
+    }
 
     #[test]
     fn profiles_match_paper_interface() {

@@ -39,6 +39,7 @@
 pub mod bench;
 pub mod verilog;
 mod circuit;
+pub mod compiled;
 mod error;
 pub mod generate;
 pub mod rng;
@@ -47,6 +48,7 @@ mod stats;
 mod topo;
 
 pub use circuit::{Circuit, Dff, Gate, GateKind, Net, NetId};
+pub use compiled::{CompiledCircuit, EngineCounters, EvalScratch};
 pub use error::Error;
 pub use stats::CircuitStats;
 pub use topo::{Levelization, TransitiveFanin};

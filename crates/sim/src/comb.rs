@@ -1,29 +1,21 @@
-use netlist::{Circuit, Error, GateKind, Levelization, NetId};
+use std::sync::Arc;
 
-/// A compiled, levelized simulator for the combinational part of a circuit.
+use netlist::{Circuit, CompiledCircuit, Error, NetId};
+
+/// A word-parallel simulator view over a shared [`CompiledCircuit`].
 ///
-/// Construction flattens the netlist into a linear instruction stream in
-/// topological order; evaluation then runs 64 patterns at a time, one bit per
-/// lane of a `u64` word.
+/// Construction compiles the netlist once (CSR adjacency + cached
+/// levelization); evaluation then runs 64 patterns at a time, one bit per
+/// lane of a `u64` word, using the engine's full-sweep kernel. The
+/// underlying artifact is reference-counted, so cloning a `CombSim` — or
+/// handing the artifact to other engine consumers via
+/// [`compiled`](CombSim::compiled) — never re-levelizes the circuit.
 ///
 /// Inputs and outputs follow the circuit's *combinational* interface:
 /// [`Circuit::comb_inputs`] order in, [`Circuit::comb_outputs`] order out.
 #[derive(Debug, Clone)]
 pub struct CombSim {
-    num_nets: usize,
-    inputs: Vec<NetId>,
-    outputs: Vec<NetId>,
-    instrs: Vec<Instr>,
-    /// Flattened fanin id pool referenced by the instructions.
-    fanin_pool: Vec<u32>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Instr {
-    kind: GateKind,
-    out: u32,
-    fanin_start: u32,
-    fanin_len: u16,
+    cc: Arc<CompiledCircuit>,
 }
 
 impl CombSim {
@@ -33,64 +25,34 @@ impl CombSim {
     ///
     /// Returns [`Error::CombinationalCycle`] if the circuit is cyclic.
     pub fn new(circuit: &Circuit) -> Result<Self, Error> {
-        let lv = Levelization::build(circuit)?;
-        let mut instrs = Vec::with_capacity(circuit.num_gates());
-        let mut fanin_pool = Vec::new();
-        for &id in lv.order() {
-            if let Some(g) = circuit.gate(id) {
-                let start = fanin_pool.len() as u32;
-                fanin_pool.extend(g.fanin.iter().map(|f| f.index() as u32));
-                instrs.push(Instr {
-                    kind: g.kind,
-                    out: id.index() as u32,
-                    fanin_start: start,
-                    fanin_len: g.fanin.len() as u16,
-                });
-            }
-        }
         Ok(CombSim {
-            num_nets: circuit.num_nets(),
-            inputs: circuit.comb_inputs(),
-            outputs: circuit.comb_outputs(),
-            instrs,
-            fanin_pool,
+            cc: Arc::new(CompiledCircuit::compile(circuit)?),
         })
+    }
+
+    /// Wraps an already-compiled artifact (shares it, no recompilation).
+    pub fn from_compiled(cc: Arc<CompiledCircuit>) -> Self {
+        CombSim { cc }
+    }
+
+    /// The shared compiled artifact backing this simulator.
+    pub fn compiled(&self) -> &Arc<CompiledCircuit> {
+        &self.cc
     }
 
     /// The combinational inputs this simulator expects, in order.
     pub fn inputs(&self) -> &[NetId] {
-        &self.inputs
+        self.cc.inputs()
     }
 
     /// The combinational outputs this simulator produces, in order.
     pub fn outputs(&self) -> &[NetId] {
-        &self.outputs
+        self.cc.outputs()
     }
 
     /// Number of nets in the compiled circuit.
     pub fn num_nets(&self) -> usize {
-        self.num_nets
-    }
-
-    #[inline]
-    fn exec(&self, values: &mut [u64]) {
-        for ins in &self.instrs {
-            let f = &self.fanin_pool
-                [ins.fanin_start as usize..ins.fanin_start as usize + ins.fanin_len as usize];
-            let v = match ins.kind {
-                GateKind::And => f.iter().fold(!0u64, |a, &x| a & values[x as usize]),
-                GateKind::Nand => !f.iter().fold(!0u64, |a, &x| a & values[x as usize]),
-                GateKind::Or => f.iter().fold(0u64, |a, &x| a | values[x as usize]),
-                GateKind::Nor => !f.iter().fold(0u64, |a, &x| a | values[x as usize]),
-                GateKind::Xor => f.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
-                GateKind::Xnor => !f.iter().fold(0u64, |a, &x| a ^ values[x as usize]),
-                GateKind::Not => !values[f[0] as usize],
-                GateKind::Buf => values[f[0] as usize],
-                GateKind::Const0 => 0,
-                GateKind::Const1 => !0,
-            };
-            values[ins.out as usize] = v;
-        }
+        self.cc.num_nets()
     }
 
     /// Evaluates 64 patterns in parallel: `input_words[i]` carries one bit
@@ -101,9 +63,10 @@ impl CombSim {
     ///
     /// Panics if `input_words.len()` differs from the number of inputs.
     pub fn eval_words(&self, input_words: &[u64]) -> Vec<u64> {
-        let mut values = vec![0u64; self.num_nets];
-        self.eval_words_into(input_words, &mut values);
-        self.outputs
+        let mut values = Vec::new();
+        self.cc.eval_full_into(input_words, &mut values);
+        self.cc
+            .outputs()
             .iter()
             .map(|o| values[o.index()])
             .collect()
@@ -118,19 +81,7 @@ impl CombSim {
     ///
     /// Panics if `input_words.len()` differs from the number of inputs.
     pub fn eval_words_into(&self, input_words: &[u64], values: &mut Vec<u64>) {
-        assert_eq!(
-            input_words.len(),
-            self.inputs.len(),
-            "expected {} input words, got {}",
-            self.inputs.len(),
-            input_words.len()
-        );
-        values.clear();
-        values.resize(self.num_nets, 0);
-        for (net, &w) in self.inputs.iter().zip(input_words) {
-            values[net.index()] = w;
-        }
-        self.exec(values);
+        self.cc.eval_full_into(input_words, values);
     }
 
     /// Evaluates many independent 64-pattern batches across `pool`,
@@ -252,6 +203,15 @@ mod tests {
         let c = samples::c17();
         let sim = CombSim::new(&c).unwrap();
         let _ = sim.eval_words(&[0, 0]);
+    }
+
+    #[test]
+    fn shared_artifact_not_recompiled() {
+        let c = samples::c17();
+        let sim = CombSim::new(&c).unwrap();
+        let view = CombSim::from_compiled(Arc::clone(sim.compiled()));
+        assert!(Arc::ptr_eq(sim.compiled(), view.compiled()));
+        assert_eq!(sim.eval_bools(&[true; 5]), view.eval_bools(&[true; 5]));
     }
 
     #[test]

@@ -12,10 +12,11 @@ use netlist::rng::SplitMix64;
 #[test]
 fn self_miter_is_unsat() {
     let c = netlist::generate::random_comb(51, 8, 5, 120).expect("generate");
+    let cc = netlist::CompiledCircuit::compile(&c).expect("compile");
     let mut solver = Solver::new();
     let (bind, _) = bind_fresh(&mut solver, &c.comb_inputs());
-    let lits1 = encode(&mut solver, &c, &bind);
-    let lits2 = encode(&mut solver, &c, &bind);
+    let lits1 = encode(&mut solver, &cc, &bind);
+    let lits2 = encode(&mut solver, &cc, &bind);
     let diffs: Vec<cdcl::Lit> = c
         .comb_outputs()
         .iter()
@@ -47,10 +48,12 @@ fn mutation_miter_finds_real_counterexample() {
     )
     .expect("set driver");
 
+    let ca = netlist::CompiledCircuit::compile(&a).expect("compile");
+    let cb = netlist::CompiledCircuit::compile(&b).expect("compile");
     let mut solver = Solver::new();
     let (bind, vars) = bind_fresh(&mut solver, &a.comb_inputs());
-    let la = encode(&mut solver, &a, &bind);
-    let lb = encode(&mut solver, &b, &bind);
+    let la = encode(&mut solver, &ca, &bind);
+    let lb = encode(&mut solver, &cb, &bind);
     let diffs: Vec<cdcl::Lit> = a
         .comb_outputs()
         .iter()
@@ -93,6 +96,7 @@ fn full_truth_table_constraints_force_correct_keys() {
         .filter(|n| !locked.key_inputs.contains(n))
         .collect();
     let orig_sim = CombSim::new(&original).expect("sim");
+    let locked_cc = netlist::CompiledCircuit::compile(&locked.circuit).expect("compile");
     let mut solver = Solver::new();
     let (kbind, kvars) = bind_fresh(&mut solver, &locked.key_inputs);
     for m in 0..64u32 {
@@ -100,7 +104,7 @@ fn full_truth_table_constraints_force_correct_keys() {
         let y = orig_sim.eval_bools(&x);
         add_io_constraint(
             &mut solver,
-            &locked.circuit,
+            &locked_cc,
             &data,
             &kbind,
             &x,
@@ -138,9 +142,10 @@ fn full_truth_table_constraints_force_correct_keys() {
 #[test]
 fn incremental_assumption_queries_are_consistent() {
     let c = netlist::generate::random_comb(53, 8, 4, 100).expect("generate");
+    let cc = netlist::CompiledCircuit::compile(&c).expect("compile");
     let mut solver = Solver::new();
     let (bind, vars) = bind_fresh(&mut solver, &c.comb_inputs());
-    let lits = encode(&mut solver, &c, &bind);
+    let lits = encode(&mut solver, &cc, &bind);
     let out0 = lits[c.comb_outputs()[0].index()];
     let sim = CombSim::new(&c).expect("sim");
     let mut rng = SplitMix64::new(4);
