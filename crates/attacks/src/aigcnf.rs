@@ -163,6 +163,26 @@ impl Compiled {
     }
 }
 
+/// Test-only semantic faults for the conformance mutation-kill harness
+/// (`crates/conformance`). Each variant plants one deliberate encoding bug
+/// so the harness can prove the conformance battery detects it. Production
+/// code must never install one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncoderSabotage {
+    /// AND-gate clause emission flips the polarity of the first fanin
+    /// literal in the positive-polarity clauses.
+    FlipGateClauseLit,
+    /// [`ReducedEncoder::assert_miter`] silently omits the last
+    /// key-dependent output from the difference disjunction.
+    SkipMiterOutput,
+    /// [`ReducedEncoder::add_io_constraint`] asserts the complement of the
+    /// oracle response on output 0.
+    FlipIoConstraintBit,
+    /// The flat XOR gadget flips the polarity of one literal in its first
+    /// positive-polarity clause.
+    FlipXorGadgetLit,
+}
+
 /// Multi-copy encoder for one locked circuit: the symbolic copies share the
 /// data variables (and the entire key-independent cone), differing only in
 /// their key variables. See the [module docs](self) for the reduction
@@ -176,6 +196,8 @@ pub struct ReducedEncoder {
     copies: Vec<Vec<Slot>>,
     data_vars: Vec<Var>,
     key_vars: Vec<Vec<Var>>,
+    /// Test-only fault injection, always `None` in production use.
+    sabotage: Option<EncoderSabotage>,
 }
 
 impl ReducedEncoder {
@@ -207,7 +229,15 @@ impl ReducedEncoder {
             copies,
             data_vars,
             key_vars,
+            sabotage: None,
         }
+    }
+
+    /// Test-only mutation hook: installs (or clears) an [`EncoderSabotage`]
+    /// fault on this encoder instance. Only the conformance mutation-kill
+    /// harness calls this.
+    pub fn set_sabotage(&mut self, sabotage: Option<EncoderSabotage>) {
+        self.sabotage = sabotage;
     }
 
     fn input_slots(cnf: &Compiled, mut bind: impl FnMut(Result<usize, usize>) -> Slot) -> Vec<Slot> {
@@ -254,7 +284,13 @@ impl ReducedEncoder {
     /// the miter disabled).
     pub fn assert_miter(&mut self, solver: &mut Solver, a: usize, b: usize, extra: Option<Lit>) {
         let mut diffs: Vec<Lit> = Vec::with_capacity(self.cnf.key_dep_outputs.len() + 1);
-        for idx in 0..self.cnf.key_dep_outputs.len() {
+        // Fault injection (test-only): drop the last key-dependent output.
+        let n_outputs = if self.sabotage == Some(EncoderSabotage::SkipMiterOutput) {
+            self.cnf.key_dep_outputs.len().saturating_sub(1)
+        } else {
+            self.cnf.key_dep_outputs.len()
+        };
+        for idx in 0..n_outputs {
             let j = self.cnf.key_dep_outputs[idx];
             let root = self.cnf.aig.outputs()[j];
             // The difference indicator constrains both sides in both
@@ -320,11 +356,15 @@ impl ReducedEncoder {
             key_dep: None,
             shared: &mut slots,
             own: None,
+            sabotage: self.sabotage,
         };
         let mut ok = true;
         for (j, &root) in self.cnf.aig.outputs().iter().enumerate() {
             // Only the demanded polarity of each output cone is emitted.
-            let want = y[j];
+            // (Fault injection, test-only: complement the response on
+            // output 0.)
+            let want =
+                y[j] ^ (j == 0 && self.sabotage == Some(EncoderSabotage::FlipIoConstraintBit));
             match scope.encode(solver, root, if want { POS } else { NEG }) {
                 EncVal::Const(b) => {
                     if b != want {
@@ -347,6 +387,7 @@ impl ReducedEncoder {
             key_dep: Some(&self.cnf.key_dep),
             shared: &mut self.shared,
             own: Some(&mut self.copies[copy]),
+            sabotage: self.sabotage,
         };
         scope.encode(solver, root, mask)
     }
@@ -359,6 +400,8 @@ struct Scope<'a> {
     key_dep: Option<&'a [bool]>,
     shared: &'a mut Vec<Slot>,
     own: Option<&'a mut Vec<Slot>>,
+    /// Test-only fault injection inherited from the owning encoder.
+    sabotage: Option<EncoderSabotage>,
 }
 
 impl Scope<'_> {
@@ -510,7 +553,15 @@ impl Scope<'_> {
                         unreachable!("constant fanins fold in compute")
                     };
                     if new & POS != 0 {
-                        solver.add_clause(&[!lit, la]);
+                        // Fault injection (test-only): flip the first fanin
+                        // literal's polarity in the positive clauses.
+                        let la_emit = if self.sabotage == Some(EncoderSabotage::FlipGateClauseLit)
+                        {
+                            !la
+                        } else {
+                            la
+                        };
+                        solver.add_clause(&[!lit, la_emit]);
                         solver.add_clause(&[!lit, lb]);
                         work.push((a, POS));
                         work.push((b, POS));
@@ -545,7 +596,15 @@ impl Scope<'_> {
                         unreachable!("constant operands fold in compute")
                     };
                     if new & POS != 0 {
-                        solver.add_clause(&[!lit, la, lb]);
+                        // Fault injection (test-only): corrupt one literal
+                        // of the first gadget clause.
+                        let la_emit = if self.sabotage == Some(EncoderSabotage::FlipXorGadgetLit)
+                        {
+                            !la
+                        } else {
+                            la
+                        };
+                        solver.add_clause(&[!lit, la_emit, lb]);
                         solver.add_clause(&[!lit, !la, !lb]);
                     }
                     if new & NEG != 0 {

@@ -50,6 +50,7 @@ pub mod hill_climbing;
 pub mod sat;
 pub mod sensitization;
 pub mod sps;
+pub mod verify;
 
 mod oracle;
 

@@ -1,0 +1,90 @@
+//! Conformance kill-matrix harness: runs the mutation battery of the
+//! `conformance` crate and exports the per-mutant kill matrix.
+//!
+//! Unlike the timing benches, this harness is a *gate*: it exits non-zero
+//! (via assertion) if the clean baseline fails or any checked-in mutant
+//! survives, so wiring it into ci.sh makes the kill rate a tier-1
+//! invariant alongside the unit suites.
+//!
+//! Results go to `results/BENCH_conformance.json`; with
+//! `ORAP_BENCH_SMOKE=1` the smaller smoke battery runs instead and writes
+//! `results/BENCH_conformance_smoke.json` (the file checked into the
+//! repository — regenerate it when the catalog changes).
+
+use std::time::Instant;
+
+use conformance::mutation::{self, Scale};
+use orap_bench::json::Json;
+use orap_bench::{json_object, write_results};
+
+fn main() {
+    let smoke = std::env::var("ORAP_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let scale = if smoke { Scale::Smoke } else { Scale::Full };
+
+    let start = Instant::now();
+    let report = mutation::run_matrix(scale);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    println!(
+        "conformance kill matrix ({scale:?} scale): {} mutants, baseline {}",
+        report.results.len(),
+        if report.baseline_ok { "ok" } else { "FAILED" },
+    );
+    for r in &report.results {
+        let verdict = if r.killed { "killed" } else { "SURVIVED" };
+        let detail: String = r.killed_by.chars().take(72).collect();
+        println!("  {:<32} {:<8} {:<9} {}", r.id, r.layer, verdict, detail);
+    }
+    println!(
+        "kill rate: {:.0}% ({}/{}) in {}",
+        100.0 * report.kill_rate(),
+        report.results.iter().filter(|r| r.killed).count(),
+        report.results.len(),
+        orap_bench::timing::human_time(wall_ns as f64),
+    );
+
+    let rows: Vec<Json> = report
+        .results
+        .iter()
+        .map(|r| {
+            json_object! {
+                id: r.id,
+                layer: r.layer,
+                description: r.description,
+                killed: r.killed,
+                killed_by: r.killed_by,
+                wall_ns: r.wall_ns,
+            }
+        })
+        .collect();
+    let doc = json_object! {
+        harness: "conformance",
+        smoke: smoke,
+        mutants: report.results.len(),
+        killed: report.results.iter().filter(|r| r.killed).count(),
+        kill_rate: report.kill_rate(),
+        baseline_ok: report.baseline_ok,
+        baseline_detail: report.baseline_detail.clone(),
+        survivors: report.survivors(),
+        wall_ns: wall_ns,
+        rows: rows,
+    };
+    let name = if smoke {
+        "BENCH_conformance_smoke"
+    } else {
+        "BENCH_conformance"
+    };
+    let path = write_results(name, &doc).expect("write results");
+    println!("results -> {}", path.display());
+
+    assert!(
+        report.baseline_ok,
+        "clean engines failed the conformance battery: {}",
+        report.baseline_detail
+    );
+    let survivors = report.survivors();
+    assert!(
+        survivors.is_empty(),
+        "mutants survived the conformance battery: {survivors:?}"
+    );
+}

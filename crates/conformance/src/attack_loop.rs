@@ -1,0 +1,194 @@
+//! Full-pipeline conformance: lock → attack → key recovery → exact verify.
+//!
+//! Every (scheme × attack) pair runs end to end on a small deterministic
+//! circuit, and the recovered key is judged twice: by sampled simulation
+//! ([`attacks::key_is_functionally_correct`], the fast pre-filter) and by
+//! the exact SAT miter ([`attacks::verify`]). The two verdicts must be
+//! consistent — an exact-equivalent key can never fail sampling — and for
+//! the attacks whose theory guarantees exactness on termination (the SAT
+//! attack and Double-DIP), the exact verdict itself is asserted.
+
+use attacks::{appsat, double_dip, hill_climbing, sat, sensitization, verify, CombOracle};
+use locking::LockedCircuit;
+
+/// Locking schemes covered by the loop battery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Random XOR/XNOR insertion (RLL).
+    Rll,
+    /// Fault-analysis weighted insertion (WLL).
+    Wll,
+    /// Stripped-functionality logic locking (SFLL-HD).
+    Sfll,
+}
+
+/// Attacks covered by the loop battery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// The SAT attack — exact on termination.
+    Sat,
+    /// AppSAT — approximate, early-exit.
+    AppSat,
+    /// Double-DIP — exact on termination.
+    DoubleDip,
+    /// Hill climbing — approximate, simulation-driven.
+    HillClimbing,
+    /// Key sensitization — may be inconclusive by design.
+    Sensitization,
+}
+
+/// All schemes, in battery order.
+pub const SCHEMES: [Scheme; 3] = [Scheme::Rll, Scheme::Wll, Scheme::Sfll];
+/// All attacks, in battery order.
+pub const ATTACKS: [AttackKind; 5] = [
+    AttackKind::Sat,
+    AttackKind::AppSat,
+    AttackKind::DoubleDip,
+    AttackKind::HillClimbing,
+    AttackKind::Sensitization,
+];
+
+/// One row of the loop battery report.
+#[derive(Debug, Clone)]
+pub struct LoopRow {
+    /// Scheme under attack.
+    pub scheme: Scheme,
+    /// Attack run.
+    pub attack: AttackKind,
+    /// Whether a key was returned.
+    pub recovered: bool,
+    /// Exact SAT-miter verdict on the recovered key (None if no key).
+    pub exact: Option<bool>,
+    /// Sampled-simulation verdict on the recovered key (None if no key).
+    pub sampled: Option<bool>,
+}
+
+fn lock_for(scheme: Scheme) -> LockedCircuit {
+    match scheme {
+        Scheme::Rll => locking::random::lock(
+            &netlist::generate::random_comb(7, 8, 4, 60).expect("synthesizable"),
+            &locking::random::RllConfig { key_bits: 6, seed: 5 },
+        )
+        .expect("lockable"),
+        Scheme::Wll => locking::weighted::lock(
+            &netlist::generate::random_comb(7, 8, 4, 60).expect("synthesizable"),
+            &locking::weighted::WllConfig {
+                key_bits: 6,
+                control_width: 3,
+                seed: 5,
+            },
+        )
+        .expect("lockable"),
+        Scheme::Sfll => locking::sfll::sfll_hd(
+            &netlist::samples::ripple_adder(3),
+            &locking::sfll::SfllConfig {
+                key_bits: 4,
+                hamming_distance: 1,
+                seed: 5,
+            },
+        )
+        .expect("lockable"),
+    }
+}
+
+/// Runs one (scheme, attack) loop and applies the conformance rules.
+///
+/// Rules:
+/// - `Sat` and `DoubleDip` must recover a key on every scheme here, and
+///   that key must be *exactly* correct (their termination argument
+///   guarantees it; anything else is an engine bug).
+/// - `AppSat` and `HillClimbing` must return a key; it may be approximate.
+/// - `Sensitization` may be inconclusive (WLL's interference graphs defeat
+///   it by construction).
+/// - Whenever a key is returned: if the exact miter calls it equivalent,
+///   sampling must agree (a sampled mismatch on an exact-equivalent key
+///   means the engines disagree about the circuit's function).
+pub fn run_one(scheme: Scheme, attack: AttackKind) -> Result<LoopRow, String> {
+    let locked = lock_for(scheme);
+    let mut oracle = CombOracle::from_locked(&locked)
+        .map_err(|e| format!("{scheme:?}: oracle construction failed: {e:?}"))?;
+    let outcome = match attack {
+        AttackKind::Sat => sat::attack(&locked, &mut oracle, &sat::SatAttackConfig::default()),
+        AttackKind::AppSat => {
+            appsat::attack(&locked, &mut oracle, &appsat::AppSatConfig::default())
+        }
+        AttackKind::DoubleDip => {
+            double_dip::attack(&locked, &mut oracle, &double_dip::DoubleDipConfig::default())
+        }
+        AttackKind::HillClimbing => hill_climbing::attack(
+            &locked,
+            &mut oracle,
+            &hill_climbing::HillClimbConfig::default(),
+        ),
+        AttackKind::Sensitization => {
+            let report = sensitization::attack(
+                &locked,
+                &mut oracle,
+                &sensitization::SensitizationConfig::default(),
+            );
+            report.outcome
+        }
+    };
+
+    let exact_required = matches!(attack, AttackKind::Sat | AttackKind::DoubleDip);
+    let recovery_required = !matches!(attack, AttackKind::Sensitization);
+
+    let Some(key) = &outcome.key else {
+        if recovery_required {
+            return Err(format!(
+                "{scheme:?} × {attack:?}: no key recovered ({:?})",
+                outcome.failure
+            ));
+        }
+        return Ok(LoopRow {
+            scheme,
+            attack,
+            recovered: false,
+            exact: None,
+            sampled: None,
+        });
+    };
+    if key.len() != locked.key_bits() {
+        return Err(format!(
+            "{scheme:?} × {attack:?}: key width {} != {}",
+            key.len(),
+            locked.key_bits()
+        ));
+    }
+
+    let sampled = attacks::key_is_functionally_correct(&locked, key, 512)
+        .map_err(|e| format!("sampled check failed: {e:?}"))?;
+    let exact = verify::key_is_exactly_correct(&locked, key);
+
+    if exact && !sampled {
+        return Err(format!(
+            "{scheme:?} × {attack:?}: exact miter says equivalent but sampling disagrees"
+        ));
+    }
+    if exact_required && !exact {
+        let cex = verify::key_exact_counterexample(&locked, key);
+        return Err(format!(
+            "{scheme:?} × {attack:?}: recovered key is not exactly correct \
+             (counterexample {cex:?})"
+        ));
+    }
+    Ok(LoopRow {
+        scheme,
+        attack,
+        recovered: true,
+        exact: Some(exact),
+        sampled: Some(sampled),
+    })
+}
+
+/// Runs every (scheme × attack) pair. Returns the full report, or the
+/// first conformance violation.
+pub fn attack_loop_battery() -> Result<Vec<LoopRow>, String> {
+    let mut rows = Vec::new();
+    for scheme in SCHEMES {
+        for attack in ATTACKS {
+            rows.push(run_one(scheme, attack)?);
+        }
+    }
+    Ok(rows)
+}

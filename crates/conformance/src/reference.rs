@@ -1,0 +1,155 @@
+//! The naive reference interpreter — the differential anchor.
+//!
+//! Deliberately shares *nothing* with the compiled engine: no
+//! [`netlist::Levelization`], no CSR pools, no event queue. Values are
+//! computed by a memoized depth-first walk over the [`netlist::Circuit`]
+//! gate definitions, word-parallel over `u64` lanes (one pattern per bit),
+//! with the gate semantics re-derived from [`netlist::GateKind`] here. If
+//! this module and `netlist::compiled` ever disagree, one of them is wrong
+//! — which is exactly the property the conformance battery leans on.
+
+use netlist::{Circuit, GateKind, NetId};
+
+/// Evaluates one gate over word lanes. Kept private-by-convention simple:
+/// a straight fold matching the documented [`GateKind::eval`] semantics.
+fn fold(kind: GateKind, mut vals: impl Iterator<Item = u64>) -> u64 {
+    match kind {
+        GateKind::And => vals.fold(!0u64, |a, x| a & x),
+        GateKind::Nand => !vals.fold(!0u64, |a, x| a & x),
+        GateKind::Or => vals.fold(0u64, |a, x| a | x),
+        GateKind::Nor => !vals.fold(0u64, |a, x| a | x),
+        GateKind::Xor => vals.fold(0u64, |a, x| a ^ x),
+        GateKind::Xnor => !vals.fold(0u64, |a, x| a ^ x),
+        GateKind::Not => !vals.next().expect("NOT takes one fanin"),
+        GateKind::Buf => vals.next().expect("BUFF takes one fanin"),
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+    }
+}
+
+/// Evaluates every net of the combinational part, word-parallel: lane `b`
+/// of `input_words[i]` is the value of combinational input `i` in pattern
+/// `b`. Returns one word per net, indexed by net id.
+///
+/// # Panics
+///
+/// Panics if `input_words.len()` differs from the combinational input
+/// count, or if the circuit is cyclic (the walk would recurse forever, so
+/// it asserts progress instead).
+pub fn eval_nets(c: &Circuit, input_words: &[u64]) -> Vec<u64> {
+    let inputs = c.comb_inputs();
+    assert_eq!(
+        input_words.len(),
+        inputs.len(),
+        "expected {} input words",
+        inputs.len()
+    );
+    let n = c.num_nets();
+    let mut values = vec![0u64; n];
+    let mut known = vec![false; n];
+    for (net, &w) in inputs.iter().zip(input_words) {
+        values[net.index()] = w;
+        known[net.index()] = true;
+    }
+    // Iterative memoized DFS: (net, next fanin position to inspect).
+    let mut stack: Vec<(NetId, usize)> = Vec::new();
+    for id in c.net_ids() {
+        if known[id.index()] {
+            continue;
+        }
+        stack.push((id, 0));
+        while let Some((cur, pin)) = stack.pop() {
+            if known[cur.index()] {
+                continue;
+            }
+            let Some(g) = c.gate(cur) else {
+                // Undriven non-input net: validate() rejects these, but be
+                // total anyway (value stays 0, matching the kernels' resize
+                // default).
+                known[cur.index()] = true;
+                continue;
+            };
+            let unresolved = g
+                .fanin
+                .iter()
+                .enumerate()
+                .skip(pin)
+                .find(|(_, f)| !known[f.index()]);
+            match unresolved {
+                Some((i, &f)) => {
+                    assert!(
+                        stack.len() <= 2 * n,
+                        "cyclic circuit: DFS stack exceeded {} entries",
+                        2 * n
+                    );
+                    stack.push((cur, i));
+                    stack.push((f, 0));
+                }
+                None => {
+                    values[cur.index()] =
+                        fold(g.kind, g.fanin.iter().map(|&f| values[f.index()]));
+                    known[cur.index()] = true;
+                }
+            }
+        }
+    }
+    values
+}
+
+/// Evaluates the combinational outputs only, word-parallel, in
+/// [`Circuit::comb_outputs`] order.
+pub fn eval_outputs(c: &Circuit, input_words: &[u64]) -> Vec<u64> {
+    let values = eval_nets(c, input_words);
+    c.comb_outputs()
+        .iter()
+        .map(|o| values[o.index()])
+        .collect()
+}
+
+/// Single-pattern convenience: evaluates the combinational outputs for one
+/// `bool` input assignment.
+pub fn eval_bits(c: &Circuit, input: &[bool]) -> Vec<bool> {
+    let words: Vec<u64> = input.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    eval_outputs(c, &words).iter().map(|&w| w & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    /// Hand-built half adder: the truth table is checked bit by bit, so the
+    /// reference itself is anchored to something human-verifiable.
+    #[test]
+    fn half_adder_truth_table() {
+        let mut c = netlist::Circuit::new("half_adder");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let sum = c.add_gate(netlist::GateKind::Xor, vec![a, b], "sum").unwrap();
+        let carry = c.add_gate(netlist::GateKind::And, vec![a, b], "carry").unwrap();
+        c.mark_output(sum);
+        c.mark_output(carry);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = eval_bits(&c, &[va, vb]);
+            assert_eq!(out, vec![va ^ vb, va & vb], "a={va} b={vb}");
+        }
+    }
+
+    /// Word-parallel evaluation matches 64 independent single-bit runs on a
+    /// sample circuit with reconvergence (c17).
+    #[test]
+    fn word_lanes_match_single_patterns() {
+        let c = samples::c17();
+        let width = c.comb_inputs().len();
+        let mut rng = netlist::rng::SplitMix64::new(0xABCD);
+        let words: Vec<u64> = (0..width).map(|_| rng.next_u64()).collect();
+        let wide = eval_outputs(&c, &words);
+        for lane in 0..64 {
+            let bits: Vec<bool> = words.iter().map(|&w| (w >> lane) & 1 == 1).collect();
+            let single = eval_bits(&c, &bits);
+            for (j, &bit) in single.iter().enumerate() {
+                assert_eq!((wide[j] >> lane) & 1 == 1, bit, "lane {lane} output {j}");
+            }
+        }
+    }
+}

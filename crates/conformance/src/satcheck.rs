@@ -1,0 +1,214 @@
+//! The CDCL solver battery: brute force as the ground truth.
+//!
+//! Three checks, all deterministic:
+//!
+//! 1. **unit truthfulness** — unit clauses must surface verbatim through
+//!    [`cdcl::Solver::value`] (variable 0 included, which is exactly where
+//!    the `MisreportValue` mutant lies).
+//! 2. **binary-only UNSAT** — the four binary clauses
+//!    `(a∨b)(¬a∨b)(a∨¬b)(¬a∨¬b)` are unsatisfiable purely through the
+//!    dedicated binary watch lists; a solver that stops visiting them
+//!    happily reports SAT.
+//! 3. **random CNFs vs exhaustive enumeration** — small mixed 2/3/4-CNF
+//!    instances near the satisfiability threshold, solved both by the CDCL
+//!    solver and by brute force; verdicts must match and every SAT model
+//!    must actually satisfy the formula.
+//!
+//! The battery takes the sabotage selector so the mutation harness can run
+//! the identical checks against a sabotaged solver.
+
+use cdcl::{SolveResult, Solver, SolverSabotage};
+use netlist::rng::SplitMix64;
+
+/// One clause as (variable index, polarity) pairs; `true` = positive.
+type Clause = Vec<(usize, bool)>;
+
+fn fresh_solver(sabotage: Option<SolverSabotage>) -> Solver {
+    let mut s = Solver::new();
+    s.set_sabotage(sabotage);
+    s
+}
+
+/// Deterministic random CNF: `m` clauses of exactly 3 distinct literals
+/// over `n` variables.
+fn gen_cnf(rng: &mut SplitMix64, n: usize, m: usize) -> Vec<Clause> {
+    gen_cnf_width(rng, n, m, |_| 3)
+}
+
+/// Deterministic mixed-width CNF: `m` clauses of 2–4 distinct literals
+/// over `n` variables.
+fn gen_cnf_mixed(rng: &mut SplitMix64, n: usize, m: usize) -> Vec<Clause> {
+    gen_cnf_width(rng, n, m, |rng| 2 + rng.below_usize(3))
+}
+
+fn gen_cnf_width(
+    rng: &mut SplitMix64,
+    n: usize,
+    m: usize,
+    mut width: impl FnMut(&mut SplitMix64) -> usize,
+) -> Vec<Clause> {
+    let mut clauses = Vec::with_capacity(m);
+    for _ in 0..m {
+        let w = width(rng);
+        let mut vars: Vec<usize> = Vec::with_capacity(w);
+        while vars.len() < w.min(n) {
+            let v = rng.below_usize(n);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        clauses.push(vars.into_iter().map(|v| (v, rng.bool())).collect());
+    }
+    clauses
+}
+
+/// Exhaustive satisfiability check for `n <= 20` variables. Returns a
+/// witness assignment (bit `i` = variable `i`) or `None`.
+fn brute_force(n: usize, clauses: &[Clause]) -> Option<u64> {
+    assert!(n <= 20, "brute force is exponential; keep instances small");
+    'outer: for assignment in 0u64..(1 << n) {
+        for clause in clauses {
+            if !clause
+                .iter()
+                .any(|&(v, pos)| ((assignment >> v) & 1 == 1) == pos)
+            {
+                continue 'outer;
+            }
+        }
+        return Some(assignment);
+    }
+    None
+}
+
+fn model_satisfies(solver: &Solver, vars: &[cdcl::Var], clauses: &[Clause]) -> bool {
+    clauses.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|&(v, pos)| solver.value(vars[v]).unwrap_or(false) == pos)
+    })
+}
+
+/// Runs the full solver battery. `instances` scales the random-CNF bank.
+///
+/// `Ok(())` means every check passed; `Err` carries the first
+/// inconsistency (in mutation mode, the kill message).
+pub fn solver_battery(
+    sabotage: Option<SolverSabotage>,
+    instances: usize,
+) -> Result<(), String> {
+    // 1. Unit truthfulness.
+    let mut s = fresh_solver(sabotage);
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[a.positive()]);
+    s.add_clause(&[b.negative()]);
+    if s.solve() != SolveResult::Sat {
+        return Err("unit check: two unit clauses reported unsatisfiable".into());
+    }
+    if s.value(a) != Some(true) || s.value(b) != Some(false) {
+        return Err(format!(
+            "unit check: value() misreports units: a={:?} b={:?}",
+            s.value(a),
+            s.value(b)
+        ));
+    }
+
+    // 2. Binary-only UNSAT.
+    let mut s = fresh_solver(sabotage);
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[a.positive(), b.positive()]);
+    s.add_clause(&[a.negative(), b.positive()]);
+    s.add_clause(&[a.positive(), b.negative()]);
+    let still_ok = s.add_clause(&[a.negative(), b.negative()]);
+    if still_ok && s.solve() != SolveResult::Unsat {
+        return Err("binary check: the complete 2-CNF over {a,b} must be UNSAT".into());
+    }
+
+    // 3. Random CNFs vs brute force. Two sub-banks share the check loop:
+    //    a mixed-width one (2–4 literals, keeps binary and ternary paths
+    //    hot) and a pure 3-CNF one at the satisfiability threshold
+    //    (n = 14, m = 60) — near-threshold 3-SAT instances have few models
+    //    and force long conflict analyses, which is where an unsound
+    //    learnt-clause strengthening flips SAT verdicts to UNSAT.
+    let mut mixed_rng = SplitMix64::new(0xCDC1_C0DE);
+    let mut hard_rng = SplitMix64::new(0x3C4F_5A7D);
+    let mut sat_seen = 0usize;
+    let mut unsat_seen = 0usize;
+    for inst in 0..2 * instances {
+        let hard = inst >= instances;
+        let (n, clauses) = if hard {
+            let n = 14;
+            (n, gen_cnf(&mut hard_rng, n, 60))
+        } else {
+            let rng = &mut mixed_rng;
+            let n = 6 + rng.below_usize(5);
+            // ~4.1 clauses per variable lands near the threshold for this
+            // mixed-width distribution: both verdicts occur in every bank.
+            let m = n * 4 + rng.below_usize(n);
+            (n, gen_cnf_mixed(rng, n, m))
+        };
+        let truth = brute_force(n, &clauses);
+
+        let mut s = fresh_solver(sabotage);
+        let vars: Vec<cdcl::Var> = (0..n).map(|_| s.new_var()).collect();
+        let mut consistent = true;
+        for clause in &clauses {
+            let lits: Vec<cdcl::Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+            consistent &= s.add_clause(&lits);
+        }
+        let verdict = if consistent { s.solve() } else { SolveResult::Unsat };
+        match (truth, verdict) {
+            (Some(_), SolveResult::Sat) => {
+                sat_seen += 1;
+                if !model_satisfies(&s, &vars, &clauses) {
+                    return Err(format!(
+                        "cnf bank instance {inst} (n={n}, m={}): SAT model violates the formula",
+                        clauses.len()
+                    ));
+                }
+            }
+            (None, SolveResult::Unsat) => unsat_seen += 1,
+            (t, v) => {
+                return Err(format!(
+                    "cnf bank instance {inst} (n={n}, m={}): solver says {v:?}, brute force says {}",
+                    clauses.len(),
+                    if t.is_some() { "SAT" } else { "UNSAT" }
+                ));
+            }
+        }
+    }
+    // The bank must exercise both verdicts, or the comparison is vacuous.
+    if instances >= 16 && (sat_seen == 0 || unsat_seen == 0) {
+        return Err(format!(
+            "cnf bank degenerate: {sat_seen} SAT / {unsat_seen} UNSAT of {instances}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_solver_passes_battery() {
+        solver_battery(None, 32).expect("unsabotaged solver conforms");
+    }
+
+    #[test]
+    fn every_solver_sabotage_is_detected() {
+        for sab in [
+            SolverSabotage::SkipBinaryWatch,
+            SolverSabotage::ShrinkLearntClause,
+            SolverSabotage::MisreportValue,
+        ] {
+            let r = std::panic::catch_unwind(|| solver_battery(Some(sab), 48));
+            let killed = match &r {
+                Ok(Err(_)) | Err(_) => true,
+                Ok(Ok(())) => false,
+            };
+            assert!(killed, "solver sabotage {sab:?} survived the battery");
+        }
+    }
+}

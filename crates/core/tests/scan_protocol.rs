@@ -1,0 +1,138 @@
+//! Scan-interface protocol conformance: the OraP invariant is that every
+//! 0→1 `scan_enable` transition clears the key register *before* anything
+//! shifts, so no scan-out sequence ever carries key bits — while functional
+//! clocking (no edge) leaves the unlocked key untouched.
+
+use orap::chip::{ChainCell, ProtectedChip};
+use orap::threat::extract_key_via_scan;
+use orap::{protect, OrapConfig, OrapProtected, OrapVariant};
+
+fn protected(variant: OrapVariant) -> OrapProtected {
+    let design = netlist::samples::counter(10);
+    protect(
+        &design,
+        &locking::weighted::WllConfig {
+            key_bits: 8,
+            control_width: 3,
+            seed: 7,
+        },
+        &OrapConfig {
+            variant,
+            ..OrapConfig::default()
+        },
+    )
+    .expect("protect")
+}
+
+fn zero_pis(chip: &ProtectedChip) -> Vec<bool> {
+    vec![false; chip.num_primary_inputs()]
+}
+
+fn zero_scan(chip: &ProtectedChip) -> Vec<bool> {
+    vec![false; chip.num_scan_chains()]
+}
+
+/// The first clock after a 0→1 `scan_enable` edge clears the key register,
+/// and the clear precedes the shift: even that first cycle's scan-out
+/// carries no key bit.
+#[test]
+fn key_register_clears_on_rising_scan_enable_edge() {
+    for variant in [OrapVariant::Basic, OrapVariant::Modified] {
+        let p = protected(variant);
+        let mut chip = ProtectedChip::new(&p).expect("chip");
+        chip.power_on_and_unlock();
+        assert!(chip.key_register_holds_correct_key(), "{variant:?} unlocks");
+
+        // Zero the state flip-flops so shifting cannot move stale state
+        // bits into the key cells — any surviving `true` after the edge
+        // would then have to be a key bit that escaped the clear.
+        chip.set_state_ffs(&vec![false; chip.num_state_ffs()]);
+        chip.set_scan_enable(true);
+        let pis = zero_pis(&chip);
+        let scan_in = zero_scan(&chip);
+        let out = chip.clock(&pis, &scan_in);
+        assert!(
+            chip.key_register_state().iter().all(|&b| !b),
+            "{variant:?}: key register must be all zeros after the rising edge"
+        );
+        assert!(!chip.key_register_holds_correct_key());
+        // The clear precedes the shift: even the very first scan-out cycle
+        // after the edge carries no key bit.
+        assert!(
+            out.scan_out.iter().all(|&b| !b),
+            "{variant:?}: first post-edge scan-out must not carry key bits"
+        );
+    }
+}
+
+/// Functional clocking never clears the key: `scan_enable` stays low, so
+/// there is no edge and the pulse generators stay quiet.
+#[test]
+fn functional_clocks_preserve_the_unlocked_key() {
+    let p = protected(OrapVariant::Basic);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    chip.power_on_and_unlock();
+    let pis = zero_pis(&chip);
+    let scan_in = zero_scan(&chip);
+    for _ in 0..24 {
+        chip.clock(&pis, &scan_in);
+        assert!(
+            chip.key_register_holds_correct_key(),
+            "functional-mode cycles must not touch the key register"
+        );
+    }
+}
+
+/// The self-clear fires on *every* rising edge, not just the first:
+/// re-unlock, toggle, re-unlock again, across repeated rounds — and while
+/// `scan_enable` stays high, further scan cycles keep the register cleared.
+#[test]
+fn every_rising_edge_clears_again() {
+    let p = protected(OrapVariant::Basic);
+    let mut chip = ProtectedChip::new(&p).expect("chip");
+    let pis = zero_pis(&chip);
+    let scan_in = zero_scan(&chip);
+    for round in 0..4 {
+        chip.set_scan_enable(false);
+        chip.power_on_and_unlock();
+        assert!(
+            chip.key_register_holds_correct_key(),
+            "round {round}: unlock must restore the key"
+        );
+        chip.set_state_ffs(&vec![false; chip.num_state_ffs()]);
+        chip.set_scan_enable(true);
+        for cycle in 0..3 {
+            chip.clock(&pis, &scan_in);
+            assert!(
+                chip.key_register_state().iter().all(|&b| !b),
+                "round {round}, scan cycle {cycle}: register must stay cleared"
+            );
+        }
+    }
+}
+
+/// No scan-out sequence exposes the key after unlocking: shifting the whole
+/// chain image out of an honest unlocked chip recovers only zeros in the
+/// key-cell positions, on both scheme variants.
+#[test]
+fn no_scan_out_sequence_exposes_the_key() {
+    for variant in [OrapVariant::Basic, OrapVariant::Modified] {
+        let p = protected(variant);
+        let mut chip = ProtectedChip::new(&p).expect("chip");
+        assert!(
+            chip.image_layout()
+                .iter()
+                .any(|c| matches!(c, ChainCell::Key(_))),
+            "key cells must sit in the scan chains for the test to mean anything"
+        );
+        let leaked = extract_key_via_scan(&mut chip);
+        assert_ne!(
+            leaked, p.locked.correct_key,
+            "{variant:?}: scan-out must not reproduce the key"
+        );
+        assert!(
+            leaked.iter().all(|&b| !b),
+            "{variant:?}: key cells scan out as zeros"
+        );
+    }
+}

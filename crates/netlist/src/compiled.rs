@@ -215,6 +215,82 @@ impl CompiledCircuit {
         self.compile_ns
     }
 
+    // ------------------------------------------------------------------
+    // Test-only mutation hooks (conformance mutation-kill harness).
+    //
+    // Each hook plants one deterministic semantic fault in the compiled
+    // artifact so `crates/conformance` can verify the differential test
+    // battery detects it. None of them are called by production code.
+    // ------------------------------------------------------------------
+
+    /// Test-only mutation hook: replaces the gate kind of `net` with its
+    /// dual (`And`↔`Or`, `Nand`↔`Nor`, `Xor`↔`Xnor`, `Not`↔`Buf`,
+    /// `Const0`↔`Const1`). Returns `false` if `net` is undriven.
+    pub fn mutate_flip_kind(&mut self, net: u32) -> bool {
+        let Some(kind) = self.kinds[net as usize] else {
+            return false;
+        };
+        self.kinds[net as usize] = Some(match kind {
+            GateKind::And => GateKind::Or,
+            GateKind::Or => GateKind::And,
+            GateKind::Nand => GateKind::Nor,
+            GateKind::Nor => GateKind::Nand,
+            GateKind::Xor => GateKind::Xnor,
+            GateKind::Xnor => GateKind::Xor,
+            GateKind::Not => GateKind::Buf,
+            GateKind::Buf => GateKind::Not,
+            GateKind::Const0 => GateKind::Const1,
+            GateKind::Const1 => GateKind::Const0,
+        });
+        true
+    }
+
+    /// Test-only mutation hook: rewires fanin pin `pin` of `net` to read
+    /// `new_net` instead (a CSR cross-wiring fault; the fanout table is
+    /// deliberately left stale). Returns `false` if the pin does not exist.
+    pub fn mutate_set_fanin(&mut self, net: u32, pin: usize, new_net: u32) -> bool {
+        let s = self.fanin_start[net as usize] as usize;
+        let e = self.fanin_start[net as usize + 1] as usize;
+        if pin >= e - s {
+            return false;
+        }
+        self.fanin_pool[s + pin] = new_net;
+        true
+    }
+
+    /// Test-only mutation hook: swaps positions `i` and `j` of the cached
+    /// topological order *and* the dense rank array, so both kernels see
+    /// the corrupted schedule consistently.
+    pub fn mutate_swap_order(&mut self, i: usize, j: usize) {
+        let a = self.lv.order()[i];
+        let b = self.lv.order()[j];
+        self.lv.mutate_swap_order_entries(i, j);
+        self.rank[a.index()] = j as u32;
+        self.rank[b.index()] = i as u32;
+    }
+
+    /// Test-only mutation hook: clears the output-membership bit of `net`,
+    /// so [`EvalScratch::propagate`] no longer reports differences on it.
+    /// Returns `false` if `net` was not an output.
+    pub fn mutate_clear_output_mask(&mut self, net: u32) -> bool {
+        let was = self.output_mask[net as usize];
+        self.output_mask[net as usize] = false;
+        was
+    }
+
+    /// Test-only mutation hook: redirects fanout edge `k` of `net` to
+    /// `new_target`, so the incremental kernel stops scheduling the real
+    /// reader. Returns `false` if the edge does not exist.
+    pub fn mutate_redirect_fanout(&mut self, net: u32, k: usize, new_target: u32) -> bool {
+        let s = self.fanout_start[net as usize] as usize;
+        let e = self.fanout_start[net as usize + 1] as usize;
+        if k >= e - s {
+            return false;
+        }
+        self.fanout_pool[s + k] = new_target;
+        true
+    }
+
     /// Evaluates one gate function over 64-pattern words drawn from
     /// `values` at the `fanin` indices.
     #[inline]
@@ -305,6 +381,10 @@ pub struct EvalScratch {
     /// Undo log: `(net, value before the first change)` in touch order.
     touched: Vec<(u32, u64)>,
     counters: EngineCounters,
+    /// Test-only fault injection: when `Some(n)`, the n-th future undo-log
+    /// record (0-based) is silently dropped. See
+    /// [`sabotage_drop_undo`](EvalScratch::sabotage_drop_undo).
+    drop_undo_countdown: Option<u64>,
 }
 
 impl EvalScratch {
@@ -316,7 +396,28 @@ impl EvalScratch {
             heap: BinaryHeap::new(),
             touched: Vec::new(),
             counters: EngineCounters::default(),
+            drop_undo_countdown: None,
         }
+    }
+
+    /// Test-only mutation hook (conformance mutation-kill harness): arranges
+    /// for the `nth` undo-log record from now (0-based) to be dropped, so a
+    /// later [`revert`](EvalScratch::revert) leaves that net stale. Never
+    /// call this outside fault-injection tests.
+    pub fn sabotage_drop_undo(&mut self, nth: u64) {
+        self.drop_undo_countdown = Some(nth);
+    }
+
+    /// Records one undo-log entry, honouring the test-only drop fault.
+    #[inline]
+    fn record_touch(&mut self, net: u32, old: u64) {
+        if let Some(n) = self.drop_undo_countdown {
+            self.drop_undo_countdown = n.checked_sub(1);
+            if n == 0 {
+                return;
+            }
+        }
+        self.touched.push((net, old));
     }
 
     /// Runs the full sweep into this scratch and clears the undo log.
@@ -369,7 +470,7 @@ impl EvalScratch {
             return 0;
         }
         self.values[net as usize] = word;
-        self.touched.push((net, old));
+        self.record_touch(net, old);
         if cc.is_output(net) {
             out_diff |= old ^ word;
         }
@@ -386,7 +487,7 @@ impl EvalScratch {
             let cur = self.values[n as usize];
             if new != cur {
                 self.values[n as usize] = new;
-                self.touched.push((n, cur));
+                self.record_touch(n, cur);
                 if cc.is_output(n) {
                     out_diff |= cur ^ new;
                 }

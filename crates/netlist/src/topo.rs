@@ -70,6 +70,14 @@ impl Levelization {
         &self.order
     }
 
+    /// Test-only mutation hook for the conformance mutation-kill harness:
+    /// swaps two entries of the cached order, deliberately breaking the
+    /// fanin-before-fanout invariant when the entries are dependent. Never
+    /// call this outside fault-injection tests.
+    pub fn mutate_swap_order_entries(&mut self, i: usize, j: usize) {
+        self.order.swap(i, j);
+    }
+
     /// The level of a net.
     pub fn level(&self, net: NetId) -> u32 {
         self.level[net.index()]

@@ -43,5 +43,5 @@ pub mod dimacs;
 mod solver;
 mod types;
 
-pub use solver::{CcMin, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{CcMin, SolveResult, Solver, SolverConfig, SolverSabotage, SolverStats};
 pub use types::{Lit, Var};

@@ -200,6 +200,28 @@ pub struct Solver {
 
     /// Model snapshot from the last successful solve (empty otherwise).
     assigns_model: Vec<i8>,
+
+    /// Test-only fault injection, always `None` in production use. See
+    /// [`SolverSabotage`] and [`Solver::set_sabotage`].
+    sabotage: Option<SolverSabotage>,
+}
+
+/// Test-only semantic faults for the conformance mutation-kill harness
+/// (`crates/conformance`). Each variant plants one deliberate bug in the
+/// solver so the harness can prove the test battery detects it. Production
+/// code must never install one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverSabotage {
+    /// Binary-clause watches are never visited during propagation, making
+    /// two-literal clauses invisible to the search (models may violate
+    /// them; unsatisfiable formulas may come back `Sat`).
+    SkipBinaryWatch,
+    /// Learnt clauses of three or more literals are attached with their
+    /// last literal dropped — an unsound strengthening that can turn
+    /// satisfiable formulas `Unsat`.
+    ShrinkLearntClause,
+    /// [`Solver::value`] reports the opposite polarity for variable 0.
+    MisreportValue,
 }
 
 impl Default for Solver {
@@ -246,7 +268,14 @@ impl Solver {
             lbd_stamp: Vec::new(),
             lbd_counter: 0,
             assigns_model: Vec::new(),
+            sabotage: None,
         }
+    }
+
+    /// Test-only mutation hook: installs (or clears) a [`SolverSabotage`]
+    /// fault. Only the conformance mutation-kill harness calls this.
+    pub fn set_sabotage(&mut self, sabotage: Option<SolverSabotage>) {
+        self.sabotage = sabotage;
     }
 
     /// The current search parameters.
@@ -332,6 +361,12 @@ impl Solver {
         } else {
             self.assigns_model[v.index()]
         };
+        // Fault injection (test-only): misreport variable 0's polarity.
+        let a = if v.index() == 0 && self.sabotage == Some(SolverSabotage::MisreportValue) {
+            -a
+        } else {
+            a
+        };
         match a {
             TRUE => Some(true),
             FALSE => Some(false),
@@ -388,6 +423,16 @@ impl Solver {
     }
 
     fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        // Fault injection (test-only): drop the last literal of long learnt
+        // clauses, an unsound strengthening.
+        let lits = if learnt
+            && lits.len() >= 3
+            && self.sabotage == Some(SolverSabotage::ShrinkLearntClause)
+        {
+            &lits[..lits.len() - 1]
+        } else {
+            lits
+        };
         debug_assert!(lits.len() >= 2);
         debug_assert!(lits.len() as u32 <= LEN_MASK);
         let cref = self.arena.len() as ClauseRef;
@@ -438,7 +483,11 @@ impl Solver {
             // Binary clauses first: the watch entry carries the other
             // literal, so a visit costs no clause-memory access and the
             // watch never moves.
-            let bins = std::mem::take(&mut self.watches_bin[p.code()]);
+            let bins = if self.sabotage == Some(SolverSabotage::SkipBinaryWatch) {
+                Vec::new() // fault injection: binary clauses become invisible
+            } else {
+                std::mem::take(&mut self.watches_bin[p.code()])
+            };
             let mut conflict: Option<ClauseRef> = None;
             for w in &bins {
                 match self.lit_value(w.blocker) {

@@ -55,11 +55,18 @@ fn attack_matrix_open_vs_orap() {
     let protected = protect(&design, &wll(12), &OrapConfig::default()).expect("protect");
     let locked = &protected.locked;
 
-    // Open oracle: SAT attack succeeds.
+    // Open oracle: SAT attack succeeds. The sampled check is a cheap
+    // pre-filter; the SAT miter then proves exact equivalence on every
+    // input, which the SAT attack guarantees on termination.
     let mut open = CombOracle::from_locked(locked).expect("oracle");
     let out = sat::attack(locked, &mut open, &sat::SatAttackConfig::default());
     let key = out.key.expect("open scan falls to the SAT attack");
     assert!(attacks::key_is_functionally_correct(locked, &key, 2048).expect("simulable"));
+    assert_eq!(
+        attacks::verify::key_exact_counterexample(locked, &key),
+        None,
+        "SAT attack terminated, so the recovered key must be exactly correct"
+    );
 
     // OraP chip, strict adapter: attack fails at the first query.
     let chip = ProtectedChip::new(&protected).expect("chip");
@@ -68,13 +75,19 @@ fn attack_matrix_open_vs_orap() {
     assert_eq!(out.failure, Some(FailureReason::OracleUnavailable));
 
     // OraP chip, naive adapter: whatever key comes out is functionally
-    // wrong (the scan responses were locked-circuit outputs).
+    // wrong (the scan responses were locked-circuit outputs). The exact
+    // miter must produce a concrete distinguishing input, and the sampled
+    // pre-filter must agree with the exact verdict.
     let mut naive = ProtectedChipOracle::new(chip, OracleMode::Naive);
     let out = sat::attack(locked, &mut naive, &sat::SatAttackConfig::default());
     if let Some(key) = out.key {
         assert!(
             !attacks::key_is_functionally_correct(locked, &key, 2048).expect("simulable"),
             "a key learned from locked responses must not unlock the chip"
+        );
+        assert!(
+            !attacks::verify::key_is_exactly_correct(locked, &key),
+            "the exact miter must also reject a key learned from locked responses"
         );
     }
 }
