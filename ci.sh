@@ -36,6 +36,9 @@ ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench engine --offline
 echo "==> conformance kill matrix (smoke mode) -> results/BENCH_conformance_smoke.json"
 ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench conformance --offline
 
+echo "==> scaling bench (smoke mode) -> results/BENCH_scaling_smoke.json"
+ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench scaling --offline
+
 echo "==> verifying the dependency graph is path-only"
 if cargo metadata --format-version 1 --offline \
     | grep -o '"source":"registry[^"]*"' | head -1 | grep -q registry; then

@@ -1,16 +1,21 @@
 //! Parallel-pattern fault simulation with fault dropping (the HOPE role).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use netlist::{Circuit, CompiledCircuit, EngineCounters, Error};
+use netlist::{Circuit, CompiledCircuit, EngineCounters, Error, LevelQueue};
 
 use crate::fault::{Fault, FaultSite};
 
+/// Upper bound on the number of chunks [`chunk_plan`] cuts a fault list
+/// into. A function of nothing but this constant and the data, so chunk
+/// boundaries — and therefore results — never depend on the thread count.
+const TARGET_CHUNKS: usize = 64;
+
 /// Per-evaluation scratch of the fault kernel: the faulty mirror, the undo
-/// list, and the rank-ordered event queue. One instance per worker thread —
-/// the compiled circuit itself is shared read-only.
+/// list, and the level-bucketed event queue. One instance per worker
+/// thread — the compiled circuit itself is shared read-only, and the
+/// buffers (including the queue's level buckets) persist across faults so
+/// a fault costs its disturbed cone, not an allocation.
 #[derive(Debug, Clone)]
 struct FaultScratch {
     faulty: Vec<u64>,
@@ -18,18 +23,18 @@ struct FaultScratch {
     touched: Vec<u32>,
     /// Scheduled flags for the event queue.
     scheduled: Vec<bool>,
-    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    queue: LevelQueue,
     /// Events processed (nets popped off the queue), for telemetry.
     events: u64,
 }
 
 impl FaultScratch {
-    fn new(num_nets: usize) -> Self {
+    fn new(cc: &CompiledCircuit) -> Self {
         FaultScratch {
-            faulty: vec![0; num_nets],
+            faulty: vec![0; cc.num_nets()],
             touched: Vec::new(),
-            scheduled: vec![false; num_nets],
-            heap: BinaryHeap::new(),
+            scheduled: vec![false; cc.num_nets()],
+            queue: LevelQueue::new(cc.depth()),
             events: 0,
         }
     }
@@ -38,9 +43,52 @@ impl FaultScratch {
     fn schedule(&mut self, cc: &CompiledCircuit, net: u32) {
         if !self.scheduled[net as usize] {
             self.scheduled[net as usize] = true;
-            self.heap.push(Reverse((cc.rank(net), net)));
+            self.queue.push(cc.level_of(net), net);
         }
     }
+}
+
+/// The compiled net a fault's disturbance starts at (the stem itself, or
+/// the output of the gate whose input pin is faulted).
+#[inline]
+fn seed_net(fault: &Fault) -> u32 {
+    match fault.site {
+        FaultSite::Stem(n) => n.index() as u32,
+        FaultSite::Pin { gate_out, .. } => gate_out.index() as u32,
+    }
+}
+
+/// Cuts `faults` into at most [`TARGET_CHUNKS`]`+1` contiguous chunks of
+/// roughly equal *estimated propagation work* — the sum of each fault's
+/// seed-net [`cone_mass`](CompiledCircuit::cone_mass) — and returns the
+/// exclusive end offsets ([`exec::Pool::par_chunks_stealing`] format).
+///
+/// Equal-count chunks mis-balance badly at scale: faults near the inputs
+/// disturb cones orders of magnitude larger than faults near the outputs,
+/// so a count-based cut can leave one chunk holding most of the actual
+/// work. Cost-based cuts keep every chunk coarse enough to amortize
+/// dispatch yet similar enough in cost that workers finish together.
+///
+/// Deterministic: a pure function of the fault list and the artifact.
+fn chunk_plan(cc: &CompiledCircuit, faults: &[Fault]) -> Vec<usize> {
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let total: u64 = faults.iter().map(|f| cc.cone_mass(seed_net(f)) as u64).sum();
+    let target = total.div_ceil(TARGET_CHUNKS as u64).max(1);
+    let mut ends = Vec::new();
+    let mut acc = 0u64;
+    for (i, f) in faults.iter().enumerate() {
+        acc += cc.cone_mass(seed_net(f)) as u64;
+        if acc >= target {
+            ends.push(i + 1);
+            acc = 0;
+        }
+    }
+    if ends.last() != Some(&faults.len()) {
+        ends.push(faults.len());
+    }
+    ends
 }
 
 /// Event-driven propagation of one fault over the current 64-pattern batch,
@@ -81,7 +129,7 @@ fn fault_effect(cc: &CompiledCircuit, good: &[u64], s: &mut FaultScratch, fault:
         _ => u32::MAX,
     };
 
-    while let Some(Reverse((_, n))) = s.heap.pop() {
+    while let Some(n) = s.queue.pop() {
         s.scheduled[n as usize] = false;
         s.events += 1;
         if n == stem_net {
@@ -129,6 +177,10 @@ pub struct FaultSim {
     cc: Arc<CompiledCircuit>,
     good: Vec<u64>,
     scratch: FaultScratch,
+    /// Test-only fault injection: drop the first fault of every chunk but
+    /// the first in the parallel path. See
+    /// [`sabotage_drop_chunk_boundary`](FaultSim::sabotage_drop_chunk_boundary).
+    drop_chunk_boundary: bool,
 }
 
 impl FaultSim {
@@ -146,11 +198,21 @@ impl FaultSim {
     /// Wraps an already-compiled artifact (shares it, no recompilation).
     pub fn from_compiled(cc: Arc<CompiledCircuit>) -> Self {
         let n = cc.num_nets();
+        let scratch = FaultScratch::new(&cc);
         FaultSim {
             cc,
             good: vec![0; n],
-            scratch: FaultScratch::new(n),
+            scratch,
+            drop_chunk_boundary: false,
         }
+    }
+
+    /// Test-only mutation hook (conformance mutation-kill harness): makes
+    /// the parallel path silently skip the first fault of every chunk after
+    /// the first — the classic off-by-one a chunked rewrite can introduce
+    /// at chunk boundaries. Never call this outside fault-injection tests.
+    pub fn sabotage_drop_chunk_boundary(&mut self) {
+        self.drop_chunk_boundary = true;
     }
 
     /// The shared compiled artifact backing this simulator.
@@ -184,16 +246,21 @@ impl FaultSim {
     }
 
     /// Like [`detect_batch`](FaultSim::detect_batch) but distributes the
-    /// fault list across `pool` in fixed-size chunks.
+    /// fault list across `pool` in coarse work-weighted chunks with
+    /// work-stealing.
     ///
-    /// The good-circuit simulation runs once; each chunk task shares the
-    /// compiled circuit and the good values read-only and owns only a
-    /// per-thread `FaultScratch` (faulty mirror, undo list, event queue).
-    /// Chunk boundaries depend only on `faults.len()`, and every fault's
-    /// effect is independent of chunk placement (the faulty mirror is
-    /// restored after each fault), so the detected set is bit-identical to
-    /// the sequential [`detect_batch`](FaultSim::detect_batch) for any
-    /// thread count.
+    /// The good-circuit simulation runs once. The fault list is cut by
+    /// [`cone_mass`](CompiledCircuit::cone_mass) into at most ~64 chunks of
+    /// roughly equal estimated propagation work; each *worker* (not each
+    /// chunk) owns one `FaultScratch` — faulty mirror, undo list, level
+    /// queue — initialized once and reused for every chunk it steals, so
+    /// the per-dispatch cost is a few atomic operations rather than an
+    /// O(nets) allocation and copy. Chunk boundaries depend only on the
+    /// fault list and the circuit, and every fault's effect is independent
+    /// of chunk placement (the faulty mirror is restored after each fault),
+    /// so the detected set is bit-identical to the sequential
+    /// [`detect_batch`](FaultSim::detect_batch) for any thread count; steal
+    /// order affects scheduling telemetry only.
     ///
     /// # Panics
     ///
@@ -224,21 +291,34 @@ impl FaultSim {
     ) -> (Vec<usize>, EngineCounters) {
         let mut good = Vec::new();
         self.cc.eval_full_into(input_words, &mut good);
-        // Chunk size from the data only (determinism), floored so the
-        // per-chunk scratch allocation is amortized over enough faults.
-        let chunk = exec::reduce_chunk_size(faults.len()).max(16);
-        let per_chunk = pool.par_chunks("fsim_fault_chunks", faults, chunk, |ci, slice| {
-            let mut scratch = FaultScratch::new(self.cc.num_nets());
-            scratch.faulty.copy_from_slice(&good);
-            let base = ci * chunk;
-            let mut detected = Vec::new();
-            for (j, f) in slice.iter().enumerate() {
-                if fault_effect(&self.cc, &good, &mut scratch, f) != 0 {
-                    detected.push(base + j);
+        let ends = chunk_plan(&self.cc, faults);
+        let cc = &self.cc;
+        let good = &good;
+        let sabotage = self.drop_chunk_boundary;
+        let per_chunk = pool.par_chunks_stealing(
+            "fsim_fault_chunks",
+            faults,
+            &ends,
+            || {
+                let mut s = FaultScratch::new(cc);
+                s.faulty.copy_from_slice(good);
+                s
+            },
+            |k, slice, scratch| {
+                let base = if k == 0 { 0 } else { ends[k - 1] };
+                let before = scratch.events;
+                let mut detected = Vec::new();
+                for (j, f) in slice.iter().enumerate() {
+                    if sabotage && k > 0 && j == 0 {
+                        continue;
+                    }
+                    if fault_effect(cc, good, scratch, f) != 0 {
+                        detected.push(base + j);
+                    }
                 }
-            }
-            (detected, scratch.events)
-        });
+                (detected, scratch.events - before)
+            },
+        );
         let mut detected = Vec::new();
         let mut counters = EngineCounters {
             full_evals: 1,
@@ -465,6 +545,59 @@ mod tests {
         }
         assert_eq!(seen[0], seen[1]);
         assert_eq!(seen[1], seen[2]);
+    }
+
+    #[test]
+    fn chunk_plan_covers_faults_with_bounded_chunk_count() {
+        let c = netlist::generate::random_comb(31, 12, 6, 400).unwrap();
+        let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let ends = chunk_plan(&cc, &faults);
+        assert_eq!(*ends.last().unwrap(), faults.len());
+        assert!(ends.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert!(ends.len() <= TARGET_CHUNKS + 1, "{} chunks", ends.len());
+        // Same inputs, same plan.
+        assert_eq!(ends, chunk_plan(&cc, &faults));
+        // Empty fault list: empty plan.
+        assert!(chunk_plan(&cc, &[]).is_empty());
+    }
+
+    #[test]
+    fn chunk_plan_balances_by_cone_mass_not_count() {
+        // A long inverter chain: the fault at the head has a cone as large
+        // as the whole chain, faults at the tail have tiny cones. A
+        // count-based cut would put equally many faults per chunk; the
+        // mass-based cut must give the head faults fewer companions.
+        let mut c = netlist::Circuit::new("chain");
+        let mut prev = c.add_input("i");
+        let mut nets = vec![prev];
+        for k in 0..256 {
+            prev = c.add_gate(GateKind::Not, vec![prev], format!("g{k}")).unwrap();
+            nets.push(prev);
+        }
+        c.mark_output(prev);
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let faults: Vec<Fault> = nets.iter().map(|&n| Fault::stem_sa0(n)).collect();
+        let ends = chunk_plan(&cc, &faults);
+        let first_chunk = ends[0];
+        let last_chunk = ends[ends.len() - 1] - ends[ends.len() - 2];
+        assert!(
+            first_chunk < last_chunk,
+            "head chunk ({first_chunk} faults) must be smaller than tail ({last_chunk})"
+        );
+    }
+
+    #[test]
+    fn sabotaged_chunk_boundary_changes_parallel_detection() {
+        let c = netlist::generate::random_comb(3, 10, 6, 300).unwrap();
+        let faults = crate::collapse(&c, crate::enumerate_faults(&c));
+        let mut sim = FaultSim::new(&c).unwrap();
+        let words = vec![0x5A5A_F00D_1234_8765u64; 10];
+        let pool = exec::Pool::with_threads(2);
+        let clean = sim.detect_batch_par(&pool, &words, &faults);
+        sim.sabotage_drop_chunk_boundary();
+        let broken = sim.detect_batch_par(&pool, &words, &faults);
+        assert_ne!(clean, broken, "dropped boundary faults must be observable");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod fsim;
 pub mod podem;
 
 pub use fault::{collapse, enumerate_faults, Fault, FaultSite};
+pub use fsim::FaultSim;
 
 use netlist::{Circuit, Error};
 

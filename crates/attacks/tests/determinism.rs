@@ -149,3 +149,53 @@ fn dip_sequence_invariant_across_thread_counts() {
     assert_eq!(out1.key, out_seq.key);
     assert_eq!(out1.iterations, out_seq.iterations);
 }
+
+/// The scaling-tier trajectory check: hill climbing on a 10⁵-gate locked
+/// circuit must walk a bit-identical trajectory — same oracle query
+/// sequence, same recovered key, same iteration count, same engine and
+/// solver telemetry — no matter how many worker threads serve the oracle.
+/// The search itself is sequential by design; the pool only parallelizes
+/// oracle evaluation, which this test routes through explicit 1/2/8-thread
+/// pools.
+#[test]
+fn hill_climb_trajectory_invariant_across_thread_counts_at_1e5_gates() {
+    use attacks::hill_climbing::{self, HillClimbConfig};
+    use netlist::generate::{profile, synthesize, BenchmarkId};
+
+    let original =
+        synthesize(&profile(BenchmarkId::B18).scaled_to_gates(100_000)).expect("synthesizable");
+    let locked = locking::random::lock(
+        &original,
+        &locking::random::RllConfig {
+            key_bits: 16,
+            seed: 0x10C5,
+        },
+    )
+    .expect("lockable");
+    let config = HillClimbConfig {
+        sample_patterns: 64,
+        restarts: 2,
+        max_sweeps: 4,
+        seed: 0xC11B,
+    };
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut oracle = Recording {
+            inner: PooledOracle::new(&locked, threads),
+            log: Vec::new(),
+        };
+        let out = hill_climbing::attack(&locked, &mut oracle, &config);
+        runs.push((threads, out, oracle.log));
+    }
+    let (_, out1, log1) = &runs[0];
+    assert_eq!(log1.len(), config.sample_patterns, "one query per sample");
+    assert!(
+        out1.telemetry.engine.incremental_props > 0,
+        "hill climbing must exercise the incremental kernel"
+    );
+    for (threads, out, log) in &runs[1..] {
+        assert_eq!(log, log1, "query sequence diverged on {threads} threads");
+        assert_eq!(out, out1, "trajectory diverged on {threads} threads");
+    }
+}

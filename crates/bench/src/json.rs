@@ -604,6 +604,7 @@ impl ToJson for exec::StageStats {
             wall_ns: self.wall_ns,
             busy_ns: self.busy_ns,
             idle_ns: self.idle_ns,
+            stolen: self.stolen,
         }
     }
 }

@@ -41,16 +41,21 @@ pub enum EngineFault {
     /// Drop the first undo-log record, so the next revert leaves a stale
     /// net behind.
     DropUndo,
+    /// Skew one gate's CSR fanin-start offset by one — the classic
+    /// off-by-one a streaming compile can plant in the flat pools: the gate
+    /// loses its first fanin and its id-predecessor gains a stray one.
+    SkewFaninStart,
 }
 
 /// All engine faults, in catalog order.
-pub const ENGINE_FAULTS: [EngineFault; 6] = [
+pub const ENGINE_FAULTS: [EngineFault; 7] = [
     EngineFault::FlipKind,
     EngineFault::CrossFanin,
     EngineFault::SwapOrder,
     EngineFault::ClearOutputMask,
     EngineFault::RedirectFanout,
     EngineFault::DropUndo,
+    EngineFault::SkewFaninStart,
 ];
 
 /// Injects a compiled-artifact fault. Returns `false` when the circuit has
@@ -125,6 +130,16 @@ fn inject_compiled(fault: EngineFault, cc: &mut CompiledCircuit) -> bool {
                         cc.mutate_redirect_fanout(i, k, i);
                     }
                     return true;
+                }
+            }
+            false
+        }
+        EngineFault::SkewFaninStart => {
+            // A multi-fanin gate, so the skewed slice is still non-empty
+            // and the lost first fanin genuinely changes the function.
+            for &n in order.iter().rev() {
+                if cc.kind_of(n).is_some() && cc.fanin(n).len() >= 2 {
+                    return cc.mutate_skew_fanin_start(n);
                 }
             }
             false

@@ -1,0 +1,101 @@
+//! Fault-simulator battery: sequential vs chunked-parallel detection.
+//!
+//! [`atpg::FaultSim`] has two detection paths over the same compiled
+//! artifact: the sequential [`detect_batch`](atpg::FaultSim::detect_batch)
+//! and the coarse-chunked, work-stealing
+//! [`detect_batch_par`](atpg::FaultSim::detect_batch_par). The parallel
+//! path is *specified* to be bit-identical to the sequential one for any
+//! thread count — chunk boundaries are a pure function of the circuit and
+//! the fault list, and the per-worker scratch is restored after every
+//! fault. This battery enforces that contract across thread counts and
+//! doubles as the executioner for the chunk-boundary mutant
+//! ([`FsimFault::DropChunkBoundary`]).
+
+use atpg::{collapse, enumerate_faults, FaultSim};
+use exec::Pool;
+use netlist::rng::SplitMix64;
+use netlist::Circuit;
+
+/// A semantic fault injected into the parallel fault-simulation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsimFault {
+    /// Silently drop the first fault of every chunk after the first — the
+    /// classic off-by-one a chunked re-partition can introduce at chunk
+    /// boundaries.
+    DropChunkBoundary,
+}
+
+/// The battery circuit set: the crafted engine circuit (small enough that
+/// the mass-balanced chunk plan degenerates to one fault per chunk, so a
+/// boundary fault drops almost everything) plus two deterministic random
+/// circuits large enough to produce multi-fault chunks.
+fn battery_circuits() -> Vec<Circuit> {
+    vec![
+        crate::differential::crafted_engine_circuit(),
+        netlist::generate::random_comb(3, 10, 6, 300).expect("synthesizable"),
+        netlist::generate::random_comb(5, 8, 5, 160).expect("synthesizable"),
+    ]
+}
+
+/// Runs the fault-sim battery.
+///
+/// - `fault = None`: conformance mode — the parallel detected set must be
+///   bit-identical to the sequential one on every circuit, batch and
+///   thread count, and the engine counters must be truthful.
+/// - `fault = Some(_)`: mutation mode — `Err` is the *desired* outcome.
+///
+/// The sequential path never consults the sabotage flag, so it stays an
+/// honest reference even on a sabotaged simulator.
+pub fn fsim_battery(fault: Option<FsimFault>) -> Result<(), String> {
+    for (ci, c) in battery_circuits().iter().enumerate() {
+        let faults = collapse(c, enumerate_faults(c));
+        let mut sim =
+            FaultSim::new(c).map_err(|e| format!("circuit {ci}: compile failed: {e:?}"))?;
+        match fault {
+            Some(FsimFault::DropChunkBoundary) => sim.sabotage_drop_chunk_boundary(),
+            None => {}
+        }
+        let n_in = sim.compiled().inputs().len();
+        let mut rng = SplitMix64::new(0xF51A + ci as u64);
+        for batch in 0..2 {
+            let words: Vec<u64> = (0..n_in).map(|_| rng.next_u64()).collect();
+            let seq = sim.detect_batch(&words, &faults);
+            for threads in [1usize, 2, 4] {
+                let pool = Pool::with_threads(threads);
+                let (par, counters) = sim.detect_batch_par_counted(&pool, &words, &faults);
+                if par != seq {
+                    return Err(format!(
+                        "circuit {ci}, batch {batch}, {threads} threads: parallel \
+                         detected {} faults, sequential detected {}",
+                        par.len(),
+                        seq.len()
+                    ));
+                }
+                if counters.full_evals != 1 || counters.incremental_props != faults.len() as u64 {
+                    return Err(format!(
+                        "circuit {ci}, batch {batch}, {threads} threads: untruthful \
+                         counters {counters:?} for {} faults",
+                        faults.len()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_paths_agree() {
+        assert_eq!(fsim_battery(None), Ok(()));
+    }
+
+    #[test]
+    fn chunk_boundary_mutant_is_detected() {
+        let r = fsim_battery(Some(FsimFault::DropChunkBoundary));
+        assert!(r.is_err(), "chunk-boundary mutant survived: {r:?}");
+    }
+}

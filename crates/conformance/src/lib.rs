@@ -23,6 +23,8 @@
 //! - [`enccheck`]: encoder battery (exhaustive miter ground truth on
 //!   crafted locked circuits, I/O-constraint consistency, counterexample
 //!   genuineness) — the SAT leg of the 4-way check.
+//! - [`fsimcheck`]: fault-simulator battery (sequential vs chunked-parallel
+//!   detection across thread counts, counter truthfulness).
 //! - [`attack_loop`]: full lock → attack → key recovery → exact-miter
 //!   verification loops across schemes × attacks.
 //! - [`mutation`]: the mutant catalog and the kill-matrix runner.
@@ -42,6 +44,7 @@
 pub mod attack_loop;
 pub mod differential;
 pub mod enccheck;
+pub mod fsimcheck;
 pub mod mutation;
 pub mod reference;
 pub mod satcheck;

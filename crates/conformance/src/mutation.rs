@@ -22,6 +22,7 @@ use attacks::aigcnf::EncoderSabotage;
 use cdcl::SolverSabotage;
 
 use crate::differential::{self, EngineFault};
+use crate::fsimcheck::{self, FsimFault};
 use crate::{enccheck, satcheck};
 
 /// Battery scale: `Smoke` is the CI configuration, `Full` the nightly one.
@@ -43,6 +44,8 @@ pub enum MutantKind {
     Solver(SolverSabotage),
     /// An AIG-CNF encoder sabotage.
     Encoder(EncoderSabotage),
+    /// A parallel fault-simulation fault.
+    Fsim(FsimFault),
 }
 
 /// One catalog entry.
@@ -58,8 +61,8 @@ pub struct MutantSpec {
     pub kind: MutantKind,
 }
 
-/// The checked-in mutant catalog: 13 semantic mutants spanning the
-/// `netlist`, `sim`(kernel), `sat` and `attacks` layers.
+/// The checked-in mutant catalog: 15 semantic mutants spanning the
+/// `netlist`, `sim`(kernel), `atpg`, `sat` and `attacks` layers.
 pub fn catalog() -> Vec<MutantSpec> {
     use EngineFault::*;
     vec![
@@ -98,6 +101,18 @@ pub fn catalog() -> Vec<MutantSpec> {
             layer: "sim",
             description: "silently drop the first undo-log record before a revert",
             kind: MutantKind::Engine(DropUndo),
+        },
+        MutantSpec {
+            id: "netlist-skew-csr-offset",
+            layer: "netlist",
+            description: "skew one gate's CSR fanin-start offset by one in the flat pools",
+            kind: MutantKind::Engine(SkewFaninStart),
+        },
+        MutantSpec {
+            id: "atpg-drop-chunk-boundary",
+            layer: "atpg",
+            description: "drop the first fault of every parallel fault-sim chunk after the first",
+            kind: MutantKind::Fsim(FsimFault::DropChunkBoundary),
         },
         MutantSpec {
             id: "sat-skip-binary-watch",
@@ -245,6 +260,7 @@ fn run_battery(kind: Option<MutantKind>, scale: Scale) -> Result<(), String> {
             }
             satcheck::solver_battery(None, cnf_instances(scale))?;
             enccheck::encoder_battery(None, enc_patterns(scale))?;
+            fsimcheck::fsim_battery(None)?;
             if scale == Scale::Full {
                 crate::attack_loop::attack_loop_battery()?;
             }
@@ -270,6 +286,7 @@ fn run_battery(kind: Option<MutantKind>, scale: Scale) -> Result<(), String> {
         Some(MutantKind::Encoder(sab)) => {
             enccheck::encoder_battery(Some(sab), enc_patterns(scale))
         }
+        Some(MutantKind::Fsim(f)) => fsimcheck::fsim_battery(Some(f)),
     }
 }
 

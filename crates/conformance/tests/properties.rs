@@ -65,3 +65,63 @@ props! {
         }
     }
 }
+
+props! {
+    config = Config::with_cases(2);
+
+    /// Profile fidelity at the 10⁵-gate tier: `scaled_to_gates` through the
+    /// streaming synthesis path must hit the requested non-inverter gate
+    /// count *exactly*, scale the PI/PO/FF interface proportionally, and
+    /// produce a well-formed artifact (positive depth, dense levels, a full
+    /// sweep that completes over every net).
+    fn conformance_large_scale_profile_fidelity(
+        seed in 0u64..(1 << 32),
+        gates in 100_000usize..130_000,
+        pick in 0usize..4,
+    ) {
+        use netlist::generate::{profile, synthesize_compiled, BenchmarkId};
+        let base = [
+            BenchmarkId::S38417,
+            BenchmarkId::B17,
+            BenchmarkId::B18,
+            BenchmarkId::B20,
+        ][pick];
+        let mut p = profile(base).scaled_to_gates(gates);
+        p.seed ^= seed;
+        qcheck::prop_assert_eq!(p.gates, gates);
+        let cc = synthesize_compiled(&p).expect("synthesizable at 1e5 gates");
+
+        // Interface fidelity: the combinational views are PIs+FFs in and
+        // POs+FFs out, exactly as the profile prescribes.
+        qcheck::prop_assert_eq!(cc.inputs().len(), p.primary_inputs + p.dffs);
+        qcheck::prop_assert_eq!(cc.outputs().len(), p.primary_outputs + p.dffs);
+
+        // Gate-count fidelity: non-inverter gates hit the request exactly.
+        let hard_gates = (0..cc.num_nets() as u32)
+            .filter(|&n| {
+                cc.kind_of(n)
+                    .is_some_and(|k| !k.is_inverter_like())
+            })
+            .count();
+        qcheck::prop_assert_eq!(hard_gates, p.gates);
+
+        // Structural sanity at scale: every net's level is consistent with
+        // its fanins and the artifact sweeps cleanly.
+        qcheck::prop_assert!(cc.depth() >= 4, "depth {} degenerate", cc.depth());
+        for n in 0..cc.num_nets() as u32 {
+            if cc.kind_of(n).is_some() {
+                let want = 1 + cc
+                    .fanin(n)
+                    .iter()
+                    .map(|&f| cc.level_of(f))
+                    .max()
+                    .expect("gates have fanin");
+                qcheck::prop_assert_eq!(cc.level_of(n), want);
+            }
+        }
+        let words: Vec<u64> = (0..cc.inputs().len() as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut values = Vec::new();
+        cc.eval_full_into(&words, &mut values);
+        qcheck::prop_assert_eq!(values.len(), cc.num_nets());
+    }
+}

@@ -75,6 +75,11 @@ pub struct StageStats {
     /// Sum over workers of nanoseconds spent waiting for work (scheduling
     /// overhead and end-of-stage imbalance — the "steal/idle" time).
     pub idle_ns: u64,
+    /// Chunks executed by a worker beyond its fair share
+    /// (`ceil(chunks/workers)`) in [`Pool::par_chunks_stealing`] calls —
+    /// how much work-stealing actually rebalanced. Scheduling telemetry
+    /// only; like `busy_ns`/`idle_ns` it may vary run to run.
+    pub stolen: u64,
 }
 
 /// A snapshot of a pool's observability counters (see [`Pool::stats`]).
@@ -167,6 +172,18 @@ impl Pool {
     }
 
     fn record(&self, label: &str, tasks: usize, wall: Duration, busy_ns: u64, idle_ns: u64) {
+        self.record_full(label, tasks, wall, busy_ns, idle_ns, 0);
+    }
+
+    fn record_full(
+        &self,
+        label: &str,
+        tasks: usize,
+        wall: Duration,
+        busy_ns: u64,
+        idle_ns: u64,
+        stolen: u64,
+    ) {
         let mut stages = self.stages.lock().expect("stats lock");
         let idx = match stages.iter().position(|s| s.label == label) {
             Some(i) => i,
@@ -184,6 +201,7 @@ impl Pool {
         s.wall_ns += wall.as_nanos() as u64;
         s.busy_ns += busy_ns;
         s.idle_ns += idle_ns;
+        s.stolen += stolen;
     }
 
     /// Runs `job(0..n)` across the pool, collecting results in index order.
@@ -290,6 +308,117 @@ impl Pool {
             let end = (start + chunk_size).min(items.len());
             f(k, &items[start..end])
         })
+    }
+
+    /// Applies `f` to *variable-width* chunks of `items` with per-worker
+    /// reusable state, scheduling chunks by work-stealing.
+    ///
+    /// `ends` gives the exclusive end offset of each chunk in ascending
+    /// order (the last entry must equal `items.len()`), so callers can cut
+    /// the input by estimated cost instead of element count — the fault
+    /// simulator sizes chunks by fanout-cone mass. Each worker calls `init`
+    /// exactly once and reuses that state for every chunk it executes; this
+    /// is where a per-worker simulator scratch is paid for once instead of
+    /// per chunk.
+    ///
+    /// Determinism contract: chunk *boundaries* come from `ends` (data
+    /// only), results are collected in chunk order, and `f` must be a pure
+    /// function of `(chunk_index, slice)` modulo reusable-state scratch
+    /// whose final value it does not leak into results. Which worker steals
+    /// which chunk affects scheduling (and the [`StageStats::stolen`]
+    /// counter) only, never the returned `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ends` is not ascending or does not cover `items` exactly.
+    pub fn par_chunks_stealing<T, S, R, I, F>(
+        &self,
+        label: &str,
+        items: &[T],
+        ends: &[usize],
+        init: I,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &[T], &mut S) -> R + Sync,
+    {
+        let n = ends.len();
+        let mut prev = 0usize;
+        for &e in ends {
+            assert!(e >= prev, "chunk ends must be ascending");
+            prev = e;
+        }
+        assert_eq!(prev, items.len(), "chunk ends must cover all items");
+        let slice_of = |k: usize| {
+            let start = if k == 0 { 0 } else { ends[k - 1] };
+            &items[start..ends[k]]
+        };
+
+        let call_start = Instant::now();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let t = Instant::now();
+            let mut state = init();
+            let out: Vec<R> = (0..n).map(|k| f(k, slice_of(k), &mut state)).collect();
+            let busy = t.elapsed().as_nanos() as u64;
+            self.record_full(label, n, call_start.elapsed(), busy, 0, 0);
+            return out;
+        }
+
+        // Steal granularity is one chunk: the atomic cursor IS the steal
+        // queue (an idle worker taking the next chunk is the steal).
+        let fair = n.div_ceil(workers) as u64;
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut busy_total = 0u64;
+        let mut idle_total = 0u64;
+        let mut stolen_total = 0u64;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let worker_start = Instant::now();
+                        let mut busy = Duration::ZERO;
+                        let mut state = init();
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= n {
+                                break;
+                            }
+                            let t = Instant::now();
+                            local.push((k, f(k, slice_of(k), &mut state)));
+                            busy += t.elapsed();
+                        }
+                        (local, worker_start.elapsed(), busy)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (local, wall, busy) = h.join().expect("exec worker panicked");
+                busy_total += busy.as_nanos() as u64;
+                idle_total += wall.saturating_sub(busy).as_nanos() as u64;
+                stolen_total += (local.len() as u64).saturating_sub(fair);
+                for (i, r) in local {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        self.record_full(
+            label,
+            n,
+            call_start.elapsed(),
+            busy_total,
+            idle_total,
+            stolen_total,
+        );
+        slots
+            .into_iter()
+            .map(|r| r.expect("every chunk executed"))
+            .collect()
     }
 
     /// Maps every element with `map` and folds the results with `fold`.
@@ -433,6 +562,78 @@ mod tests {
         assert_eq!(reduce_chunk_size(64), 1);
         assert_eq!(reduce_chunk_size(65), 2);
         assert_eq!(reduce_chunk_size(6400), 100);
+    }
+
+    #[test]
+    fn par_chunks_stealing_matches_sequential_for_any_thread_count() {
+        // Uneven, cost-shaped chunk boundaries; per-worker state is a
+        // scratch buffer whose reuse must not leak into results.
+        let items: Vec<u64> = (0..513).map(|i| i * 31 + 5).collect();
+        let ends = vec![1usize, 2, 50, 180, 181, 400, 513];
+        let run = |threads: usize| {
+            Pool::with_threads(threads).par_chunks_stealing(
+                "steal",
+                &items,
+                &ends,
+                Vec::<u64>::new,
+                |k, slice, scratch| {
+                    scratch.clear();
+                    scratch.extend(slice.iter().map(|&x| x ^ k as u64));
+                    scratch.iter().fold(0u64, |a, &x| a.wrapping_mul(3).wrapping_add(x))
+                },
+            )
+        };
+        let reference = run(1);
+        assert_eq!(reference.len(), ends.len());
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_stealing_inits_state_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u32> = (0..64).collect();
+        let ends: Vec<usize> = (1..=64).collect();
+        let inits = AtomicUsize::new(0);
+        let pool = Pool::with_threads(4);
+        let out = pool.par_chunks_stealing(
+            "init_once",
+            &items,
+            &ends,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, slice, _| slice[0],
+        );
+        assert_eq!(out, items);
+        // One init per spawned worker, never one per chunk.
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+        let stats = pool.stats();
+        let s = stats.stages.iter().find(|s| s.label == "init_once").unwrap();
+        assert_eq!(s.tasks, 64);
+    }
+
+    #[test]
+    fn par_chunks_stealing_empty_and_degenerate() {
+        let pool = Pool::with_threads(4);
+        let empty: Vec<u32> = Vec::new();
+        let none: Vec<u32> =
+            pool.par_chunks_stealing("e", &empty, &[], || (), |_, _, _| unreachable!());
+        assert!(none.is_empty());
+        // Empty chunks are legal (zero-cost entries in a cost plan).
+        let out = pool.par_chunks_stealing(
+            "z",
+            &[7u32],
+            &[0usize, 1, 1],
+            || (),
+            |_, slice, _| slice.len(),
+        );
+        assert_eq!(out, vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all items")]
+    fn par_chunks_stealing_rejects_short_plan() {
+        Pool::with_threads(2).par_chunks_stealing("bad", &[1u8, 2, 3], &[1], || (), |_, _, _| ());
     }
 
     #[test]

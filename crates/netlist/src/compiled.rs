@@ -5,16 +5,28 @@
 //! [`CompiledCircuit::compile`] lowers a [`Circuit`] exactly once into flat
 //! CSR adjacency (fanin *and* fanout as `u32` pools with offset tables — no
 //! `Vec<Vec<u32>>`), per-net gate kinds, the cached [`Levelization`] with
-//! dense topological ranks, and the combinational input/output views. Two
-//! evaluation kernels run over the artifact:
+//! dense topological ranks, and the combinational input/output views. The
+//! [`StreamBuilder`](crate::stream::StreamBuilder) produces the same
+//! artifact without ever materializing a [`Circuit`], which is how
+//! million-gate synthetic circuits are compiled with bounded memory.
+//!
+//! Two evaluation kernels run over the artifact:
 //!
 //! - the **full sweep** ([`CompiledCircuit::eval_full_into`]): the classic
-//!   64-pattern word-parallel pass over the whole topological order;
+//!   64-pattern word-parallel pass, driven by a *rank-major* copy of the
+//!   gate kinds and fanin windows (`sweep_*` arrays) so the hot loop reads
+//!   its schedule sequentially instead of chasing the order permutation;
 //! - the **incremental kernel** ([`EvalScratch::propagate`]): an
 //!   event-driven update that re-evaluates only the cone disturbed by a
-//!   single net change, using a rank-ordered event queue and reusable
-//!   scratch buffers, with an undo log ([`EvalScratch::revert`]) so a
-//!   rejected change costs the same as the cone it touched.
+//!   single net change, using a [`LevelQueue`] (per-level FIFO buckets with
+//!   a min-heap over the non-empty levels — O(1) pushes, no per-event
+//!   tuple comparisons) and reusable scratch buffers, with an undo log
+//!   ([`EvalScratch::revert`]) so a rejected change costs the same as the
+//!   cone it touched.
+//!
+//! The artifact also carries a per-net **cone mass** — a saturating
+//! estimate of the downstream work a change at that net causes — which the
+//! fault simulator uses to cut its fault list into balanced coarse chunks.
 //!
 //! Consumers share one artifact (typically behind `Arc<CompiledCircuit>`)
 //! instead of privately re-levelizing the netlist; [`EngineCounters`]
@@ -24,6 +36,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::{Circuit, Error, GateKind, Levelization, NetId};
+
+/// Saturation cap for the per-net cone-mass estimate. Reconvergent fanout
+/// makes the naive "1 + sum of fanout masses" recurrence overcount
+/// exponentially; capping keeps the estimate a useful *relative* work
+/// weight without overflow.
+const CONE_MASS_CAP: u32 = 1 << 20;
 
 /// Work counters of the two evaluation kernels, exported as benchmark
 /// telemetry.
@@ -66,6 +84,22 @@ pub struct CompiledCircuit {
     lv: Levelization,
     /// Dense topological rank per net (position in `lv.order()`).
     rank: Vec<u32>,
+    /// Dense logic level per net (copy of the levelization's levels, kept
+    /// next to the kernels that index it per event).
+    level: Vec<u32>,
+    /// Maximum level over all nets; sizes the kernels' level buckets.
+    depth: u32,
+    /// Saturating downstream-cone work estimate per net (see
+    /// [`cone_mass`](CompiledCircuit::cone_mass)).
+    cone_mass: Vec<u32>,
+    /// Rank-major sweep view: driven nets in topological order with their
+    /// kinds and fanin windows copied into dense arrays, so the full sweep
+    /// streams its schedule from memory instead of permuting through
+    /// `lv.order()`.
+    sweep_net: Vec<u32>,
+    sweep_kind: Vec<GateKind>,
+    sweep_fanin_start: Vec<u32>,
+    sweep_fanin_pool: Vec<u32>,
     /// Combinational inputs (primary inputs then flip-flop outputs).
     inputs: Vec<NetId>,
     /// Combinational outputs (primary outputs then flip-flop inputs).
@@ -102,6 +136,33 @@ impl CompiledCircuit {
             fanin_start.push(fanin_pool.len() as u32);
         }
 
+        let mut cc = Self::assemble(
+            kinds,
+            fanin_pool,
+            fanin_start,
+            lv,
+            circuit.comb_inputs(),
+            circuit.comb_outputs(),
+        );
+        cc.compile_ns = t0.elapsed().as_nanos() as u64;
+        Ok(cc)
+    }
+
+    /// Shared finishing pass of the [`compile`](CompiledCircuit::compile)
+    /// and streaming ([`crate::stream::StreamBuilder`]) paths: derives the
+    /// fanout CSR (counting sort over the fanin pool — no per-net `Vec`),
+    /// the dense rank/level arrays, the rank-major sweep view and the
+    /// cone-mass estimates, each in O(V+E).
+    pub(crate) fn assemble(
+        kinds: Vec<Option<GateKind>>,
+        fanin_pool: Vec<u32>,
+        fanin_start: Vec<u32>,
+        lv: Levelization,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> Self {
+        let n = kinds.len();
+
         // Fanout CSR via counting sort over the fanin pool.
         let mut counts = vec![0u32; n];
         for &f in &fanin_pool {
@@ -116,10 +177,10 @@ impl CompiledCircuit {
         }
         let mut fanout_pool = vec![0u32; fanin_pool.len()];
         let mut cursor: Vec<u32> = fanout_start[..n].to_vec();
-        for id in circuit.net_ids() {
-            let (s, e) = (fanin_start[id.index()], fanin_start[id.index() + 1]);
+        for id in 0..n {
+            let (s, e) = (fanin_start[id], fanin_start[id + 1]);
             for &f in &fanin_pool[s as usize..e as usize] {
-                fanout_pool[cursor[f as usize] as usize] = id.0;
+                fanout_pool[cursor[f as usize] as usize] = id as u32;
                 cursor[f as usize] += 1;
             }
         }
@@ -128,13 +189,32 @@ impl CompiledCircuit {
         for (r, id) in lv.order().iter().enumerate() {
             rank[id.index()] = r as u32;
         }
-        let outputs = circuit.comb_outputs();
+        let level = lv.levels().to_vec();
+        let depth = lv.depth();
+
         let mut output_mask = vec![false; n];
         for o in &outputs {
             output_mask[o.index()] = true;
         }
 
-        Ok(CompiledCircuit {
+        let (sweep_net, sweep_kind, sweep_fanin_start, sweep_fanin_pool) =
+            Self::build_sweep(&kinds, &fanin_pool, &fanin_start, lv.order());
+
+        // Cone mass: reverse-topological accumulation, saturating at the
+        // cap. Undriven nets count too (a stem fault on an input has the
+        // whole input cone as work).
+        let mut cone_mass = vec![0u32; n];
+        for id in lv.order().iter().rev() {
+            let i = id.index();
+            let mut m = 1u32;
+            let (s, e) = (fanout_start[i] as usize, fanout_start[i + 1] as usize);
+            for &f in &fanout_pool[s..e] {
+                m = m.saturating_add(cone_mass[f as usize]);
+            }
+            cone_mass[i] = m.min(CONE_MASS_CAP);
+        }
+
+        CompiledCircuit {
             num_nets: n,
             kinds,
             fanin_pool,
@@ -143,11 +223,49 @@ impl CompiledCircuit {
             fanout_start,
             lv,
             rank,
-            inputs: circuit.comb_inputs(),
+            level,
+            depth,
+            cone_mass,
+            sweep_net,
+            sweep_kind,
+            sweep_fanin_start,
+            sweep_fanin_pool,
+            inputs,
             outputs,
             output_mask,
-            compile_ns: t0.elapsed().as_nanos() as u64,
-        })
+            compile_ns: 0,
+        }
+    }
+
+    /// Builds the rank-major sweep arrays from the id-indexed CSR and a
+    /// topological order.
+    fn build_sweep(
+        kinds: &[Option<GateKind>],
+        fanin_pool: &[u32],
+        fanin_start: &[u32],
+        order: &[NetId],
+    ) -> (Vec<u32>, Vec<GateKind>, Vec<u32>, Vec<u32>) {
+        let gates = kinds.iter().filter(|k| k.is_some()).count();
+        let mut sweep_net = Vec::with_capacity(gates);
+        let mut sweep_kind = Vec::with_capacity(gates);
+        let mut sweep_fanin_start = Vec::with_capacity(gates + 1);
+        let mut sweep_fanin_pool = Vec::with_capacity(fanin_pool.len());
+        sweep_fanin_start.push(0u32);
+        for id in order {
+            let i = id.index();
+            let Some(kind) = kinds[i] else { continue };
+            sweep_net.push(i as u32);
+            sweep_kind.push(kind);
+            let (s, e) = (fanin_start[i] as usize, fanin_start[i + 1] as usize);
+            sweep_fanin_pool.extend_from_slice(&fanin_pool[s..e]);
+            sweep_fanin_start.push(sweep_fanin_pool.len() as u32);
+        }
+        (sweep_net, sweep_kind, sweep_fanin_start, sweep_fanin_pool)
+    }
+
+    /// Records the wall-clock nanoseconds a construction path spent.
+    pub(crate) fn set_compile_ns(&mut self, ns: u64) {
+        self.compile_ns = ns;
     }
 
     /// Number of nets.
@@ -182,6 +300,27 @@ impl CompiledCircuit {
         self.rank[net as usize]
     }
 
+    /// Logic level of `net` (inputs at 0, gates at `1 + max(fanin levels)`).
+    #[inline]
+    pub fn level_of(&self, net: u32) -> u32 {
+        self.level[net as usize]
+    }
+
+    /// Maximum level over all nets.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Saturating estimate of the downstream work a change at `net` causes:
+    /// `1 + sum of fanout cone masses`, capped. Reconvergence makes this an
+    /// overcount, which is fine for its purpose — a *relative* weight for
+    /// cutting fault lists into balanced simulation chunks.
+    #[inline]
+    pub fn cone_mass(&self, net: u32) -> u32 {
+        self.cone_mass[net as usize]
+    }
+
     /// Whether `net` is a combinational output (primary output or flip-flop
     /// input).
     #[inline]
@@ -210,7 +349,8 @@ impl CompiledCircuit {
         &self.outputs
     }
 
-    /// Wall-clock nanoseconds spent in [`compile`](CompiledCircuit::compile).
+    /// Wall-clock nanoseconds spent in [`compile`](CompiledCircuit::compile)
+    /// (or in a [`StreamBuilder`](crate::stream::StreamBuilder) finish).
     pub fn compile_ns(&self) -> u64 {
         self.compile_ns
     }
@@ -221,7 +361,14 @@ impl CompiledCircuit {
     // Each hook plants one deterministic semantic fault in the compiled
     // artifact so `crates/conformance` can verify the differential test
     // battery detects it. None of them are called by production code.
+    // The hooks keep the id-indexed CSR and the rank-major sweep view
+    // consistent with each other, so both kernels see the same fault.
     // ------------------------------------------------------------------
+
+    /// Sweep-view position of `net`, if driven (test-only linear scan).
+    fn sweep_pos(&self, net: u32) -> Option<usize> {
+        self.sweep_net.iter().position(|&x| x == net)
+    }
 
     /// Test-only mutation hook: replaces the gate kind of `net` with its
     /// dual (`And`↔`Or`, `Nand`↔`Nor`, `Xor`↔`Xnor`, `Not`↔`Buf`,
@@ -230,7 +377,7 @@ impl CompiledCircuit {
         let Some(kind) = self.kinds[net as usize] else {
             return false;
         };
-        self.kinds[net as usize] = Some(match kind {
+        let flipped = match kind {
             GateKind::And => GateKind::Or,
             GateKind::Or => GateKind::And,
             GateKind::Nand => GateKind::Nor,
@@ -241,7 +388,10 @@ impl CompiledCircuit {
             GateKind::Buf => GateKind::Not,
             GateKind::Const0 => GateKind::Const1,
             GateKind::Const1 => GateKind::Const0,
-        });
+        };
+        self.kinds[net as usize] = Some(flipped);
+        let pos = self.sweep_pos(net).expect("driven net has a sweep slot");
+        self.sweep_kind[pos] = flipped;
         true
     }
 
@@ -255,18 +405,28 @@ impl CompiledCircuit {
             return false;
         }
         self.fanin_pool[s + pin] = new_net;
+        let pos = self.sweep_pos(net).expect("driven net has a sweep slot");
+        let ss = self.sweep_fanin_start[pos] as usize;
+        self.sweep_fanin_pool[ss + pin] = new_net;
         true
     }
 
     /// Test-only mutation hook: swaps positions `i` and `j` of the cached
-    /// topological order *and* the dense rank array, so both kernels see
-    /// the corrupted schedule consistently.
+    /// topological order *and* the dense rank array, then rebuilds the
+    /// rank-major sweep view, so both kernels see the corrupted schedule
+    /// consistently.
     pub fn mutate_swap_order(&mut self, i: usize, j: usize) {
         let a = self.lv.order()[i];
         let b = self.lv.order()[j];
         self.lv.mutate_swap_order_entries(i, j);
         self.rank[a.index()] = j as u32;
         self.rank[b.index()] = i as u32;
+        let (sn, sk, sfs, sfp) =
+            Self::build_sweep(&self.kinds, &self.fanin_pool, &self.fanin_start, self.lv.order());
+        self.sweep_net = sn;
+        self.sweep_kind = sk;
+        self.sweep_fanin_start = sfs;
+        self.sweep_fanin_pool = sfp;
     }
 
     /// Test-only mutation hook: clears the output-membership bit of `net`,
@@ -288,6 +448,23 @@ impl CompiledCircuit {
             return false;
         }
         self.fanout_pool[s + k] = new_target;
+        true
+    }
+
+    /// Test-only mutation hook: skews the CSR fanin window of `net` one
+    /// slot forward — the classic streaming-compile off-by-one where a
+    /// start offset is pushed one gate late, so the gate silently loses its
+    /// first fanin. Applied to both the id-indexed CSR and the sweep view.
+    /// Returns `false` if `net` has no fanin to lose.
+    pub fn mutate_skew_fanin_start(&mut self, net: u32) -> bool {
+        let s = self.fanin_start[net as usize];
+        let e = self.fanin_start[net as usize + 1];
+        if e <= s {
+            return false;
+        }
+        self.fanin_start[net as usize] = s + 1;
+        let pos = self.sweep_pos(net).expect("driven net has a sweep slot");
+        self.sweep_fanin_start[pos] += 1;
         true
     }
 
@@ -336,7 +513,9 @@ impl CompiledCircuit {
 
     /// The full-sweep kernel: evaluates the whole circuit word-parallel
     /// (one pattern per bit) into `values`, which is resized to
-    /// [`num_nets`](CompiledCircuit::num_nets).
+    /// [`num_nets`](CompiledCircuit::num_nets). The walk streams the
+    /// rank-major sweep arrays — kinds and fanin windows are read
+    /// sequentially from memory.
     ///
     /// # Panics
     ///
@@ -354,10 +533,72 @@ impl CompiledCircuit {
         for (net, &w) in self.inputs.iter().zip(input_words) {
             values[net.index()] = w;
         }
-        for &id in self.lv.order() {
-            if let Some(kind) = self.kinds[id.index()] {
-                values[id.index()] = Self::eval_gate(kind, self.fanin(id.0), values);
+        for (s, (&net, &kind)) in self.sweep_net.iter().zip(&self.sweep_kind).enumerate() {
+            let fanin = &self.sweep_fanin_pool
+                [self.sweep_fanin_start[s] as usize..self.sweep_fanin_start[s + 1] as usize];
+            values[net as usize] = Self::eval_gate(kind, fanin, values);
+        }
+    }
+}
+
+/// A level-indexed event queue: one FIFO bucket per logic level plus a
+/// min-heap over the currently non-empty levels.
+///
+/// Pushing is O(1) amortized (heap pushes happen once per *level
+/// activation*, not per event); popping drains levels in ascending order
+/// and each bucket in insertion order. The buckets persist across
+/// propagations — this is the arena the incremental kernels reuse instead
+/// of a `BinaryHeap<(rank, net)>` whose per-event tuple comparisons
+/// dominate at scale.
+#[derive(Debug, Clone)]
+pub struct LevelQueue {
+    buckets: Vec<Vec<u32>>,
+    /// Per-level cursor into the bucket (FIFO without draining the `Vec`).
+    heads: Vec<u32>,
+    /// Levels with unread events, deduplicated by `active_mask`.
+    active: BinaryHeap<Reverse<u32>>,
+    active_mask: Vec<bool>,
+}
+
+impl LevelQueue {
+    /// Creates a queue for levels `0..=depth`.
+    pub fn new(depth: u32) -> Self {
+        let n = depth as usize + 1;
+        LevelQueue {
+            buckets: vec![Vec::new(); n],
+            heads: vec![0; n],
+            active: BinaryHeap::new(),
+            active_mask: vec![false; n],
+        }
+    }
+
+    /// Enqueues `net` at `level`.
+    #[inline]
+    pub fn push(&mut self, level: u32, net: u32) {
+        let l = level as usize;
+        self.buckets[l].push(net);
+        if !self.active_mask[l] {
+            self.active_mask[l] = true;
+            self.active.push(Reverse(level));
+        }
+    }
+
+    /// Dequeues the next net: lowest level first, insertion order within a
+    /// level.
+    #[inline]
+    pub fn pop(&mut self) -> Option<u32> {
+        loop {
+            let &Reverse(level) = self.active.peek()?;
+            let l = level as usize;
+            let h = self.heads[l] as usize;
+            if h < self.buckets[l].len() {
+                self.heads[l] = h as u32 + 1;
+                return Some(self.buckets[l][h]);
             }
+            self.buckets[l].clear();
+            self.heads[l] = 0;
+            self.active_mask[l] = false;
+            self.active.pop();
         }
     }
 }
@@ -365,7 +606,7 @@ impl CompiledCircuit {
 /// Reusable per-thread state for the incremental evaluation kernel.
 ///
 /// A scratch holds the current 64-pattern values of every net, the
-/// rank-ordered event queue, and an undo log. The intended cycle is:
+/// level-bucketed event queue, and an undo log. The intended cycle is:
 ///
 /// 1. [`eval_full`](EvalScratch::eval_full) to establish a base state;
 /// 2. [`propagate`](EvalScratch::propagate) one or more forced net changes
@@ -377,7 +618,7 @@ impl CompiledCircuit {
 pub struct EvalScratch {
     values: Vec<u64>,
     scheduled: Vec<bool>,
-    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    queue: LevelQueue,
     /// Undo log: `(net, value before the first change)` in touch order.
     touched: Vec<(u32, u64)>,
     counters: EngineCounters,
@@ -393,7 +634,7 @@ impl EvalScratch {
         EvalScratch {
             values: vec![0; cc.num_nets()],
             scheduled: vec![false; cc.num_nets()],
-            heap: BinaryHeap::new(),
+            queue: LevelQueue::new(cc.depth()),
             touched: Vec::new(),
             counters: EngineCounters::default(),
             drop_undo_countdown: None,
@@ -457,7 +698,7 @@ impl EvalScratch {
     }
 
     /// The incremental kernel: forces `net` to `word` and re-evaluates only
-    /// the downstream cone, in rank order. The forced net keeps `word` even
+    /// the downstream cone, in level order. The forced net keeps `word` even
     /// if it has a driver (the stuck-at / key-flip semantics); every value
     /// change is recorded in the undo log. Returns the mask of patterns on
     /// which some combinational output changed relative to the state before
@@ -479,7 +720,7 @@ impl EvalScratch {
         }
         // The forced net cannot re-enter the queue: only its fanins could
         // schedule it, and they are strictly upstream of the disturbed cone.
-        while let Some(Reverse((_, n))) = self.heap.pop() {
+        while let Some(n) = self.queue.pop() {
             self.scheduled[n as usize] = false;
             self.counters.events += 1;
             let Some(kind) = cc.kind_of(n) else { continue };
@@ -503,7 +744,7 @@ impl EvalScratch {
     fn schedule(&mut self, cc: &CompiledCircuit, net: u32) {
         if !self.scheduled[net as usize] {
             self.scheduled[net as usize] = true;
-            self.heap.push(Reverse((cc.rank(net), net)));
+            self.queue.push(cc.level_of(net), net);
         }
     }
 
@@ -708,5 +949,81 @@ mod tests {
             CompiledCircuit::compile(&c),
             Err(Error::CombinationalCycle(_))
         ));
+    }
+
+    #[test]
+    fn level_queue_pops_levels_ascending_fifo_within() {
+        let mut q = LevelQueue::new(5);
+        q.push(3, 30);
+        q.push(1, 10);
+        q.push(3, 31);
+        q.push(0, 0);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(10));
+        // Pushing below the current frontier still works (mutant safety).
+        q.push(2, 20);
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), Some(30));
+        q.push(5, 50);
+        assert_eq!(q.pop(), Some(31));
+        assert_eq!(q.pop(), Some(50));
+        assert_eq!(q.pop(), None);
+        // Reuse after drain.
+        q.push(4, 40);
+        assert_eq!(q.pop(), Some(40));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn levels_and_depth_exposed() {
+        let c = samples::ripple_adder(4);
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        let lv = Levelization::build(&c).unwrap();
+        assert_eq!(cc.depth(), lv.depth());
+        for id in c.net_ids() {
+            assert_eq!(cc.level_of(id.0), lv.level(id));
+            for &f in cc.fanin(id.0) {
+                assert!(cc.level_of(f) < cc.level_of(id.0));
+            }
+        }
+    }
+
+    #[test]
+    fn cone_mass_counts_downstream_work() {
+        // a feeds g and h; g feeds y. mass(y)=1, mass(g)=2, mass(h)=1,
+        // mass(a)=1+mass(g)+mass(h)=4.
+        let mut c = Circuit::new("m");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b], "g").unwrap();
+        let h = c.add_gate(GateKind::Or, vec![a, b], "h").unwrap();
+        let y = c.add_gate(GateKind::Not, vec![g], "y").unwrap();
+        c.mark_output(y);
+        c.mark_output(h);
+        let cc = CompiledCircuit::compile(&c).unwrap();
+        assert_eq!(cc.cone_mass(y.0), 1);
+        assert_eq!(cc.cone_mass(g.0), 2);
+        assert_eq!(cc.cone_mass(h.0), 1);
+        assert_eq!(cc.cone_mass(a.0), 4);
+    }
+
+    #[test]
+    fn skew_fanin_start_mutant_changes_semantics() {
+        let c = samples::full_adder();
+        let mut cc = CompiledCircuit::compile(&c).unwrap();
+        let clean = CompiledCircuit::compile(&c).unwrap();
+        // Pick a driven net with >= 2 fanins and a nonzero first-fanin
+        // sensitivity; the skew must change some full-sweep output.
+        let target = c
+            .net_ids()
+            .find(|id| cc.fanin(id.0).len() >= 2)
+            .expect("full adder has multi-fanin gates");
+        assert!(cc.mutate_skew_fanin_start(target.0));
+        assert_eq!(cc.fanin(target.0).len(), clean.fanin(target.0).len() - 1);
+        let words: Vec<u64> = (0..cc.inputs().len()).map(|i| 0xA5A5 << i).collect();
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        cc.eval_full_into(&words, &mut got);
+        clean.eval_full_into(&words, &mut want);
+        assert_ne!(got, want, "skewed CSR must be observable");
     }
 }

@@ -12,7 +12,17 @@
 //! DESIGN.md §3).
 //!
 //! Generation is fully deterministic: a given [`Profile`] (including its
-//! seed) always yields the identical circuit, on any platform.
+//! seed) always yields the identical circuit, on any platform. The
+//! construction itself is shared between two consumers through an internal
+//! `NetSink` abstraction:
+//!
+//! - [`synthesize`] materializes a full [`Circuit`] (names, flip-flop
+//!   records, `.bench` round-tripping) — right at ISCAS scale;
+//! - [`synthesize_compiled`] streams the *same* construction (same RNG
+//!   draws, same dense net ids, same interface views) straight into a
+//!   [`CompiledCircuit`] via [`StreamBuilder`], skipping every per-net
+//!   `String` and `Vec` — the path that makes 10⁶-gate circuits practical
+//!   with bounded memory.
 //!
 //! # Example
 //!
@@ -25,7 +35,8 @@
 //! ```
 
 use crate::rng::SplitMix64;
-use crate::{Circuit, Error, GateKind, NetId};
+use crate::stream::StreamBuilder;
+use crate::{Circuit, CompiledCircuit, Error, GateKind, NetId};
 
 /// The benchmark circuits evaluated in the paper (Tables I and II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -119,6 +130,18 @@ impl Profile {
             seed: self.seed,
         }
     }
+
+    /// Returns a copy rescaled to an exact non-inverter gate count, with the
+    /// interface (PI/PO/FF) scaled proportionally — the scaling-bench entry
+    /// point, where "b18 at 10⁶ gates" must mean exactly 10⁶ gates.
+    #[must_use]
+    pub fn scaled_to_gates(&self, gates: usize) -> Profile {
+        let factor = gates as f64 / self.gates as f64;
+        let mut p = self.scaled(factor);
+        p.gates = gates.max(16);
+        p.name = format!("{}@{}g", self.name, p.gates);
+        p
+    }
 }
 
 /// Returns the published interface profile of one of the paper's benchmark
@@ -160,20 +183,87 @@ fn pick_kind(rng: &mut SplitMix64) -> GateKind {
     }
 }
 
-/// Synthesizes a random circuit matching `profile`.
-///
-/// The generated DAG has:
-/// - every gate reachable from some combinational output (full
-///   observability, so ATPG coverage is meaningful),
-/// - a locality-biased fanin distribution that yields realistic logic depth
-///   (tens of levels at the paper's circuit sizes),
-/// - `profile.gates` non-inverter gates (±0, inverters added on top).
-///
-/// # Errors
-///
-/// Returns [`Error::BadProfile`] if the profile has no combinational inputs
-/// or outputs, or too few gates to cover its outputs.
-pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
+/// The generator's naming scheme, kept structured so the streaming sink can
+/// skip the `format!` entirely.
+#[derive(Debug, Clone, Copy)]
+enum NameTag {
+    /// Primary input `pi{0}`.
+    Pi(usize),
+    /// Flip-flop output `ff{0}`.
+    Ff(usize),
+    /// Sprinkled inverter `inv{0}`.
+    Inv(usize),
+    /// Random DAG gate `g{0}`.
+    Gate(usize),
+    /// Sink-merging XOR compactor `merge{0}`.
+    Merge(usize),
+    /// Gate-count top-up gate `ext{0}`.
+    Ext(usize),
+}
+
+impl NameTag {
+    fn format(self) -> String {
+        match self {
+            NameTag::Pi(i) => format!("pi{i}"),
+            NameTag::Ff(i) => format!("ff{i}"),
+            NameTag::Inv(i) => format!("inv{i}"),
+            NameTag::Gate(i) => format!("g{i}"),
+            NameTag::Merge(i) => format!("merge{i}"),
+            NameTag::Ext(i) => format!("ext{i}"),
+        }
+    }
+}
+
+/// Where the shared construction core materializes nets: a named [`Circuit`]
+/// or a nameless [`StreamBuilder`]. Both must assign dense ids in creation
+/// order so the core can reason in plain `u32`.
+trait NetSink {
+    fn add_input(&mut self, tag: NameTag) -> Result<u32, Error>;
+    fn add_gate(&mut self, kind: GateKind, fanin: &[u32], tag: NameTag) -> Result<u32, Error>;
+}
+
+struct CircuitSink {
+    c: Circuit,
+}
+
+impl NetSink for CircuitSink {
+    fn add_input(&mut self, tag: NameTag) -> Result<u32, Error> {
+        Ok(self.c.add_input(tag.format()).0)
+    }
+
+    fn add_gate(&mut self, kind: GateKind, fanin: &[u32], tag: NameTag) -> Result<u32, Error> {
+        let fanin: Vec<NetId> = fanin.iter().map(|&f| NetId::from_index(f as usize)).collect();
+        Ok(self.c.add_gate(kind, fanin, tag.format())?.0)
+    }
+}
+
+struct StreamSink {
+    b: StreamBuilder,
+}
+
+impl NetSink for StreamSink {
+    fn add_input(&mut self, _tag: NameTag) -> Result<u32, Error> {
+        self.b.add_input()
+    }
+
+    fn add_gate(&mut self, kind: GateKind, fanin: &[u32], _tag: NameTag) -> Result<u32, Error> {
+        self.b.add_gate(kind, fanin)
+    }
+}
+
+/// Everything the two wrappers need to finish the interface assignment:
+/// the combinational input count and the shuffled observation points
+/// (`sinks[..dffs]` become flip-flop D-inputs, the rest primary outputs).
+struct SynthPlan {
+    comb_inputs: usize,
+    dffs: usize,
+    sinks: Vec<u32>,
+}
+
+/// The shared construction core. Draws the exact same RNG stream and
+/// assigns the exact same dense net ids regardless of the sink, which is
+/// what keeps [`synthesize`] and [`synthesize_compiled`] bit-equivalent.
+fn synthesize_core<S: NetSink>(profile: &Profile, sink: &mut S) -> Result<SynthPlan, Error> {
     let comb_inputs = profile.primary_inputs + profile.dffs;
     let comb_outputs = profile.primary_outputs + profile.dffs;
     if comb_inputs == 0 {
@@ -187,26 +277,27 @@ pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
     }
 
     let mut rng = SplitMix64::new(profile.seed);
-    let mut c = Circuit::new(profile.name.clone());
 
-    let pis: Vec<NetId> = (0..profile.primary_inputs)
-        .map(|i| c.add_input(format!("pi{i}")))
-        .collect();
-    let qs: Vec<NetId> = (0..profile.dffs)
-        .map(|i| c.add_input(format!("ff{i}")))
-        .collect();
+    for i in 0..profile.primary_inputs {
+        sink.add_input(NameTag::Pi(i))?;
+    }
+    for i in 0..profile.dffs {
+        sink.add_input(NameTag::Ff(i))?;
+    }
 
     // Phase 1: grow the random DAG. `recent` keeps a sliding window of the
     // last nets so that fanins are biased towards fresh logic, which produces
-    // depth instead of a two-level soup.
+    // depth instead of a two-level soup. Net ids are dense and created in
+    // order, so the "all nets so far" pool is just the id range `0..created`.
     const WINDOW: usize = 96;
-    let mut all: Vec<NetId> = pis.iter().chain(qs.iter()).copied().collect();
+    let mut created = comb_inputs as u32;
     let mut fanout_count = vec![0u32; comb_inputs];
-    let pick_fanin = |rng: &mut SplitMix64, all: &[NetId]| -> NetId {
-        if all.len() > WINDOW && rng.chance(55, 100) {
-            all[all.len() - WINDOW + rng.below_usize(WINDOW)]
+    let pick_fanin = |rng: &mut SplitMix64, created: u32| -> u32 {
+        let n = created as usize;
+        if n > WINDOW && rng.chance(55, 100) {
+            (n - WINDOW + rng.below_usize(WINDOW)) as u32
         } else {
-            all[rng.below_usize(all.len())]
+            rng.below_usize(n) as u32
         }
     };
 
@@ -223,38 +314,37 @@ pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
     let mut non_inv = 0usize;
     let mut inverters_wanted = profile.gates * profile.inverter_percent / 100;
     let mut g_index = 0usize;
+    let mut fanin = Vec::with_capacity(3);
     while non_inv < grow {
         if inverters_wanted > 0 && rng.chance(profile.inverter_percent as u64, 100) {
-            let f = pick_fanin(&mut rng, &all);
-            let id = c
-                .add_gate(GateKind::Not, vec![f], format!("inv{g_index}"))
-                .expect("arity 1 valid for NOT");
-            fanout_count[f.index()] += 1;
+            let f = pick_fanin(&mut rng, created);
+            let id = sink.add_gate(GateKind::Not, &[f], NameTag::Inv(g_index))?;
+            debug_assert_eq!(id, created);
+            fanout_count[f as usize] += 1;
             fanout_count.push(0);
-            all.push(id);
+            created += 1;
             inverters_wanted -= 1;
         } else {
             let kind = pick_kind(&mut rng);
             let arity = if rng.chance(1, 5) { 3 } else { 2 };
-            let mut fanin = Vec::with_capacity(arity);
+            fanin.clear();
             while fanin.len() < arity {
-                let f = pick_fanin(&mut rng, &all);
+                let f = pick_fanin(&mut rng, created);
                 // Distinct fanins are preferred, but a tiny net pool (1-2
                 // combinational inputs before any gates exist) cannot supply
                 // `arity` distinct nets — accept a repeat rather than
                 // rejection-sample forever.
-                if !fanin.contains(&f) || fanin.len() >= all.len() {
+                if !fanin.contains(&f) || fanin.len() >= created as usize {
                     fanin.push(f);
                 }
             }
             for &f in &fanin {
-                fanout_count[f.index()] += 1;
+                fanout_count[f as usize] += 1;
             }
-            let id = c
-                .add_gate(kind, fanin, format!("g{g_index}"))
-                .expect("arity >=2 valid");
+            let id = sink.add_gate(kind, &fanin, NameTag::Gate(g_index))?;
+            debug_assert_eq!(id, created);
             fanout_count.push(0);
-            all.push(id);
+            created += 1;
             non_inv += 1;
         }
         g_index += 1;
@@ -262,11 +352,10 @@ pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
 
     // Phase 2: collect sinks (nets without fanout, excluding pure inputs that
     // simply went unused) and reduce/expand them to exactly `comb_outputs`
-    // observation points so every gate is in some output cone.
-    let mut sinks: Vec<NetId> = all
-        .iter()
-        .copied()
-        .filter(|n| fanout_count[n.index()] == 0 && c.gate(*n).is_some())
+    // observation points so every gate is in some output cone. Every id at or
+    // past `comb_inputs` is a gate.
+    let mut sinks: Vec<u32> = (comb_inputs as u32..created)
+        .filter(|&n| fanout_count[n as usize] == 0)
         .collect();
     rng.shuffle(&mut sinks);
     // Merge surplus sinks pairwise with XOR compactors (keeps both cones
@@ -276,22 +365,30 @@ pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
         // Wide parity compactors: each gate absorbs up to 8 surplus sinks,
         // so the merge phase stays well inside the reserved gate budget.
         let take = (sinks.len() - comb_outputs + 1).clamp(2, 8);
-        let fanin: Vec<NetId> = (0..take)
-            .map(|_| sinks.pop().expect("len > comb_outputs >= 1"))
-            .collect();
-        let m = c
-            .add_gate(GateKind::Xor, fanin, format!("merge{merge_idx}"))
-            .expect("XOR arity >=2");
+        fanin.clear();
+        for _ in 0..take {
+            fanin.push(sinks.pop().expect("len > comb_outputs >= 1"));
+        }
+        let m = sink.add_gate(GateKind::Xor, &fanin, NameTag::Merge(merge_idx))?;
+        created += 1;
         merge_idx += 1;
         non_inv += 1;
-        all.push(m);
         sinks.push(m);
     }
-    // If too few sinks, tap random internal nets as extra outputs.
-    while sinks.len() < comb_outputs {
-        let pick = all[rng.below_usize(all.len())];
-        if !sinks.contains(&pick) {
-            sinks.push(pick);
+    // If too few sinks, tap random internal nets as extra outputs. The
+    // membership mask keeps the retry loop O(1) per draw at million-gate
+    // sink counts.
+    if sinks.len() < comb_outputs {
+        let mut in_sinks = vec![false; created as usize];
+        for &s in &sinks {
+            in_sinks[s as usize] = true;
+        }
+        while sinks.len() < comb_outputs {
+            let pick = rng.below_usize(created as usize) as u32;
+            if !in_sinks[pick as usize] {
+                in_sinks[pick as usize] = true;
+                sinks.push(pick);
+            }
         }
     }
 
@@ -302,35 +399,95 @@ pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
     while non_inv < profile.gates {
         let i = rng.below_usize(sinks.len());
         let s = sinks[i];
-        let mut partner = all[rng.below_usize(all.len())];
+        let mut partner = rng.below_usize(created as usize) as u32;
         if partner == s {
-            partner = all[rng.below_usize(all.len())];
+            partner = rng.below_usize(created as usize) as u32;
         }
-        let (kind, fanin) = if partner == s {
-            (GateKind::Nand, vec![s, all[0]])
+        let (kind, pair) = if partner == s {
+            (GateKind::Nand, [s, 0u32])
         } else {
-            (pick_kind(&mut rng), vec![s, partner])
+            (pick_kind(&mut rng), [s, partner])
         };
-        let m = c
-            .add_gate(kind, fanin, format!("ext{topup_idx}"))
-            .expect("arity 2 valid");
+        let m = sink.add_gate(kind, &pair, NameTag::Ext(topup_idx))?;
+        created += 1;
         topup_idx += 1;
         non_inv += 1;
-        all.push(m);
         sinks[i] = m;
     }
 
-    // Phase 3: assign observation points to POs and FF D-inputs.
+    // Phase 3 (the interface assignment) is sink-specific; hand back the
+    // shuffled observation points.
     rng.shuffle(&mut sinks);
-    for (i, &q) in qs.iter().enumerate() {
-        c.convert_input_to_dff(q, sinks[i]).expect("q is an input");
+    Ok(SynthPlan {
+        comb_inputs,
+        dffs: profile.dffs,
+        sinks,
+    })
+}
+
+/// Synthesizes a random circuit matching `profile`.
+///
+/// The generated DAG has:
+/// - every gate reachable from some combinational output (full
+///   observability, so ATPG coverage is meaningful),
+/// - a locality-biased fanin distribution that yields realistic logic depth
+///   (tens of levels at the paper's circuit sizes),
+/// - `profile.gates` non-inverter gates (±0, inverters added on top).
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] if the profile has no combinational inputs
+/// or outputs, or too few gates to cover its outputs.
+pub fn synthesize(profile: &Profile) -> Result<Circuit, Error> {
+    let mut sink = CircuitSink {
+        c: Circuit::new(profile.name.clone()),
+    };
+    let plan = synthesize_core(profile, &mut sink)?;
+    let mut c = sink.c;
+
+    // Phase 3: assign observation points to POs and FF D-inputs.
+    for i in 0..plan.dffs {
+        let q = NetId::from_index(profile.primary_inputs + i);
+        let d = NetId::from_index(plan.sinks[i] as usize);
+        c.convert_input_to_dff(q, d).expect("q is an input");
     }
-    for &s in sinks.iter().skip(qs.len()) {
-        c.mark_output(s);
+    for &s in plan.sinks.iter().skip(plan.dffs) {
+        c.mark_output(NetId::from_index(s as usize));
     }
 
     c.validate()?;
     Ok(c)
+}
+
+/// Synthesizes the *same* circuit as [`synthesize`] (same profile, same RNG
+/// stream, same dense net ids) directly into a [`CompiledCircuit`], without
+/// materializing names, flip-flop records or per-gate fanin `Vec`s.
+///
+/// The combinational interface matches [`Circuit::comb_inputs`] /
+/// [`Circuit::comb_outputs`] of the [`synthesize`] output: inputs are
+/// primary inputs then flip-flop outputs (which is the dense id range
+/// `0..pi+ff`), outputs are primary outputs then flip-flop D-inputs.
+///
+/// This is the million-gate path: peak memory is the compiled artifact
+/// itself plus O(nets) `u32` bookkeeping.
+///
+/// # Errors
+///
+/// Returns [`Error::BadProfile`] under the same conditions as
+/// [`synthesize`].
+pub fn synthesize_compiled(profile: &Profile) -> Result<CompiledCircuit, Error> {
+    let mut sink = StreamSink {
+        b: StreamBuilder::new(),
+    };
+    let plan = synthesize_core(profile, &mut sink)?;
+    let inputs: Vec<u32> = (0..plan.comb_inputs as u32).collect();
+    // POs first, FF D-inputs second — the comb_outputs() ordering.
+    let outputs: Vec<u32> = plan.sinks[plan.dffs..]
+        .iter()
+        .chain(&plan.sinks[..plan.dffs])
+        .copied()
+        .collect();
+    sink.b.finish(inputs, outputs)
 }
 
 /// Generates a small random *combinational* circuit — handy for attack
@@ -360,7 +517,7 @@ pub fn random_comb(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CircuitStats, TransitiveFanin};
+    use crate::{CircuitStats, CompiledCircuit, TransitiveFanin};
 
     #[test]
     fn tiny_input_profiles_terminate() {
@@ -482,5 +639,52 @@ mod tests {
         let p = profile(BenchmarkId::B19).scaled(0.05);
         let c = synthesize(&p).unwrap();
         assert!(c.num_gates_excluding_inverters() >= 9000);
+    }
+
+    #[test]
+    fn scaled_to_gates_hits_exact_count() {
+        let p = profile(BenchmarkId::B18).scaled_to_gates(10_000);
+        assert_eq!(p.gates, 10_000);
+        assert!(p.name.contains("@10000g"));
+        let c = synthesize(&p).unwrap();
+        assert_eq!(c.num_gates_excluding_inverters(), 10_000);
+        // Interface scales with the gate factor.
+        assert!(p.dffs < profile(BenchmarkId::B18).dffs);
+    }
+
+    /// The tentpole equivalence: the streamed path must produce the same
+    /// compiled artifact as compiling the [`synthesize`] output — same
+    /// kinds, fanins, levels, fanout sets, interface views and full-sweep
+    /// values. (Topological *order* may differ: Kahn vs identity.)
+    #[test]
+    fn synthesize_compiled_matches_circuit_path() {
+        for id in [BenchmarkId::S38417, BenchmarkId::B20] {
+            let p = profile(id).scaled(0.02);
+            let via_circuit = CompiledCircuit::compile(&synthesize(&p).unwrap()).unwrap();
+            let via_stream = synthesize_compiled(&p).unwrap();
+
+            assert_eq!(via_stream.num_nets(), via_circuit.num_nets(), "{id}");
+            assert_eq!(via_stream.depth(), via_circuit.depth(), "{id}");
+            assert_eq!(via_stream.inputs(), via_circuit.inputs(), "{id}");
+            assert_eq!(via_stream.outputs(), via_circuit.outputs(), "{id}");
+            for n in 0..via_circuit.num_nets() as u32 {
+                assert_eq!(via_stream.kind_of(n), via_circuit.kind_of(n));
+                assert_eq!(via_stream.fanin(n), via_circuit.fanin(n));
+                assert_eq!(via_stream.level_of(n), via_circuit.level_of(n));
+                let mut sf = via_stream.fanout(n).to_vec();
+                let mut cf = via_circuit.fanout(n).to_vec();
+                sf.sort_unstable();
+                cf.sort_unstable();
+                assert_eq!(sf, cf);
+            }
+
+            let mut rng = SplitMix64::new(7);
+            let words: Vec<u64> =
+                (0..via_circuit.inputs().len()).map(|_| rng.next_u64()).collect();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            via_stream.eval_full_into(&words, &mut a);
+            via_circuit.eval_full_into(&words, &mut b);
+            assert_eq!(a, b, "{id}");
+        }
     }
 }

@@ -45,10 +45,12 @@ pub mod generate;
 pub mod rng;
 pub mod samples;
 mod stats;
+pub mod stream;
 mod topo;
 
 pub use circuit::{Circuit, Dff, Gate, GateKind, Net, NetId};
-pub use compiled::{CompiledCircuit, EngineCounters, EvalScratch};
+pub use compiled::{CompiledCircuit, EngineCounters, EvalScratch, LevelQueue};
+pub use stream::StreamBuilder;
 pub use error::Error;
 pub use stats::CircuitStats;
 pub use topo::{Levelization, TransitiveFanin};

@@ -65,9 +65,23 @@ impl Levelization {
         Ok(Levelization { order, level })
     }
 
+    /// Assembles a levelization from an already-topological order and its
+    /// per-net levels — the streaming-compile path, where gates are created
+    /// fanin-first and the order is the identity by construction, so running
+    /// Kahn's algorithm again would be a wasted O(V+E) pass.
+    pub(crate) fn from_parts(order: Vec<NetId>, level: Vec<u32>) -> Self {
+        debug_assert_eq!(order.len(), level.len());
+        Levelization { order, level }
+    }
+
     /// The nets in topological order (fanins always before fanouts).
     pub fn order(&self) -> &[NetId] {
         &self.order
+    }
+
+    /// The logic level of every net, indexed by dense net id.
+    pub fn levels(&self) -> &[u32] {
+        &self.level
     }
 
     /// Test-only mutation hook for the conformance mutation-kill harness:

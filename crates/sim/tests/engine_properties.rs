@@ -93,3 +93,58 @@ qcheck::props! {
         }
     }
 }
+
+qcheck::props! {
+    config = qcheck::Config::with_cases(2);
+
+    /// The large-circuit tier (≥50k gates): the streaming compile path must
+    /// produce an artifact semantically identical to compiling the
+    /// [`netlist::Circuit`] path at scale — same interface, same depth,
+    /// same full-sweep values on every net — and the incremental kernel
+    /// must track fresh full sweeps through a walk of input changes.
+    fn large_streamed_engine_matches_circuit_path(
+        seed in 0u64..(1 << 32),
+        gates in 50_000usize..60_000,
+    ) {
+        use netlist::generate::{profile, synthesize, synthesize_compiled, BenchmarkId};
+        let mut p = profile(BenchmarkId::B18).scaled_to_gates(gates);
+        p.seed ^= seed;
+        let via_circuit = CompiledCircuit::compile(&synthesize(&p).expect("synthesizable"))
+            .expect("acyclic");
+        let via_stream = synthesize_compiled(&p).expect("synthesizable");
+
+        qcheck::prop_assert_eq!(via_stream.num_nets(), via_circuit.num_nets());
+        qcheck::prop_assert_eq!(via_stream.depth(), via_circuit.depth());
+        qcheck::prop_assert_eq!(via_stream.inputs(), via_circuit.inputs());
+        qcheck::prop_assert_eq!(via_stream.outputs(), via_circuit.outputs());
+
+        let n_in = via_stream.inputs().len();
+        let mut rng = SplitMix64::new(seed ^ 0xB16C);
+        let mut words: Vec<u64> = (0..n_in).map(|_| rng.next_u64()).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        via_stream.eval_full_into(&words, &mut a);
+        via_circuit.eval_full_into(&words, &mut b);
+        qcheck::prop_assert!(
+            a == b,
+            "streamed and compiled artifacts diverge over {} nets",
+            a.len()
+        );
+
+        // Incremental walk on the streamed artifact against fresh sweeps.
+        let mut scratch = EvalScratch::new(&via_stream);
+        scratch.eval_full(&via_stream, &words);
+        for step in 0..6 {
+            let i = (rng.next_u64() % n_in as u64) as usize;
+            let w = rng.next_u64();
+            words[i] = w;
+            scratch.propagate(&via_stream, via_stream.inputs()[i].index() as u32, w);
+            scratch.commit();
+            via_stream.eval_full_into(&words, &mut a);
+            qcheck::prop_assert!(
+                scratch.values() == &a[..],
+                "incremental kernel diverged from full sweep at step {}",
+                step
+            );
+        }
+    }
+}
