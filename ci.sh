@@ -39,6 +39,32 @@ ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench conformance --offline
 echo "==> scaling bench (smoke mode) -> results/BENCH_scaling_smoke.json"
 ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench scaling --offline
 
+echo "==> serve smoke: daemon + load harness -> results/BENCH_serve_smoke.json"
+SERVE_PORT_FILE="$(mktemp)"
+rm -f "$SERVE_PORT_FILE"
+cargo run --release --offline -q -p serve --bin serve_daemon -- \
+  --workers 2 --announce "$SERVE_PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do
+  [ -s "$SERVE_PORT_FILE" ] && break
+  sleep 0.2
+done
+if ! [ -s "$SERVE_PORT_FILE" ]; then
+  echo "ERROR: serve_daemon never announced its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+cargo run --release --offline -q -p serve --bin serve_load -- \
+  --addr "127.0.0.1:$(cat "$SERVE_PORT_FILE")" --smoke --shutdown
+wait "$SERVE_PID"
+rm -f "$SERVE_PORT_FILE"
+for field in sessions_per_sec p99_ns coalesced '"failed": 0'; do
+  if ! grep -q "$field" results/BENCH_serve_smoke.json; then
+    echo "ERROR: BENCH_serve_smoke.json missing expected field: $field" >&2
+    exit 1
+  fi
+done
+
 echo "==> verifying the dependency graph is path-only"
 if cargo metadata --format-version 1 --offline \
     | grep -o '"source":"registry[^"]*"' | head -1 | grep -q registry; then

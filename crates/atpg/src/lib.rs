@@ -94,12 +94,29 @@ impl AtpgReport {
 ///
 /// Returns a netlist error if the circuit is cyclic.
 pub fn run_atpg(circuit: &Circuit, config: &AtpgConfig) -> Result<AtpgReport, Error> {
-    let pool = exec::global();
-    let faults = collapse(circuit, enumerate_faults(circuit));
-    let total = faults.len();
     // One compiled artifact shared by the fault simulator and PODEM: the
     // circuit is levelized exactly once for the whole flow.
     let cc = std::sync::Arc::new(netlist::CompiledCircuit::compile(circuit)?);
+    run_atpg_compiled(circuit, cc, config)
+}
+
+/// [`run_atpg`] over an already-compiled artifact of `circuit`, for callers
+/// (such as a serving layer with a content-hashed artifact cache) that hold
+/// the shared `Arc<CompiledCircuit>` and must not pay a second compile.
+///
+/// The artifact must be the compilation of `circuit`.
+///
+/// # Errors
+///
+/// Returns a netlist error if the circuit is cyclic.
+pub fn run_atpg_compiled(
+    circuit: &Circuit,
+    cc: std::sync::Arc<netlist::CompiledCircuit>,
+    config: &AtpgConfig,
+) -> Result<AtpgReport, Error> {
+    let pool = exec::global();
+    let faults = collapse(circuit, enumerate_faults(circuit));
+    let total = faults.len();
     let sim = fsim::FaultSim::from_compiled(std::sync::Arc::clone(&cc));
     let mut alive: Vec<Fault> = faults;
     let mut tests: Vec<Vec<bool>> = Vec::new();

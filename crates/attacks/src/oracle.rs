@@ -49,6 +49,25 @@ impl CombOracle {
     /// Returns a netlist error if the locked circuit is cyclic.
     pub fn from_locked(locked: &LockedCircuit) -> Result<Self, Error> {
         let sim = CombSim::new(&locked.circuit)?;
+        Ok(Self::from_locked_sim(locked, sim))
+    }
+
+    /// Builds the oracle over an already-compiled artifact of the locked
+    /// circuit, so concurrent consumers (e.g. a serving layer holding a
+    /// content-hashed artifact cache) share one `CompiledCircuit` instead of
+    /// re-levelizing per oracle.
+    ///
+    /// The artifact must be the compilation of `locked.circuit`; a mismatch
+    /// makes oracle responses meaningless (input positions are resolved
+    /// against the artifact's input list).
+    pub fn from_locked_compiled(
+        locked: &LockedCircuit,
+        compiled: std::sync::Arc<netlist::CompiledCircuit>,
+    ) -> Self {
+        Self::from_locked_sim(locked, CombSim::from_compiled(compiled))
+    }
+
+    fn from_locked_sim(locked: &LockedCircuit, sim: CombSim) -> Self {
         let key_set: std::collections::HashMap<NetId, bool> = locked
             .key_inputs
             .iter()
@@ -63,12 +82,12 @@ impl CombOracle {
                 None => data_pos.push(i),
             }
         }
-        Ok(CombOracle {
+        CombOracle {
             sim,
             data_pos,
             key_values,
             queries: 0,
-        })
+        }
     }
 }
 

@@ -13,6 +13,8 @@
 //! Netlist format is chosen by extension: `.bench` (ISCAS-89) or `.v`
 //! (structural Verilog). Keys print and parse as hex, bit 0 first.
 
+#![warn(missing_docs)]
+
 use std::process::ExitCode;
 
 mod commands;

@@ -32,6 +32,8 @@
 //! assert!(reg.state().iter().any(|&b| b));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod gf2;
 pub mod symbolic;
 

@@ -1,0 +1,286 @@
+//! Load-test harness: replays concurrent lock→attack→verify sessions
+//! against a live daemon and writes throughput + latency percentiles.
+//!
+//! ```text
+//! serve_load --addr HOST:PORT [--sessions N] [--clients N] [--smoke]
+//!            [--shutdown] [--out NAME]
+//! ```
+//!
+//! Each session locks one of a small set of circuits, runs the SAT attack
+//! against the daemon-held oracle, and verifies the recovered key exactly
+//! — the full oracle-access path the paper's threat model centres on. The
+//! harness asserts zero failed sessions and that the daemon compiled each
+//! distinct circuit exactly once (cache dedup), then writes
+//! `results/<NAME>.json` (default `BENCH_serve`, `BENCH_serve_smoke` under
+//! `--smoke`). Field definitions: EXPERIMENTS.md "Serving".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use orap_bench::json::Json;
+use orap_bench::json_object;
+use orap_bench::timing::LatencySummary;
+use serve::client::Client;
+use serve::proto;
+
+/// Full-scale session count (the acceptance floor is ≥1000).
+const FULL_SESSIONS: usize = 1024;
+/// Smoke-scale session count (the `ci.sh` tier-1 stage).
+const SMOKE_SESSIONS: usize = 48;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load --addr HOST:PORT [--sessions N] [--clients N] \
+         [--smoke] [--shutdown] [--out NAME]"
+    );
+    std::process::exit(2);
+}
+
+/// The distinct circuits sessions cycle through; the dedup assertion is
+/// `circuit_cache.builds <= VARIANTS`.
+const VARIANTS: usize = 4;
+
+fn variant_bench(v: usize) -> String {
+    match v {
+        0 => netlist::bench::write(&netlist::samples::c17()),
+        1 => netlist::bench::write(&netlist::samples::ripple_adder(4)),
+        2 => netlist::bench::write(
+            &netlist::generate::random_comb(11, 8, 4, 60).expect("generator"),
+        ),
+        _ => netlist::bench::write(
+            &netlist::generate::random_comb(23, 10, 5, 90).expect("generator"),
+        ),
+    }
+}
+
+/// Client-side wall-clock samples, one vector per job kind plus sessions.
+#[derive(Default)]
+struct Samples {
+    lock_ns: Vec<u64>,
+    attack_ns: Vec<u64>,
+    verify_ns: Vec<u64>,
+    session_ns: Vec<u64>,
+}
+
+/// Runs one full session; returns per-stage latencies or a description of
+/// what failed.
+fn run_session(client: &mut Client, session: usize) -> Result<Samples, String> {
+    let variant = session % VARIANTS;
+    let bench = variant_bench(variant);
+    let mut out = Samples::default();
+    let session_start = Instant::now();
+
+    // Lock: same (circuit, scheme, key_bits, seed) per variant, so the
+    // daemon's locked cache dedups across sessions.
+    let t = Instant::now();
+    let job = client
+        .submit_lock(&bench, "rll", 4 + variant, 7)
+        .map_err(|e| format!("submit lock: {e}"))?;
+    let done = client.wait_result(job).map_err(|e| format!("lock: {e}"))?;
+    out.lock_ns.push(t.elapsed().as_nanos() as u64);
+    expect_state(&done, "done", "lock")?;
+    let result = proto::get(&done, "result").ok_or("lock result missing")?;
+    let artifact = proto::get_str(result, "artifact")
+        .ok_or("lock artifact missing")?
+        .to_string();
+
+    // Attack: fresh SAT attack per session against the daemon-held oracle.
+    let t = Instant::now();
+    let job = client
+        .submit_attack(&artifact, "sat")
+        .map_err(|e| format!("submit attack: {e}"))?;
+    let done = client.wait_result(job).map_err(|e| format!("attack: {e}"))?;
+    out.attack_ns.push(t.elapsed().as_nanos() as u64);
+    expect_state(&done, "done", "attack")?;
+    let result = proto::get(&done, "result").ok_or("attack result missing")?;
+    if proto::get(result, "succeeded").and_then(proto::as_bool) != Some(true) {
+        return Err(format!("attack did not succeed: {}", result.compact()));
+    }
+    let key = proto::get_str(result, "key")
+        .ok_or("attack key missing")?
+        .to_string();
+
+    // Verify: the recovered key must be exactly correct.
+    let t = Instant::now();
+    let job = client
+        .submit_verify(&artifact, &key)
+        .map_err(|e| format!("submit verify: {e}"))?;
+    let done = client.wait_result(job).map_err(|e| format!("verify: {e}"))?;
+    out.verify_ns.push(t.elapsed().as_nanos() as u64);
+    expect_state(&done, "done", "verify")?;
+    let result = proto::get(&done, "result").ok_or("verify result missing")?;
+    if proto::get(result, "exact").and_then(proto::as_bool) != Some(true) {
+        return Err(format!("recovered key not exact: {}", result.compact()));
+    }
+
+    out.session_ns.push(session_start.elapsed().as_nanos() as u64);
+    Ok(out)
+}
+
+fn expect_state(resp: &Json, want: &str, what: &str) -> Result<(), String> {
+    let state = proto::get_str(resp, "state").unwrap_or("?");
+    if state == want {
+        Ok(())
+    } else {
+        Err(format!("{what} ended {state}: {}", resp.compact()))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut sessions: Option<usize> = None;
+    let mut clients: usize = 8;
+    let mut smoke = false;
+    let mut send_shutdown = false;
+    let mut out_name: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(need(i));
+                i += 2;
+            }
+            "--sessions" => {
+                sessions = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--clients" => {
+                clients = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                send_shutdown = true;
+                i += 1;
+            }
+            "--out" => {
+                out_name = Some(need(i));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    let sessions = sessions.unwrap_or(if smoke { SMOKE_SESSIONS } else { FULL_SESSIONS });
+    let clients = clients.max(1).min(sessions.max(1));
+    let out_name = out_name.unwrap_or_else(|| {
+        if smoke {
+            "BENCH_serve_smoke".to_string()
+        } else {
+            "BENCH_serve".to_string()
+        }
+    });
+
+    eprintln!(
+        "serve_load: {sessions} sessions over {clients} client connections against {addr}"
+    );
+
+    let next = AtomicUsize::new(0);
+    let merged = Mutex::new(Samples::default());
+    let failures = Mutex::new(Vec::<String>::new());
+    let wall_start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        failures.lock().unwrap().push(format!("connect: {e}"));
+                        return;
+                    }
+                };
+                loop {
+                    let session = next.fetch_add(1, Ordering::Relaxed);
+                    if session >= sessions {
+                        return;
+                    }
+                    match run_session(&mut client, session) {
+                        Ok(s) => {
+                            let mut m = merged.lock().unwrap();
+                            m.lock_ns.extend(s.lock_ns);
+                            m.attack_ns.extend(s.attack_ns);
+                            m.verify_ns.extend(s.verify_ns);
+                            m.session_ns.extend(s.session_ns);
+                        }
+                        Err(e) => failures
+                            .lock()
+                            .unwrap()
+                            .push(format!("session {session}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+
+    // Server-side counters, then optionally shut the daemon down.
+    let server_stats = (|| -> Result<Json, String> {
+        let mut c = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+        let stats = c.stats().map_err(|e| format!("stats: {e}"))?;
+        if send_shutdown {
+            c.shutdown(true).map_err(|e| format!("shutdown: {e}"))?;
+        }
+        Ok(stats)
+    })()
+    .unwrap_or_else(|e| {
+        eprintln!("serve_load: post-run {e}");
+        std::process::exit(1);
+    });
+
+    let fails = failures.into_inner().unwrap();
+    for f in fails.iter().take(10) {
+        eprintln!("serve_load: FAILED {f}");
+    }
+
+    let mut m = merged.into_inner().unwrap();
+    let completed = m.session_ns.len();
+    let report = json_object! {
+        mode: if smoke { "smoke" } else { "full" },
+        sessions: sessions,
+        clients: clients,
+        completed: completed,
+        failed: fails.len(),
+        wall_ns: wall_ns,
+        sessions_per_sec: completed as f64 / (wall_ns as f64 / 1e9),
+        lock: LatencySummary::from_samples(&mut m.lock_ns),
+        attack: LatencySummary::from_samples(&mut m.attack_ns),
+        verify: LatencySummary::from_samples(&mut m.verify_ns),
+        session: LatencySummary::from_samples(&mut m.session_ns),
+        server: server_stats,
+    };
+    match orap_bench::write_results(&out_name, &report) {
+        Ok(path) => eprintln!("serve_load: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("serve_load: write results: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !fails.is_empty() {
+        eprintln!("serve_load: {} of {sessions} sessions failed", fails.len());
+        std::process::exit(1);
+    }
+
+    // Dedup assertion: every distinct circuit compiled exactly once.
+    let builds = proto::get(&server_stats, "circuit_cache")
+        .and_then(|c| proto::get_u64(c, "builds"))
+        .unwrap_or(u64::MAX);
+    let distinct = sessions.min(VARIANTS) as u64;
+    if builds > distinct {
+        eprintln!(
+            "serve_load: cache failed to dedup: {builds} compiles for {distinct} distinct circuits"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "serve_load: OK — {completed}/{sessions} sessions, {builds} compiles for {distinct} circuits"
+    );
+}

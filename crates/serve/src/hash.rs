@@ -1,0 +1,66 @@
+//! Content hashing for artifact identities.
+//!
+//! Artifacts are addressed by the FNV-1a 64-bit hash of their canonical
+//! byte content (for circuits: the `.bench` text as re-emitted by
+//! [`netlist::bench::write`], so formatting differences in client input do
+//! not split cache entries). FNV-1a is not collision-resistant against an
+//! adversary; it is used here as a *cache key*, not a security boundary —
+//! the protocol spec (DESIGN.md §10) calls this out.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Extends an FNV-1a state with more bytes (for multi-part identities such
+/// as a lock artifact: source hash ⊕ scheme ⊕ key width ⊕ seed).
+pub fn fnv1a64_extend(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The wire form of an artifact id: 16 lowercase hex digits.
+pub fn hex16(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn extend_matches_concatenation() {
+        let whole = fnv1a64(b"hello world");
+        let split = fnv1a64_extend(fnv1a64(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn hex_form_is_16_lowercase_digits() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(0xdeadbeef), "00000000deadbeef");
+        assert_eq!(hex16(fnv1a64(b"foobar")), "85944171f73967e8");
+    }
+}

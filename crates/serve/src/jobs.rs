@@ -1,0 +1,489 @@
+//! Job kinds and their adapters over the shared compiled artifacts.
+//!
+//! Every job is parsed from the `submit` op's `job` object (schemas in
+//! DESIGN.md §10.3), validated *before* queueing (schema errors are
+//! protocol errors, not failed jobs), and executed against [`ServeState`]:
+//! the two content-hashed caches. Job adapters checkpoint between pipeline
+//! stages, so cancellation and timeouts fire at stage boundaries.
+//!
+//! Security model, mirroring the paper: the daemon holds each lock's
+//! correct key server-side and **never returns it**. Clients get the
+//! artifact id; `attack` jobs exercise the oracle path against the stored
+//! key, and `verify` jobs answer exact-equivalence queries about candidate
+//! keys — exactly the interface an attacker-facing oracle exposes.
+
+use std::sync::Arc;
+
+use atpg::AtpgConfig;
+use attacks::{hill_climbing, sat, CombOracle};
+use locking::LockedCircuit;
+use netlist::{Circuit, CompiledCircuit};
+use orap_bench::json::Json;
+use orap_bench::json_object;
+
+use crate::cache::ArtifactCache;
+use crate::hash::{fnv1a64, fnv1a64_extend, hex16};
+use crate::proto::{self, get_str, get_u64};
+use crate::queue::{JobCtx, JobError};
+
+/// A parsed-and-compiled source circuit, shared across jobs via the cache.
+pub struct CircuitArtifact {
+    /// Canonical `.bench` text (re-emitted, so the hash is formatting
+    /// independent).
+    pub bench: String,
+    /// The parsed circuit.
+    pub circuit: Circuit,
+    /// The shared compiled engine artifact.
+    pub compiled: Arc<CompiledCircuit>,
+    /// Artifact id (`hex16(fnv1a64(bench))`).
+    pub id: String,
+}
+
+/// A locked circuit plus its compiled artifact, shared across jobs.
+pub struct LockedArtifact {
+    /// The locked circuit with its (server-private) correct key.
+    pub locked: LockedCircuit,
+    /// Compiled artifact of `locked.circuit`.
+    pub compiled: Arc<CompiledCircuit>,
+    /// Source-circuit artifact id this lock was derived from.
+    pub source: String,
+    /// This artifact's id.
+    pub id: String,
+}
+
+/// Shared daemon state: the two artifact caches.
+pub struct ServeState {
+    /// Source circuits, keyed by canonical-bench content hash.
+    pub circuits: ArtifactCache<CircuitArtifact>,
+    /// Locked artifacts, keyed by `(source, scheme, key_bits, seed)` hash.
+    pub locked: ArtifactCache<LockedArtifact>,
+}
+
+impl ServeState {
+    /// Creates the state with the given cache capacities (0 = unbounded).
+    pub fn new(circuit_capacity: usize, locked_capacity: usize) -> ServeState {
+        ServeState {
+            circuits: ArtifactCache::new(circuit_capacity),
+            locked: ArtifactCache::new(locked_capacity),
+        }
+    }
+
+    /// Parses + compiles `bench_text` through the circuit cache
+    /// (single-flight per content hash).
+    fn circuit_artifact(&self, bench_text: &str) -> Result<Arc<CircuitArtifact>, String> {
+        // Parse outside the cache to canonicalize: the content hash must
+        // not depend on client formatting (comments, whitespace, net-name
+        // case). Parsing is cheap next to compilation.
+        let circuit = netlist::bench::parse(bench_text).map_err(|e| format!("bad bench: {e}"))?;
+        let bench = netlist::bench::write(&circuit);
+        let id = hex16(fnv1a64(bench.as_bytes()));
+        let id2 = id.clone();
+        self.circuits.get_or_build(&id, move || {
+            let compiled = CompiledCircuit::compile(&circuit)
+                .map_err(|e| format!("compile failed: {e}"))?;
+            Ok(CircuitArtifact {
+                bench,
+                circuit,
+                compiled: Arc::new(compiled),
+                id: id2,
+            })
+        })
+    }
+}
+
+/// The locking schemes the `lock` job accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockScheme {
+    /// Random XOR/XNOR key-gate insertion.
+    Rll,
+    /// Weighted logic locking (control width 3).
+    Wll,
+}
+
+impl LockScheme {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LockScheme::Rll => "rll",
+            LockScheme::Wll => "wll",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_wire(s: &str) -> Option<LockScheme> {
+        match s {
+            "rll" => Some(LockScheme::Rll),
+            "wll" => Some(LockScheme::Wll),
+            _ => None,
+        }
+    }
+}
+
+/// The attacks the `attack` job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// The SAT attack (DIP elimination).
+    Sat,
+    /// Hill climbing against sampled oracle responses.
+    Hill,
+}
+
+impl AttackKind {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttackKind::Sat => "sat",
+            AttackKind::Hill => "hill",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_wire(s: &str) -> Option<AttackKind> {
+        match s {
+            "sat" => Some(AttackKind::Sat),
+            "hill" => Some(AttackKind::Hill),
+            _ => None,
+        }
+    }
+}
+
+/// A validated job specification (the `job` object of a `submit`).
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Lock a circuit; produces a locked artifact (the key stays
+    /// server-side).
+    Lock {
+        /// `.bench` text of the circuit to lock.
+        bench: String,
+        /// Scheme to apply.
+        scheme: LockScheme,
+        /// Key width.
+        key_bits: usize,
+        /// Scheme PRNG seed.
+        seed: u64,
+    },
+    /// Run an oracle-guided attack against a locked artifact.
+    Attack {
+        /// Locked-artifact id (from a `lock` result).
+        target: String,
+        /// Which attack.
+        attack: AttackKind,
+        /// Iteration cap (DIPs for `sat`, restarts for `hill`); 0 = the
+        /// attack's default.
+        max_iterations: usize,
+    },
+    /// Exact SAT-miter equivalence check of a candidate key.
+    Verify {
+        /// Locked-artifact id.
+        target: String,
+        /// Candidate key, wire bitstring order.
+        key: Vec<bool>,
+    },
+    /// Full stuck-at ATPG over a circuit.
+    Atpg {
+        /// `.bench` text of the circuit.
+        bench: String,
+        /// Random patterns before PODEM (0 = default).
+        random_patterns: usize,
+        /// PODEM backtrack limit (0 = default).
+        backtrack_limit: usize,
+    },
+    /// Diagnostic no-op that sleeps cancellably — the knob load tests and
+    /// the failure-path tests use to occupy workers deterministically.
+    Sleep {
+        /// Milliseconds to sleep.
+        ms: u64,
+    },
+}
+
+impl JobSpec {
+    /// Wire name of the job kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Lock { .. } => "lock",
+            JobSpec::Attack { .. } => "attack",
+            JobSpec::Verify { .. } => "verify",
+            JobSpec::Atpg { .. } => "atpg",
+            JobSpec::Sleep { .. } => "sleep",
+        }
+    }
+
+    /// Parses and validates a `job` object. Errors are schema violations
+    /// (protocol error 102), phrased for the client.
+    pub fn parse(job: &Json) -> Result<JobSpec, String> {
+        let kind = get_str(job, "kind").ok_or("job.kind must be a string")?;
+        match kind {
+            "lock" => {
+                let bench = get_str(job, "bench").ok_or("lock.bench must be a string")?;
+                let scheme_s = get_str(job, "scheme").ok_or("lock.scheme must be a string")?;
+                let scheme = LockScheme::from_wire(scheme_s)
+                    .ok_or_else(|| format!("unknown scheme: {scheme_s}"))?;
+                let key_bits = get_u64(job, "key_bits").ok_or("lock.key_bits must be a number")?;
+                if key_bits == 0 || key_bits > 4096 {
+                    return Err("lock.key_bits must be in 1..=4096".to_string());
+                }
+                let seed = get_u64(job, "seed").unwrap_or(1);
+                Ok(JobSpec::Lock {
+                    bench: bench.to_string(),
+                    scheme,
+                    key_bits: key_bits as usize,
+                    seed,
+                })
+            }
+            "attack" => {
+                let target = get_str(job, "target").ok_or("attack.target must be a string")?;
+                let attack_s = get_str(job, "attack").ok_or("attack.attack must be a string")?;
+                let attack = AttackKind::from_wire(attack_s)
+                    .ok_or_else(|| format!("unknown attack: {attack_s}"))?;
+                Ok(JobSpec::Attack {
+                    target: target.to_string(),
+                    attack,
+                    max_iterations: get_u64(job, "max_iterations").unwrap_or(0) as usize,
+                })
+            }
+            "verify" => {
+                let target = get_str(job, "target").ok_or("verify.target must be a string")?;
+                let key_s = get_str(job, "key").ok_or("verify.key must be a string")?;
+                let key = proto::key_from_bits(key_s)
+                    .ok_or("verify.key must be a bitstring of 0/1")?;
+                Ok(JobSpec::Verify {
+                    target: target.to_string(),
+                    key,
+                })
+            }
+            "atpg" => {
+                let bench = get_str(job, "bench").ok_or("atpg.bench must be a string")?;
+                Ok(JobSpec::Atpg {
+                    bench: bench.to_string(),
+                    random_patterns: get_u64(job, "random_patterns").unwrap_or(0) as usize,
+                    backtrack_limit: get_u64(job, "backtrack_limit").unwrap_or(0) as usize,
+                })
+            }
+            "sleep" => {
+                let ms = get_u64(job, "ms").ok_or("sleep.ms must be a number")?;
+                Ok(JobSpec::Sleep { ms })
+            }
+            other => Err(format!("unknown job kind: {other}")),
+        }
+    }
+}
+
+/// Executes one job. The returned [`Json`] is the `result` object of the
+/// `result`/`status` ops — free of wall-clock values, so results are
+/// byte-deterministic (the golden-transcript property).
+///
+/// # Errors
+///
+/// [`JobError::Failed`] for semantic failures (unknown artifact, engine
+/// errors), [`JobError::Cancelled`]/[`JobError::TimedOut`] when a
+/// checkpoint observes an interrupt.
+pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json, JobError> {
+    match spec {
+        JobSpec::Lock {
+            bench,
+            scheme,
+            key_bits,
+            seed,
+        } => {
+            ctx.set_stage("compile");
+            let src = state
+                .circuit_artifact(bench)
+                .map_err(JobError::Failed)?;
+            ctx.checkpoint()?;
+            ctx.set_stage("lock");
+            let mut h = fnv1a64(src.id.as_bytes());
+            h = fnv1a64_extend(h, scheme.as_str().as_bytes());
+            h = fnv1a64_extend(h, &(*key_bits as u64).to_le_bytes());
+            h = fnv1a64_extend(h, &seed.to_le_bytes());
+            let id = hex16(h);
+            let key = id.clone();
+            let scheme = *scheme;
+            let key_bits = *key_bits;
+            let seed = *seed;
+            let src2 = Arc::clone(&src);
+            let art = state
+                .locked
+                .get_or_build(&id, move || {
+                    let locked = match scheme {
+                        LockScheme::Rll => locking::random::lock(
+                            &src2.circuit,
+                            &locking::random::RllConfig {
+                                key_bits,
+                                seed,
+                            },
+                        ),
+                        LockScheme::Wll => locking::weighted::lock(
+                            &src2.circuit,
+                            &locking::weighted::WllConfig {
+                                key_bits,
+                                control_width: 3,
+                                seed,
+                            },
+                        ),
+                    }
+                    .map_err(|e| format!("lock failed: {e}"))?;
+                    let compiled = CompiledCircuit::compile(&locked.circuit)
+                        .map_err(|e| format!("compile failed: {e}"))?;
+                    Ok(LockedArtifact {
+                        locked,
+                        compiled: Arc::new(compiled),
+                        source: src2.id.clone(),
+                        id: key,
+                    })
+                })
+                .map_err(JobError::Failed)?;
+            Ok(json_object! {
+                artifact: art.id,
+                source: art.source,
+                scheme: scheme.as_str(),
+                key_bits: art.locked.key_bits(),
+                gates: art.locked.circuit.num_gates(),
+            })
+        }
+        JobSpec::Attack {
+            target,
+            attack,
+            max_iterations,
+        } => {
+            ctx.set_stage("oracle");
+            let art = state
+                .locked
+                .get(target)
+                .ok_or_else(|| JobError::Failed(format!("unknown artifact: {target}")))?;
+            let mut oracle =
+                CombOracle::from_locked_compiled(&art.locked, Arc::clone(&art.compiled));
+            ctx.checkpoint()?;
+            ctx.set_stage("attack");
+            let outcome = match attack {
+                AttackKind::Sat => {
+                    let mut cfg = sat::SatAttackConfig::default();
+                    if *max_iterations > 0 {
+                        cfg.max_iterations = *max_iterations;
+                    }
+                    sat::attack(&art.locked, &mut oracle, &cfg)
+                }
+                AttackKind::Hill => {
+                    let mut cfg = hill_climbing::HillClimbConfig::default();
+                    if *max_iterations > 0 {
+                        cfg.restarts = *max_iterations;
+                    }
+                    hill_climbing::attack(&art.locked, &mut oracle, &cfg)
+                }
+            };
+            ctx.checkpoint()?;
+            Ok(json_object! {
+                succeeded: outcome.succeeded(),
+                key: outcome.key.as_deref().map(proto::key_to_bits),
+                key_bits: art.locked.key_bits(),
+                iterations: outcome.iterations,
+                oracle_queries: outcome.oracle_queries,
+                failure: outcome.failure.map(|f| f.to_string()),
+            })
+        }
+        JobSpec::Verify { target, key } => {
+            ctx.set_stage("verify");
+            let art = state
+                .locked
+                .get(target)
+                .ok_or_else(|| JobError::Failed(format!("unknown artifact: {target}")))?;
+            if key.len() != art.locked.key_bits() {
+                return Err(JobError::Failed(format!(
+                    "key width mismatch: got {}, artifact has {}",
+                    key.len(),
+                    art.locked.key_bits()
+                )));
+            }
+            ctx.checkpoint()?;
+            let cex = attacks::verify::key_exact_counterexample(&art.locked, key);
+            Ok(json_object! {
+                exact: cex.is_none(),
+                counterexample: cex.as_deref().map(proto::key_to_bits),
+            })
+        }
+        JobSpec::Atpg {
+            bench,
+            random_patterns,
+            backtrack_limit,
+        } => {
+            ctx.set_stage("compile");
+            let src = state
+                .circuit_artifact(bench)
+                .map_err(JobError::Failed)?;
+            ctx.checkpoint()?;
+            ctx.set_stage("atpg");
+            let mut cfg = AtpgConfig::default();
+            if *random_patterns > 0 {
+                cfg.random_patterns = *random_patterns;
+            }
+            if *backtrack_limit > 0 {
+                cfg.backtrack_limit = *backtrack_limit;
+            }
+            let report = atpg::run_atpg_compiled(&src.circuit, Arc::clone(&src.compiled), &cfg)
+                .map_err(|e| JobError::Failed(format!("atpg failed: {e}")))?;
+            ctx.checkpoint()?;
+            Ok(json_object! {
+                total_faults: report.total_faults,
+                detected: report.detected,
+                coverage_percent: report.coverage_percent(),
+                redundant: report.redundant,
+                aborted: report.aborted,
+                patterns: report.tests.len(),
+            })
+        }
+        JobSpec::Sleep { ms } => {
+            ctx.set_stage("sleep");
+            ctx.sleep_cancellable(std::time::Duration::from_millis(*ms))?;
+            Ok(json_object! { slept_ms: *ms })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_schema_violations() {
+        let bad = [
+            r#"{"kind":"nope"}"#,
+            r#"{"kind":"lock","scheme":"rll","key_bits":4}"#,
+            r#"{"kind":"lock","bench":"x","scheme":"xyz","key_bits":4}"#,
+            r#"{"kind":"lock","bench":"x","scheme":"rll","key_bits":0}"#,
+            r#"{"kind":"attack","target":"t","attack":"frob"}"#,
+            r#"{"kind":"verify","target":"t","key":"10a1"}"#,
+            r#"{"kind":"sleep"}"#,
+            r#"{"no_kind":true}"#,
+        ];
+        for b in bad {
+            let j = orap_bench::json::parse(b).unwrap();
+            assert!(JobSpec::parse(&j).is_err(), "{b} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_all_kinds() {
+        let ok = [
+            (r#"{"kind":"lock","bench":"INPUT(a)","scheme":"wll","key_bits":6,"seed":3}"#, "lock"),
+            (r#"{"kind":"attack","target":"abc","attack":"sat"}"#, "attack"),
+            (r#"{"kind":"verify","target":"abc","key":"0110"}"#, "verify"),
+            (r#"{"kind":"atpg","bench":"INPUT(a)"}"#, "atpg"),
+            (r#"{"kind":"sleep","ms":5}"#, "sleep"),
+        ];
+        for (text, kind) in ok {
+            let j = orap_bench::json::parse(text).unwrap();
+            assert_eq!(JobSpec::parse(&j).unwrap().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn bench_hash_is_formatting_independent() {
+        let state = ServeState::new(0, 0);
+        let canonical = netlist::bench::write(&netlist::samples::c17());
+        let noisy = format!("# a comment\n\n{canonical}\n# trailing\n");
+        let a = state.circuit_artifact(&canonical).unwrap();
+        let b = state.circuit_artifact(&noisy).unwrap();
+        assert_eq!(a.id, b.id);
+        let s = state.circuits.stats();
+        assert_eq!((s.builds, s.hits), (1, 1), "second parse must hit");
+    }
+}

@@ -1,0 +1,257 @@
+//! The wire format: `ORP1` frames carrying compact JSON.
+//!
+//! One frame is an 8-byte header — the 4-byte magic `ORP1` (`4f 52 50 31`)
+//! and a big-endian `u32` payload length — followed by exactly that many
+//! bytes of UTF-8 compact JSON (no whitespace; object field order is part
+//! of the contract). Both directions use the same framing. The full
+//! request/response schemas, error codes and golden transcripts live in
+//! DESIGN.md §10; `tests/protocol_golden.rs` replays those transcripts
+//! byte-for-byte against a live server so the document and this code
+//! cannot drift.
+
+use std::io::{self, Read, Write};
+
+use orap_bench::json::{Json, ToJson};
+
+/// Frame magic: ASCII `ORP1` (OraP protocol, version 1).
+pub const MAGIC: [u8; 4] = *b"ORP1";
+
+/// Hard frame-size cap (64 MiB); larger declared payloads are a protocol
+/// error (code 100) and the connection is closed.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Protocol error codes (DESIGN.md §10.5).
+pub mod code {
+    /// Malformed frame: bad magic or oversize length. Connection closes.
+    pub const BAD_FRAME: u64 = 100;
+    /// Payload is not valid JSON. Connection closes.
+    pub const BAD_JSON: u64 = 101;
+    /// Request is well-formed JSON but violates a schema (missing/invalid
+    /// field, bad job spec, bad priority, bad key string).
+    pub const BAD_REQUEST: u64 = 102;
+    /// Unknown `op`.
+    pub const UNKNOWN_OP: u64 = 103;
+    /// `job_id` does not name a job on this daemon.
+    pub const UNKNOWN_JOB: u64 = 200;
+    /// Submission rejected because the daemon is shutting down.
+    pub const SHUTTING_DOWN: u64 = 300;
+}
+
+/// Writes one frame containing `payload`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME as u64);
+    w.write_all(&MAGIC)?;
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// What [`read_frame`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete payload.
+    Payload(Vec<u8>),
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// Malformed header (bad magic or oversize length) — the peer must
+    /// treat the stream as unusable.
+    Malformed(&'static str),
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors, including truncation mid-frame
+/// (`UnexpectedEof`).
+pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
+    let mut header = [0u8; 8];
+    // Distinguish clean EOF (no bytes) from a truncated header.
+    let mut got = 0usize;
+    while got < header.len() {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(FrameRead::Eof);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated frame header",
+            ));
+        }
+        got += n;
+    }
+    if header[..4] != MAGIC {
+        return Ok(FrameRead::Malformed("bad magic"));
+    }
+    let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME {
+        return Ok(FrameRead::Malformed("frame too large"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(FrameRead::Payload(payload))
+}
+
+/// Serializes `msg` as one complete frame (header + compact JSON) — the
+/// byte sequence the golden transcripts pin.
+pub fn encode(msg: &Json) -> Vec<u8> {
+    let payload = msg.compact().into_bytes();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Builds the error-response JSON `{"id":…,"ok":false,"code":…,"error":…}`.
+pub fn err_response(id: u64, code: u64, error: &str) -> Json {
+    Json::Object(vec![
+        ("id".to_string(), id.to_json()),
+        ("ok".to_string(), false.to_json()),
+        ("code".to_string(), code.to_json()),
+        ("error".to_string(), error.to_json()),
+    ])
+}
+
+/// Builds an ok-response JSON: `{"id":…,"ok":true, <fields>…}`.
+pub fn ok_response(id: u64, fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![
+        ("id".to_string(), id.to_json()),
+        ("ok".to_string(), true.to_json()),
+    ];
+    obj.extend(fields);
+    Json::Object(obj)
+}
+
+/// Looks up a field of a JSON object.
+pub fn get<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    match obj {
+        Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Unsigned-integer view of a JSON value.
+pub fn as_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::UInt(u) => Some(*u),
+        _ => None,
+    }
+}
+
+/// String view of a JSON value.
+pub fn as_str(v: &Json) -> Option<&str> {
+    match v {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Bool view of a JSON value.
+pub fn as_bool(v: &Json) -> Option<bool> {
+    match v {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// `get` + `as_u64`.
+pub fn get_u64(obj: &Json, key: &str) -> Option<u64> {
+    get(obj, key).and_then(as_u64)
+}
+
+/// `get` + `as_str`.
+pub fn get_str<'a>(obj: &'a Json, key: &str) -> Option<&'a str> {
+    get(obj, key).and_then(as_str)
+}
+
+/// Encodes a key as the wire bitstring: character `i` is `'1'` iff key bit
+/// `i` is true (so the string reads in key-input order, not as a binary
+/// numeral).
+pub fn key_to_bits(key: &[bool]) -> String {
+    key.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Parses a wire key bitstring; rejects any character other than `0`/`1`.
+pub fn key_from_bits(s: &str) -> Option<Vec<bool>> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Some(false),
+            '1' => Some(true),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let msg = Json::Object(vec![
+            ("id".to_string(), 1u64.to_json()),
+            ("op".to_string(), "ping".to_json()),
+        ]);
+        let bytes = encode(&msg);
+        assert_eq!(&bytes[..4], b"ORP1");
+        let mut cursor = io::Cursor::new(bytes.clone());
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Payload(p) => {
+                assert_eq!(p, msg.compact().into_bytes());
+                assert_eq!(bytes.len(), 8 + p.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), FrameRead::Eof);
+    }
+
+    #[test]
+    fn bad_magic_and_oversize_are_malformed() {
+        let mut bad = encode(&Json::Null);
+        bad[0] = b'X';
+        let mut c = io::Cursor::new(bad);
+        assert!(matches!(read_frame(&mut c).unwrap(), FrameRead::Malformed(_)));
+
+        let mut oversize = Vec::new();
+        oversize.extend_from_slice(&MAGIC);
+        oversize.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut c = io::Cursor::new(oversize);
+        assert!(matches!(read_frame(&mut c).unwrap(), FrameRead::Malformed(_)));
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let whole = encode(&Json::Bool(true));
+        for cut in [1, 5, 9] {
+            let mut c = io::Cursor::new(whole[..cut].to_vec());
+            assert!(read_frame(&mut c).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn key_bits_round_trip() {
+        let key = vec![true, false, false, true, true];
+        assert_eq!(key_to_bits(&key), "10011");
+        assert_eq!(key_from_bits("10011"), Some(key));
+        assert_eq!(key_from_bits("10x1"), None);
+        assert_eq!(key_from_bits(""), Some(Vec::new()));
+    }
+
+    #[test]
+    fn response_shapes() {
+        assert_eq!(
+            err_response(3, code::UNKNOWN_OP, "unknown op: x").compact(),
+            r#"{"id":3,"ok":false,"code":103,"error":"unknown op: x"}"#
+        );
+        assert_eq!(
+            ok_response(1, vec![("job_id".to_string(), 7u64.to_json())]).compact(),
+            r#"{"id":1,"ok":true,"job_id":7}"#
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Concurrency contracts of the daemon: priority ordering, cancellation,
+//! timeouts, single-flight compilation under a TCP thundering herd, and
+//! graceful drain on shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orap_bench::json_object;
+use serve::client::{Client, ClientError};
+use serve::proto;
+use serve::queue::{JobQueue, JobState, Priority};
+use serve::server::{Server, ServerConfig};
+
+fn start(workers: usize) -> (serve::server::ServerHandle, String) {
+    let handle = Server::start(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = format!("127.0.0.1:{}", handle.port());
+    (handle, addr)
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).expect("connect")
+}
+
+/// With one worker occupied by a blocker, later submissions must start in
+/// strict priority order (high before normal before low), FIFO within a
+/// class — observable through `started_seq`.
+#[test]
+fn queue_dequeues_in_priority_order() {
+    let queue: Arc<JobQueue<u64, ()>> = JobQueue::new(1);
+    let runner_queue = Arc::clone(&queue);
+    let worker = std::thread::spawn(move || {
+        runner_queue.run(|ctx, ms: &u64| {
+            ctx.sleep_cancellable(Duration::from_millis(*ms))?;
+            Ok(())
+        });
+    });
+
+    let blocker = queue.submit("sleep", 300, Priority::Normal, None).unwrap();
+    // Wait until the blocker actually occupies the worker, so everything
+    // below is ordered by the scheduler, not by submission racing.
+    while queue.status(blocker).unwrap().state != JobState::Running {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let low1 = queue.submit("sleep", 1, Priority::Low, None).unwrap();
+    let norm1 = queue.submit("sleep", 1, Priority::Normal, None).unwrap();
+    let high1 = queue.submit("sleep", 1, Priority::High, None).unwrap();
+    let high2 = queue.submit("sleep", 1, Priority::High, None).unwrap();
+    let norm2 = queue.submit("sleep", 1, Priority::Normal, None).unwrap();
+
+    for id in [low1, norm1, high1, high2, norm2] {
+        let st = queue.wait_terminal(id, Duration::from_secs(30)).unwrap();
+        assert_eq!(st.state, JobState::Done, "job {id}");
+    }
+    let seq = |id: u64| queue.status(id).unwrap().started_seq;
+    assert!(seq(high1) < seq(high2), "FIFO within high");
+    assert!(seq(high2) < seq(norm1), "high before normal");
+    assert!(seq(norm1) < seq(norm2), "FIFO within normal");
+    assert!(seq(norm2) < seq(low1), "normal before low");
+
+    queue.shutdown(false);
+    worker.join().unwrap();
+}
+
+/// Cancelling a queued job kills it without running; cancelling a running
+/// job interrupts it at the next checkpoint.
+#[test]
+fn cancel_queued_and_running_jobs() {
+    let (mut handle, addr) = start(1);
+    let mut c = connect(&addr);
+
+    let running = c
+        .submit(json_object! { kind: "sleep", ms: 60000u64 })
+        .unwrap();
+    let queued = c
+        .submit(json_object! { kind: "sleep", ms: 60000u64 })
+        .unwrap();
+
+    // The queued job never ran: cancel reports it straight to cancelled.
+    assert_eq!(c.cancel(queued).unwrap(), "cancelled");
+    let st = c.wait_result(queued).unwrap();
+    assert_eq!(proto::get_str(&st, "state"), Some("cancelled"));
+
+    // The running job was observed in state running; it must stop at its
+    // next 5 ms checkpoint, not after 60 s.
+    assert_eq!(c.cancel(running).unwrap(), "running");
+    let st = c.wait_result(running).unwrap();
+    assert_eq!(proto::get_str(&st, "state"), Some("cancelled"));
+
+    handle.stop();
+}
+
+/// A per-job timeout fires while the job runs.
+#[test]
+fn timeout_interrupts_running_job() {
+    let (mut handle, addr) = start(1);
+    let mut c = connect(&addr);
+    let job = c
+        .submit_with(
+            json_object! { kind: "sleep", ms: 10000u64 },
+            None,
+            Some(Duration::from_millis(50)),
+        )
+        .unwrap();
+    let st = c.wait_result(job).unwrap();
+    assert_eq!(proto::get_str(&st, "state"), Some("timed_out"));
+    handle.stop();
+}
+
+/// Thundering herd over TCP: 8 connections submit the identical lock job
+/// concurrently; the daemon compiles the circuit once and builds the
+/// locked artifact once — every other request coalesces onto those builds.
+#[test]
+fn concurrent_identical_lock_jobs_compile_once() {
+    let (mut handle, addr) = start(4);
+    let bench = netlist::bench::write(&netlist::samples::c17());
+
+    const CONNS: usize = 8;
+    let artifacts: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CONNS)
+            .map(|_| {
+                let addr = addr.clone();
+                let bench = bench.clone();
+                s.spawn(move || {
+                    let mut c = connect(&addr);
+                    let job = c.submit_lock(&bench, "rll", 4, 7).unwrap();
+                    let st = c.wait_result(job).unwrap();
+                    assert_eq!(proto::get_str(&st, "state"), Some("done"));
+                    let result = proto::get(&st, "result").unwrap();
+                    proto::get_str(result, "artifact").unwrap().to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        artifacts.iter().all(|a| a == &artifacts[0]),
+        "identical jobs must name one artifact"
+    );
+
+    let mut c = connect(&addr);
+    let stats = c.stats().unwrap();
+    let circuit = proto::get(&stats, "circuit_cache").unwrap();
+    let locked = proto::get(&stats, "locked_cache").unwrap();
+    assert_eq!(proto::get_u64(circuit, "builds"), Some(1), "one compile");
+    assert_eq!(proto::get_u64(locked, "builds"), Some(1), "one lock build");
+    let served = proto::get_u64(circuit, "hits").unwrap()
+        + proto::get_u64(circuit, "coalesced").unwrap();
+    assert_eq!(served as usize, CONNS - 1, "everyone else shared it");
+
+    handle.stop();
+}
+
+/// `shutdown` with drain: queued jobs run to completion, new submissions
+/// are rejected with code 300, and the daemon then exits.
+#[test]
+fn graceful_shutdown_drains_queued_jobs() {
+    let (mut handle, addr) = start(2);
+    let mut submitter = connect(&addr);
+    let mut poller = connect(&addr);
+
+    let jobs: Vec<u64> = (0..6)
+        .map(|_| {
+            submitter
+                .submit(json_object! { kind: "sleep", ms: 100u64 })
+                .unwrap()
+        })
+        .collect();
+
+    submitter.shutdown(true).unwrap();
+
+    // Submitting during the drain is rejected with SHUTTING_DOWN.
+    match poller.submit(json_object! { kind: "sleep", ms: 1u64 }) {
+        Err(ClientError::Server(code, _)) => assert_eq!(code, 300),
+        other => panic!("expected code 300, got {other:?}"),
+    }
+
+    // Every job submitted before the shutdown still completes.
+    for id in jobs {
+        let st = poller.wait_result(id).unwrap();
+        assert_eq!(proto::get_str(&st, "state"), Some("done"), "job {id}");
+    }
+    drop(poller);
+    handle.wait();
+}
