@@ -8,12 +8,9 @@ cd "$(dirname "$0")"
 
 # Pre-existing style lints in the seed code, scoped and allowed until each
 # is cleaned up; new code must not extend this list.
-# (needless_range_loop and useless_vec were cleaned up and removed.)
-CLIPPY_ALLOW=(
-  -A clippy::manual_contains
-  -A clippy::manual_is_multiple_of
-  -A clippy::print_literal
-)
+# (needless_range_loop, useless_vec, manual_contains, manual_is_multiple_of
+# and print_literal were cleaned up and removed — the list is now empty.)
+CLIPPY_ALLOW=()
 
 echo "==> cargo build --release (offline)"
 cargo build --release --workspace --offline
@@ -29,6 +26,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps --quiet
 
 echo "==> SAT-attack bench (smoke mode) -> results/BENCH_sat_smoke.json"
 ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench sat_attack --offline
+for field in inprocessings subsumed_clauses eliminated_vars restored_vars \
+             vivified_literals chrono_backtracks restarts_forced; do
+  if ! grep -q "\"$field\"" results/BENCH_sat_smoke.json; then
+    echo "ERROR: BENCH_sat_smoke.json missing solver-stats field: $field" >&2
+    exit 1
+  fi
+done
 
 echo "==> engine bench (smoke mode) -> results/BENCH_engine_smoke.json"
 ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench engine --offline

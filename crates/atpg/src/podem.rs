@@ -46,7 +46,7 @@ fn eval3(kind: GateKind, vals: &[Option<bool>]) -> Option<bool> {
     match kind {
         GateKind::And | GateKind::Nand => {
             let invert = kind == GateKind::Nand;
-            if vals.iter().any(|v| *v == Some(false)) {
+            if vals.contains(&Some(false)) {
                 Some(invert)
             } else if vals.iter().all(|v| *v == Some(true)) {
                 Some(!invert)
@@ -56,7 +56,7 @@ fn eval3(kind: GateKind, vals: &[Option<bool>]) -> Option<bool> {
         }
         GateKind::Or | GateKind::Nor => {
             let invert = kind == GateKind::Nor;
-            if vals.iter().any(|v| *v == Some(true)) {
+            if vals.contains(&Some(true)) {
                 Some(!invert)
             } else if vals.iter().all(|v| *v == Some(false)) {
                 Some(invert)

@@ -107,7 +107,7 @@ pub fn attack(
                 ctx.learn(&x, &y);
             }
         }
-        if iterations % config.settle_every == 0 {
+        if iterations.is_multiple_of(config.settle_every) {
             if let Some(candidate) = ctx.extract_key() {
                 let mut mismatches = 0usize;
                 let mut answered = 0usize;

@@ -59,6 +59,13 @@ fn build_miter(locked: &LockedCircuit) -> FourCopyMiter {
         distinct.push(xor_pos(&mut solver, k2.positive(), k4.positive()));
     }
     solver.add_clause(&distinct);
+    // Per-DIP constraints keep arriving against all four key copies; freeze
+    // them so inprocessing never has to restore an eliminated key variable.
+    for copy in 0..4 {
+        for &k in enc.key_vars(copy) {
+            solver.set_frozen(k, true);
+        }
+    }
     FourCopyMiter { solver, enc }
 }
 

@@ -95,6 +95,15 @@ pub struct DipTelemetry {
     pub clauses_added: usize,
     /// Cumulative solver conflicts right after this DIP was learned.
     pub conflicts: u64,
+    /// Cumulative clauses removed by inprocessing subsumption (plus
+    /// self-subsuming strengthenings) right after this DIP was learned.
+    pub subsumed_clauses: u64,
+    /// Cumulative variables removed by bounded variable elimination right
+    /// after this DIP was learned.
+    pub eliminated_vars: u64,
+    /// Cumulative literals removed by clause vivification right after this
+    /// DIP was learned.
+    pub vivified_literals: u64,
 }
 
 /// Aggregate per-run telemetry of the SAT-attack family, surfaced through

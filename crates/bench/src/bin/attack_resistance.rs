@@ -204,10 +204,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }));
     }
 
-    println!(
-        "{:<11} {:<12} {:<12} {:>9} {:>8} {:>7} {:>8}  {}",
-        "attack", "target", "oracle", "recovered", "correct", "iters", "queries", "failure"
-    );
+    println!("attack      target       oracle       recovered  correct   iters  queries  failure");
     for r in &rows {
         println!(
             "{:<11} {:<12} {:<12} {:>9} {:>8} {:>7} {:>8}  {}",

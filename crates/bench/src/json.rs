@@ -553,6 +553,15 @@ impl ToJson for cdcl::SolverStats {
             learned_literals_post: self.learned_literals_post,
             db_reductions: self.db_reductions,
             clauses_deleted: self.clauses_deleted,
+            inprocessings: self.inprocessings,
+            subsumed_clauses: self.subsumed_clauses,
+            strengthened_clauses: self.strengthened_clauses,
+            eliminated_vars: self.eliminated_vars,
+            restored_vars: self.restored_vars,
+            vivified_literals: self.vivified_literals,
+            chrono_backtracks: self.chrono_backtracks,
+            restarts_blocked: self.restarts_blocked,
+            restarts_forced: self.restarts_forced,
         }
     }
 }
@@ -572,6 +581,9 @@ impl ToJson for attacks::DipTelemetry {
         crate::json_object! {
             clauses_added: self.clauses_added,
             conflicts: self.conflicts,
+            subsumed_clauses: self.subsumed_clauses,
+            eliminated_vars: self.eliminated_vars,
+            vivified_literals: self.vivified_literals,
         }
     }
 }

@@ -61,7 +61,7 @@ pub struct MutantSpec {
     pub kind: MutantKind,
 }
 
-/// The checked-in mutant catalog: 15 semantic mutants spanning the
+/// The checked-in mutant catalog: 19 semantic mutants spanning the
 /// `netlist`, `sim`(kernel), `atpg`, `sat` and `attacks` layers.
 pub fn catalog() -> Vec<MutantSpec> {
     use EngineFault::*;
@@ -131,6 +131,30 @@ pub fn catalog() -> Vec<MutantSpec> {
             layer: "sat",
             description: "complement the model value reported for variable 0",
             kind: MutantKind::Solver(SolverSabotage::MisreportValue),
+        },
+        MutantSpec {
+            id: "sat-unsound-subsumption",
+            layer: "sat",
+            description: "subsume by variable set instead of literal set during inprocessing",
+            kind: MutantKind::Solver(SolverSabotage::UnsoundSubsumption),
+        },
+        MutantSpec {
+            id: "sat-bve-drop-resolvent",
+            layer: "sat",
+            description: "drop the last resolvent when eliminating a variable",
+            kind: MutantKind::Solver(SolverSabotage::BveDropResolvent),
+        },
+        MutantSpec {
+            id: "sat-vivify-drop-literal",
+            layer: "sat",
+            description: "vivification drops a literal the probe never proved redundant",
+            kind: MutantKind::Solver(SolverSabotage::VivifyDropLiteral),
+        },
+        MutantSpec {
+            id: "sat-chrono-mislabel-level",
+            layer: "sat",
+            description: "record a chronologically backtracked literal at the backjump level",
+            kind: MutantKind::Solver(SolverSabotage::ChronoMislabelLevel),
         },
         MutantSpec {
             id: "attacks-flip-gate-clause-lit",

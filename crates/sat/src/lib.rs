@@ -11,9 +11,18 @@
 //!   learnt-clause minimization ([`CcMin`]: none, local, or recursive
 //!   MiniSat `ccmin-mode=2`-style),
 //! - exponential VSIDS branching with phase saving,
-//! - Luby-sequence restarts (unit configurable via [`SolverConfig`]),
+//! - adaptive restarts: Glucose-style EMA blocking/forcing restarts by
+//!   default, classic Luby as a fallback ([`RestartMode`]),
+//! - chronological backtracking for conflicts whose backjump would undo a
+//!   long stretch of still-consistent assignments,
 //! - literal-block-distance (LBD) tracking with glue-clause protection and
 //!   LBD-driven learnt-clause database reduction,
+//! - an inprocessing layer scheduled between incremental solves:
+//!   occurrence-list clause subsumption + self-subsuming strengthening,
+//!   bounded variable elimination with model reconstruction (reported
+//!   models always satisfy the *original* CNF), and clause vivification —
+//!   with restore-on-demand (plus a [`Solver::set_frozen`] hint) so later
+//!   clauses or assumptions may mention eliminated variables freely,
 //! - incremental solving under assumptions, with clause addition between
 //!   calls (exactly what the attack's query loop needs),
 //! - optional conflict budgets (returning [`SolveResult::Unknown`]), used by
@@ -43,5 +52,7 @@ pub mod dimacs;
 mod solver;
 mod types;
 
-pub use solver::{CcMin, SolveResult, Solver, SolverConfig, SolverSabotage, SolverStats};
+pub use solver::{
+    CcMin, RestartMode, SolveResult, Solver, SolverConfig, SolverSabotage, SolverStats,
+};
 pub use types::{Lit, Var};

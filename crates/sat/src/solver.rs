@@ -1,5 +1,14 @@
 use crate::types::{Lit, Var};
 
+// Inprocessing lives in child modules so it can reach the solver's private
+// state without widening field visibility: `simplify.rs` holds root-level
+// cleanup, subsumption/strengthening, bounded variable elimination and the
+// elimination/restore machinery; `vivify.rs` holds clause vivification.
+#[path = "simplify.rs"]
+mod simplify;
+#[path = "vivify.rs"]
+mod vivify;
+
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SolveResult {
@@ -64,6 +73,19 @@ pub enum CcMin {
     Deep,
 }
 
+/// Restart strategy (see [`SolverConfig::restart_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RestartMode {
+    /// Static Luby sequence scaled by [`SolverConfig::restart_base`].
+    Luby,
+    /// Glucose-style dynamic restarts driven by exponential moving averages
+    /// of conflict LBDs: a restart is *forced* when the fast LBD average
+    /// exceeds the slow one (recent conflicts are unusually bad), and
+    /// *blocked* when the trail is much deeper than its long-run average
+    /// (the search may be closing in on a model).
+    Ema,
+}
+
 /// Tunable search parameters, all with MiniSat/Glucose-class defaults.
 ///
 /// The knobs are read at each [`Solver::solve_with`] call, so they can be
@@ -71,6 +93,13 @@ pub enum CcMin {
 /// knobs") for guidance on when to change them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
+    /// Restart strategy. [`RestartMode::Ema`] (the default) adapts the
+    /// restart rate to conflict quality; [`RestartMode::Luby`] is the
+    /// classic static schedule.
+    pub restart_mode: RestartMode,
+    /// Minimum conflicts between EMA restart decisions (both forcing and
+    /// blocking). Only read in [`RestartMode::Ema`].
+    pub restart_min_interval: u64,
     /// Luby restart unit: the restart interval is `luby(i) * restart_base`
     /// conflicts. Smaller values restart more aggressively.
     pub restart_base: u64,
@@ -89,11 +118,34 @@ pub struct SolverConfig {
     pub cla_decay: f64,
     /// Learned-clause minimization mode.
     pub ccmin: CcMin,
+    /// Chronological backtracking threshold: when a conflict's backjump
+    /// would undo more than this many decision levels, backtrack a single
+    /// level instead and let the asserting literal propagate from there,
+    /// preserving the (still consistent) intermediate assignments. `0`
+    /// disables chronological backtracking.
+    pub chrono_threshold: u32,
+    /// Inprocessing trigger: a simplification round (subsumption +
+    /// strengthening, bounded variable elimination, vivification) runs at
+    /// the start of a solve once the clauses added since the last round
+    /// reach `inprocess_trigger + live_clauses / 16`. The DB-proportional
+    /// term amortizes each O(DB) round against real growth on large
+    /// incremental instances. `0` disables inprocessing entirely.
+    pub inprocess_trigger: usize,
+    /// Minimum live-clause count before inprocessing is considered at all.
+    /// A round costs a fixed occurrence-list rebuild plus per-clause
+    /// vivification probes — milliseconds that dwarf the solve time of a
+    /// formula with a few hundred clauses. The default skips formulas that
+    /// any search strategy dispatches instantly; set to `0` to inprocess
+    /// regardless of size (the conformance batteries do, so the passes are
+    /// exercised on small crafted instances).
+    pub inprocess_min_clauses: usize,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
+            restart_mode: RestartMode::Ema,
+            restart_min_interval: 50,
             restart_base: 100,
             glue_lbd: 2,
             reduce_base: 2000,
@@ -101,6 +153,9 @@ impl Default for SolverConfig {
             var_decay: 0.95,
             cla_decay: 0.999,
             ccmin: CcMin::Basic,
+            chrono_threshold: 64,
+            inprocess_trigger: 64,
+            inprocess_min_clauses: 2000,
         }
     }
 }
@@ -132,6 +187,25 @@ pub struct SolverStats {
     pub db_reductions: u64,
     /// Learnt clauses deleted by DB reductions.
     pub clauses_deleted: u64,
+    /// Inprocessing rounds executed between solves.
+    pub inprocessings: u64,
+    /// Clauses deleted because another clause subsumed them.
+    pub subsumed_clauses: u64,
+    /// Clauses shortened by self-subsuming strengthening.
+    pub strengthened_clauses: u64,
+    /// Variables eliminated by bounded variable elimination.
+    pub eliminated_vars: u64,
+    /// Eliminated variables re-introduced because a later clause or
+    /// assumption mentioned them (restore-on-demand).
+    pub restored_vars: u64,
+    /// Literals removed from clauses by vivification.
+    pub vivified_literals: u64,
+    /// Chronological backtracks taken instead of full backjumps.
+    pub chrono_backtracks: u64,
+    /// EMA restarts blocked because the trail was unusually deep.
+    pub restarts_blocked: u64,
+    /// EMA restarts forced by the fast/slow LBD crossover.
+    pub restarts_forced: u64,
 }
 
 impl SolverStats {
@@ -150,6 +224,15 @@ impl SolverStats {
             learned_literals_post: self.learned_literals_post - earlier.learned_literals_post,
             db_reductions: self.db_reductions - earlier.db_reductions,
             clauses_deleted: self.clauses_deleted - earlier.clauses_deleted,
+            inprocessings: self.inprocessings - earlier.inprocessings,
+            subsumed_clauses: self.subsumed_clauses - earlier.subsumed_clauses,
+            strengthened_clauses: self.strengthened_clauses - earlier.strengthened_clauses,
+            eliminated_vars: self.eliminated_vars - earlier.eliminated_vars,
+            restored_vars: self.restored_vars - earlier.restored_vars,
+            vivified_literals: self.vivified_literals - earlier.vivified_literals,
+            chrono_backtracks: self.chrono_backtracks - earlier.chrono_backtracks,
+            restarts_blocked: self.restarts_blocked - earlier.restarts_blocked,
+            restarts_forced: self.restarts_forced - earlier.restarts_forced,
         }
     }
 }
@@ -201,9 +284,46 @@ pub struct Solver {
     /// Model snapshot from the last successful solve (empty otherwise).
     assigns_model: Vec<i8>,
 
+    // Inprocessing state (see `simplify.rs` / `vivify.rs`).
+    /// Per-variable "never eliminate" marks ([`Solver::set_frozen`]).
+    frozen: Vec<bool>,
+    /// Variables currently eliminated by bounded variable elimination.
+    eliminated: Vec<bool>,
+    /// Reconstruction stack, one record per eliminated variable in
+    /// elimination order. Walked in reverse to extend models; consulted by
+    /// restore-on-demand when an eliminated variable reappears.
+    elim_stack: Vec<ElimRecord>,
+    /// Clauses attached (externally or learnt) since the last inprocessing
+    /// round; drives the [`SolverConfig::inprocess_trigger`] schedule.
+    adds_since_inprocess: usize,
+    /// Round-robin cursor so successive vivification rounds cover different
+    /// parts of the clause DB.
+    viv_cursor: usize,
+
+    // EMA restart state (RestartMode::Ema), persistent across solves.
+    ema_lbd_fast: f64,
+    ema_lbd_slow: f64,
+    ema_trail: f64,
+    ema_seen_conflicts: bool,
+
     /// Test-only fault injection, always `None` in production use. See
     /// [`SolverSabotage`] and [`Solver::set_sabotage`].
     sabotage: Option<SolverSabotage>,
+}
+
+/// One bounded-variable-elimination record: the variable plus the original
+/// clauses that mentioned it, saved when it was eliminated.
+///
+/// Invariant: at elimination time every *other* variable in the saved
+/// clauses was active, so a reverse walk of the stack meets each saved
+/// clause with all of its non-record variables already valued.
+#[derive(Debug, Clone)]
+struct ElimRecord {
+    var: u32,
+    clauses: Vec<Vec<Lit>>,
+    /// Set when the variable was re-introduced (the saved clauses were added
+    /// back to the DB); the record is then inert for model extension.
+    restored: bool,
 }
 
 /// Test-only semantic faults for the conformance mutation-kill harness
@@ -222,6 +342,21 @@ pub enum SolverSabotage {
     ShrinkLearntClause,
     /// [`Solver::value`] reports the opposite polarity for variable 0.
     MisreportValue,
+    /// Inprocessing subsumption compares variables while ignoring polarity,
+    /// deleting clauses that are not actually subsumed (the formula weakens,
+    /// so models may violate deleted constraints).
+    UnsoundSubsumption,
+    /// Bounded variable elimination drops the last resolvent of every
+    /// elimination, losing a constraint the resolution closure requires.
+    BveDropResolvent,
+    /// Vivification removes the final literal of probed clauses even when
+    /// the probe proved nothing — an unsound strengthening that can turn
+    /// satisfiable formulas `Unsat`.
+    VivifyDropLiteral,
+    /// Chronological backtracking records the asserting literal at the
+    /// analyzed backjump level instead of the level it is actually enqueued
+    /// at, corrupting later conflict analysis.
+    ChronoMislabelLevel,
 }
 
 impl Default for Solver {
@@ -268,6 +403,15 @@ impl Solver {
             lbd_stamp: Vec::new(),
             lbd_counter: 0,
             assigns_model: Vec::new(),
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            adds_since_inprocess: 0,
+            viv_cursor: 0,
+            ema_lbd_fast: 0.0,
+            ema_lbd_slow: 0.0,
+            ema_trail: 0.0,
+            ema_seen_conflicts: false,
             sabotage: None,
         }
     }
@@ -304,6 +448,8 @@ impl Solver {
         self.activity.push(0.0);
         self.saved_phase.push(false);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.watches_bin.push(Vec::new());
@@ -318,6 +464,22 @@ impl Solver {
     /// Number of allocated variables.
     pub fn num_vars(&self) -> usize {
         self.assigns.len()
+    }
+
+    /// Marks `v` as frozen: inprocessing will never eliminate it.
+    ///
+    /// Freezing is a *performance* hint for incremental use — correctness
+    /// never depends on it, because a clause or assumption that mentions an
+    /// eliminated variable re-introduces it on demand — but freezing the
+    /// variables that future clauses or assumptions will mention (activation
+    /// literals, key variables) avoids eliminate/restore churn.
+    pub fn set_frozen(&mut self, v: Var, frozen: bool) {
+        self.frozen[v.index()] = frozen;
+    }
+
+    /// Whether `v` is currently eliminated by bounded variable elimination.
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.index()]
     }
 
     /// Number of (non-deleted) clauses, including learnt ones.
@@ -386,6 +548,17 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        // Restore-on-demand: a new clause mentioning an eliminated variable
+        // re-introduces it (and, transitively, anything its saved clauses
+        // mention) before the clause is attached.
+        for l in lits {
+            if self.eliminated[l.var().index()] {
+                self.restore_var(l.var().index());
+                if !self.ok {
+                    return false;
+                }
+            }
+        }
         // Simplify: dedupe, drop falsified-at-root literals, detect
         // tautologies and satisfied clauses.
         let mut ls: Vec<Lit> = lits.to_vec();
@@ -411,6 +584,7 @@ impl Solver {
                 false
             }
             1 => {
+                self.adds_since_inprocess += 1;
                 self.unchecked_enqueue(simplified[0], REASON_NONE);
                 self.ok = self.propagate().is_none();
                 self.ok
@@ -445,6 +619,9 @@ impl Solver {
         self.arena.push(0f32.to_bits());
         self.arena.extend(lits.iter().map(|l| l.0));
         self.live_clauses += 1;
+        // Reset to zero at the end of each inprocessing round, so clauses
+        // re-attached during a round do not count toward the next trigger.
+        self.adds_since_inprocess += 1;
         if learnt {
             self.learnt_count += 1;
         }
@@ -856,7 +1033,7 @@ impl Solver {
 
     fn pick_branch(&mut self) -> Option<Lit> {
         while let Some(v) = self.heap.pop_max(&self.activity) {
-            if self.assigns[v] == UNDEF {
+            if self.assigns[v] == UNDEF && !self.eliminated[v] {
                 return Some(Var(v as u32).lit(self.saved_phase[v]));
             }
         }
@@ -988,9 +1165,31 @@ impl Solver {
         }
         debug_assert!(self.trail_lim.is_empty());
 
+        // Re-introduce any eliminated variable the assumptions mention, then
+        // run an inprocessing round if enough clauses arrived since the last
+        // one. The round temporarily pins the assumption variables so it
+        // cannot eliminate them right back.
+        for a in assumptions {
+            if self.eliminated[a.var().index()] {
+                self.restore_var(a.var().index());
+            }
+        }
+        if self.ok
+            && self.config.inprocess_trigger > 0
+            && self.live_clauses >= self.config.inprocess_min_clauses
+            && self.adds_since_inprocess
+                >= self.config.inprocess_trigger + self.live_clauses / 16
+        {
+            self.inprocess(assumptions);
+        }
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+
         let budget_end = self.budget.map(|b| self.stats.conflicts + b);
         let mut restart_idx = 0u32;
         let mut conflicts_until_restart = luby(restart_idx) * self.config.restart_base;
+        let mut conflicts_since_restart = 0u64;
         let result;
 
         'main: loop {
@@ -1006,6 +1205,31 @@ impl Solver {
                     // Conflict below/at the assumption prefix: under these
                     // assumptions the formula is UNSAT.
                     let (learnt, lbd, bt) = self.analyze(conflict);
+                    // Glucose-style EMA state, fed on every conflict so a
+                    // later switch to RestartMode::Ema starts warm.
+                    conflicts_since_restart += 1;
+                    let lbd_f = f64::from(lbd.max(1));
+                    let trail_f = self.trail.len() as f64;
+                    if self.ema_seen_conflicts {
+                        self.ema_lbd_fast += (lbd_f - self.ema_lbd_fast) / EMA_FAST_WINDOW;
+                        self.ema_lbd_slow += (lbd_f - self.ema_lbd_slow) / EMA_SLOW_WINDOW;
+                        self.ema_trail += (trail_f - self.ema_trail) / EMA_SLOW_WINDOW;
+                    } else {
+                        self.ema_lbd_fast = lbd_f;
+                        self.ema_lbd_slow = lbd_f;
+                        self.ema_trail = trail_f;
+                        self.ema_seen_conflicts = true;
+                    }
+                    if self.config.restart_mode == RestartMode::Ema
+                        && conflicts_since_restart >= self.config.restart_min_interval
+                        && trail_f > EMA_BLOCK_RATIO * self.ema_trail
+                        && self.ema_lbd_fast > EMA_FORCE_RATIO * self.ema_lbd_slow
+                    {
+                        // The trail is unusually deep: the search may be
+                        // close to a model, so cancel the pending force.
+                        self.ema_lbd_fast = self.ema_lbd_slow;
+                        self.stats.restarts_blocked += 1;
+                    }
                     if (self.decision_level() as usize) <= assumptions.len() {
                         // Learn the clause anyway if it is at root level.
                         self.backtrack_to(0);
@@ -1024,7 +1248,23 @@ impl Solver {
                         result = SolveResult::Unsat;
                         break 'main;
                     }
-                    self.backtrack_to(bt);
+                    // Chronological backtracking (weak variant): when the
+                    // backjump would undo a long stretch of still-consistent
+                    // assignments, step back a single level instead. The
+                    // asserting literal is recorded at its *enqueue* level
+                    // (dl - 1), which keeps the trail's per-level sections
+                    // intact; the overestimated level is sound for analysis.
+                    // Unit learnt clauses always go to the root.
+                    let dl = self.decision_level();
+                    let chrono = self.config.chrono_threshold > 0
+                        && learnt.len() >= 2
+                        && dl - bt > self.config.chrono_threshold;
+                    if chrono {
+                        self.stats.chrono_backtracks += 1;
+                        self.backtrack_to(dl - 1);
+                    } else {
+                        self.backtrack_to(bt);
+                    }
                     self.stats.learned_clauses += 1;
                     if learnt.len() == 1 {
                         // Unit clauses are asserted at the root; any
@@ -1042,6 +1282,15 @@ impl Solver {
                         self.bump_clause(cref);
                         if self.lit_value(learnt[0]) == UNDEF {
                             self.unchecked_enqueue(learnt[0], cref);
+                            if chrono
+                                && self.sabotage == Some(SolverSabotage::ChronoMislabelLevel)
+                            {
+                                // Fault injection (test-only): record the
+                                // asserting literal at the analyzed backjump
+                                // level, as if the intermediate levels had
+                                // been undone.
+                                self.level[learnt[0].var().index()] = bt;
+                            }
                         }
                     }
                     self.var_inc /= self.config.var_decay;
@@ -1060,11 +1309,22 @@ impl Solver {
                     }
                 }
                 None => {
-                    if conflicts_until_restart == 0
-                        && (self.decision_level() as usize) > assumptions.len()
-                    {
+                    let restart_due = match self.config.restart_mode {
+                        RestartMode::Luby => conflicts_until_restart == 0,
+                        RestartMode::Ema => {
+                            conflicts_since_restart >= self.config.restart_min_interval
+                                && self.ema_lbd_fast > EMA_FORCE_RATIO * self.ema_lbd_slow
+                        }
+                    };
+                    if restart_due && (self.decision_level() as usize) > assumptions.len() {
                         restart_idx += 1;
                         conflicts_until_restart = luby(restart_idx) * self.config.restart_base;
+                        conflicts_since_restart = 0;
+                        if self.config.restart_mode == RestartMode::Ema {
+                            // Demand fresh evidence before the next force.
+                            self.ema_lbd_fast = self.ema_lbd_slow;
+                            self.stats.restarts_forced += 1;
+                        }
                         self.stats.restarts += 1;
                         self.backtrack_to(assumptions.len() as u32);
                         continue;
@@ -1109,9 +1369,12 @@ impl Solver {
         if result == SolveResult::Sat {
             // The model must stay readable through `value` after the
             // mandatory backtrack to level 0, so snapshot `assigns` first
-            // (MiniSat copies the model the same way).
-            let model: Vec<i8> = self.assigns.clone();
+            // (MiniSat copies the model the same way). Eliminated variables
+            // are then valued by walking the reconstruction stack, so the
+            // reported model satisfies the *original* pre-elimination CNF.
+            let mut model: Vec<i8> = self.assigns.clone();
             self.backtrack_to(0);
+            self.extend_model(&mut model);
             self.assigns_model = model;
         } else {
             self.backtrack_to(0);
@@ -1120,6 +1383,15 @@ impl Solver {
         result
     }
 }
+
+// EMA restart tuning (Glucose-class values): the fast average tracks the
+// last ~32 conflict LBDs, the slow one the last ~4096; a force fires when
+// fast exceeds slow by 25%, and a deep trail (40% over its long-run
+// average) blocks the pending force.
+const EMA_FAST_WINDOW: f64 = 32.0;
+const EMA_SLOW_WINDOW: f64 = 4096.0;
+const EMA_FORCE_RATIO: f64 = 1.25;
+const EMA_BLOCK_RATIO: f64 = 1.4;
 
 /// Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, ...
 fn luby(mut x: u32) -> u64 {

@@ -1,0 +1,146 @@
+//! Clause vivification (distillation) — child module of the solver, run as
+//! the last pass of an inprocessing round (see `simplify.rs`).
+//!
+//! For each candidate clause `l1 ∨ l2 ∨ … ∨ ln`, assume `¬l1, ¬l2, …` one
+//! literal at a time, propagating after each assumption with the clause
+//! itself detached. Three outcomes shorten the clause:
+//!
+//! - propagation conflicts after assuming `¬l1…¬lk`: the prefix
+//!   `l1 ∨ … ∨ lk` is implied, so the clause shrinks to it;
+//! - some later literal `lk` propagates to true: `l1 ∨ … ∨ lk` is implied;
+//! - some later literal `lk` propagates to false: `lk` is redundant and is
+//!   dropped.
+//!
+//! Each round probes a budgeted slice of the DB behind a persistent
+//! round-robin cursor, so successive rounds cover different clauses.
+
+use super::*;
+
+/// Only probe clauses of at least this many literals (binary clauses have
+/// nothing to gain: shortening them is the unit-propagation fast path).
+const VIV_MIN_LEN: usize = 3;
+/// Skip very long clauses; probing them costs a propagation per literal.
+const VIV_MAX_LEN: usize = 24;
+/// Per-round clause budget: at least this many, at most an eighth of the
+/// candidates, so the cost stays proportional to the DB.
+const VIV_MIN_BUDGET: usize = 512;
+
+impl Solver {
+    /// One vivification pass over a budgeted slice of the clause DB.
+    pub(super) fn vivify_round(&mut self) {
+        debug_assert!(self.trail_lim.is_empty());
+        let end = self.arena.len();
+        let mut cands: Vec<ClauseRef> = Vec::new();
+        let mut off = 0usize;
+        while off < end {
+            let header = self.arena[off];
+            let len = (header & LEN_MASK) as usize;
+            let cref = off as ClauseRef;
+            off += HDR + len;
+            if header & FLAG_DELETED == 0 && (VIV_MIN_LEN..=VIV_MAX_LEN).contains(&len) {
+                cands.push(cref);
+            }
+        }
+        if cands.is_empty() {
+            return;
+        }
+        let n = cands.len();
+        let take = n.min(VIV_MIN_BUDGET.max(n / 8));
+        let start = self.viv_cursor % n;
+        for i in 0..take {
+            if !self.ok {
+                return;
+            }
+            self.vivify_one(cands[(start + i) % n]);
+        }
+        self.viv_cursor = (start + take) % n;
+    }
+
+    fn vivify_one(&mut self, cref: ClauseRef) {
+        let base = cref as usize;
+        let header = self.arena[base];
+        if header & FLAG_DELETED != 0 {
+            return;
+        }
+        let lits = self.clause_lits(cref);
+        // Units learned earlier in this round may have touched the clause;
+        // re-simplify against the root assignment before probing.
+        if lits.iter().any(|&l| self.lit_value(l) == TRUE) {
+            self.delete_clause(cref);
+            return;
+        }
+        let live: Vec<Lit> = lits
+            .iter()
+            .copied()
+            .filter(|&l| self.lit_value(l) != FALSE)
+            .collect();
+        let learnt = header & FLAG_LEARNT != 0;
+        let lbd = self.arena[base + 1];
+        // Detach so the clause cannot propagate itself during the probe.
+        self.detach_watches(cref);
+        let mut shrunk = if live.len() < lits.len() {
+            // Root-falsified literals already force a rebuild; still probe
+            // the remainder for further shortening.
+            Some(self.vivify_probe(&live).unwrap_or(live))
+        } else {
+            self.vivify_probe(&live)
+        };
+        // Fault injection (test-only): drop the last literal even though
+        // the probe proved nothing.
+        if shrunk.is_none()
+            && lits.len() >= VIV_MIN_LEN
+            && self.sabotage == Some(SolverSabotage::VivifyDropLiteral)
+        {
+            shrunk = Some(lits[..lits.len() - 1].to_vec());
+        }
+        match shrunk {
+            None => self.attach_watches(cref),
+            Some(new) => {
+                self.delete_detached(cref);
+                self.stats.vivified_literals += (lits.len() - new.len()) as u64;
+                self.add_inprocess_clause(&new, learnt, lbd);
+            }
+        }
+    }
+
+    /// The probe itself: assume the negation of each literal in turn,
+    /// propagating after each. Returns the shortened clause, or `None` when
+    /// nothing shrank. Runs at the root and leaves the trail unchanged.
+    fn vivify_probe(&mut self, lits: &[Lit]) -> Option<Vec<Lit>> {
+        debug_assert!(self.trail_lim.is_empty());
+        let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut dropped = false;
+        let mut implied = false;
+        for &l in lits {
+            match self.lit_value(l) {
+                TRUE => {
+                    // ¬(kept) ⊨ l: the clause shortens to kept ∪ {l}.
+                    kept.push(l);
+                    implied = true;
+                    break;
+                }
+                FALSE => {
+                    // ¬(kept) ⊨ ¬l: the literal is redundant.
+                    dropped = true;
+                }
+                _ => {
+                    kept.push(l);
+                    self.trail_lim.push(self.trail.len());
+                    self.unchecked_enqueue(!l, REASON_NONE);
+                    if self.propagate().is_some() {
+                        // ¬(kept) is contradictory: the clause shortens to
+                        // the assumed prefix.
+                        implied = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.backtrack_to(0);
+        if (implied && kept.len() < lits.len()) || (dropped && !implied) {
+            Some(kept)
+        } else {
+            None
+        }
+    }
+}

@@ -5,17 +5,48 @@
 //! immediately — so the Luby/LBD machinery is exercised even on tiny
 //! formulas where the defaults would never trigger it.
 
-use cdcl::{dimacs, CcMin, SolveResult, Solver, SolverConfig, Var};
+use cdcl::{dimacs, CcMin, RestartMode, SolveResult, Solver, SolverConfig, Var};
 use qcheck::{any_bool, vec_of};
 
 /// A configuration that restarts and reduces as aggressively as possible,
-/// with the most elaborate minimization mode.
+/// with the most elaborate minimization mode. Pinned to Luby restarts: the
+/// restart-count sanity assertion below relies on the static
+/// restart-every-conflict schedule.
 fn hostile_config() -> SolverConfig {
     SolverConfig {
+        restart_mode: RestartMode::Luby,
         restart_base: 1,
         reduce_base: 1,
         reduce_increment: 1,
         ccmin: CcMin::Deep,
+        ..SolverConfig::default()
+    }
+}
+
+/// Everything-on inprocessing: a simplification round before (almost) every
+/// solve, chronological backtracking from distance 1, EMA restarts
+/// re-evaluated every other conflict.
+fn aggressive_config() -> SolverConfig {
+    SolverConfig {
+        restart_mode: RestartMode::Ema,
+        restart_min_interval: 2,
+        reduce_base: 2,
+        reduce_increment: 2,
+        ccmin: CcMin::Deep,
+        chrono_threshold: 1,
+        inprocess_trigger: 1,
+        inprocess_min_clauses: 0,
+        ..SolverConfig::default()
+    }
+}
+
+/// Everything-off counterpart: pure Luby, no chronological backtracking, no
+/// inprocessing — the pre-inprocessing solver.
+fn plain_config() -> SolverConfig {
+    SolverConfig {
+        restart_mode: RestartMode::Luby,
+        chrono_threshold: 0,
+        inprocess_trigger: 0,
         ..SolverConfig::default()
     }
 }
@@ -134,5 +165,72 @@ qcheck::props! {
                 SolveResult::Unsat
             }
         );
+    }
+
+    /// Inprocessing on vs off agree on SAT/UNSAT (and with brute force), and
+    /// the inprocessing solver's models are valid for the *original*
+    /// pre-elimination CNF — including across an incremental step that adds
+    /// a clause and assumes a literal, both of which may mention variables
+    /// the first solve eliminated (restore-on-demand).
+    fn inprocessing_on_vs_off_agree(
+        num_vars in 1usize..13,
+        raw in vec_of(vec_of((0u64..1 << 30, any_bool()), 1..4), 0..50),
+        extra_raw in vec_of(vec_of((0u64..1 << 30, any_bool()), 1..4), 1..2),
+        pick in (0u64..1 << 30, any_bool()),
+    ) {
+        let clauses = build_clauses(&raw, num_vars);
+        let mut on = Solver::with_config(aggressive_config());
+        let mut off = Solver::with_config(plain_config());
+        for _ in 0..num_vars {
+            on.new_var();
+            off.new_var();
+        }
+        for c in &clauses {
+            on.add_clause(c);
+            off.add_clause(c);
+        }
+        let expect = if brute_force_sat(&clauses, num_vars) {
+            SolveResult::Sat
+        } else {
+            SolveResult::Unsat
+        };
+        qcheck::prop_assert_eq!(on.solve(), expect);
+        qcheck::prop_assert_eq!(off.solve(), expect);
+        if expect == SolveResult::Sat {
+            for c in &clauses {
+                qcheck::prop_assert!(
+                    c.iter().any(|l| on.value(l.var()) == Some(l.is_positive())),
+                    "inprocessing model violates original clause {c:?}"
+                );
+            }
+        }
+        // Incremental step: a new clause plus an assumption, checked against
+        // brute force on the extended formula.
+        let extra = build_clauses(&extra_raw, num_vars);
+        let lit = Var::from_index((pick.0 % num_vars as u64) as usize).lit(pick.1);
+        let mut extended = clauses.clone();
+        extended.extend(extra.iter().cloned());
+        let mut assumed = extended.clone();
+        assumed.push(vec![lit]);
+        let expect2 = if brute_force_sat(&assumed, num_vars) {
+            SolveResult::Sat
+        } else {
+            SolveResult::Unsat
+        };
+        for c in &extra {
+            on.add_clause(c);
+            off.add_clause(c);
+        }
+        qcheck::prop_assert_eq!(on.solve_with(&[lit]), expect2);
+        qcheck::prop_assert_eq!(off.solve_with(&[lit]), expect2);
+        if expect2 == SolveResult::Sat {
+            for c in &extended {
+                qcheck::prop_assert!(
+                    c.iter().any(|l| on.value(l.var()) == Some(l.is_positive())),
+                    "post-restore model violates clause {c:?}"
+                );
+            }
+            qcheck::prop_assert_eq!(on.value(lit.var()), Some(lit.is_positive()));
+        }
     }
 }

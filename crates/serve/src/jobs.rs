@@ -378,6 +378,7 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
                 iterations: outcome.iterations,
                 oracle_queries: outcome.oracle_queries,
                 failure: outcome.failure.map(|f| f.to_string()),
+                solver: outcome.telemetry.solver,
             })
         }
         JobSpec::Verify { target, key } => {

@@ -93,7 +93,7 @@ fn parse_blocks(text: &str) -> Vec<(String, Vec<Entry>)> {
 
 fn decode_hex(s: &str) -> Option<Vec<u8>> {
     let compact: String = s.chars().filter(|c| !c.is_whitespace()).collect();
-    if compact.len() % 2 != 0 {
+    if !compact.len().is_multiple_of(2) {
         return None;
     }
     (0..compact.len())
