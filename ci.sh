@@ -62,12 +62,20 @@ cargo run --release --offline -q -p serve --bin serve_load -- \
   --addr "127.0.0.1:$(cat "$SERVE_PORT_FILE")" --smoke --shutdown
 wait "$SERVE_PID"
 rm -f "$SERVE_PORT_FILE"
-for field in sessions_per_sec p99_ns coalesced '"failed": 0'; do
+# The smoke run exercises two attack engines over the wire (SAT plus a
+# double-DIP leg every eighth session) and must report the uniform
+# oracle-query ledger the engine layer meters at the oracle boundary.
+for field in sessions_per_sec p99_ns coalesced depth_total \
+             oracle_queries_total '"failed": 0'; do
   if ! grep -q "$field" results/BENCH_serve_smoke.json; then
     echo "ERROR: BENCH_serve_smoke.json missing expected field: $field" >&2
     exit 1
   fi
 done
+if grep -q '"oracle_queries_total": 0[,}]' results/BENCH_serve_smoke.json; then
+  echo "ERROR: BENCH_serve_smoke.json reports zero oracle queries" >&2
+  exit 1
+fi
 
 echo "==> verifying the dependency graph is path-only"
 if cargo metadata --format-version 1 --offline \

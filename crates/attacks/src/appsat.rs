@@ -12,6 +12,9 @@ use cdcl::SolveResult;
 use locking::LockedCircuit;
 use netlist::rng::SplitMix64;
 
+use crate::engine::{
+    AttackCtl, AttackEngine, AttackSession, Interrupt, Milestone, ProgressEvent, StepStatus,
+};
 use crate::sat::AttackContext;
 use crate::{AttackOutcome, FailureReason, Oracle};
 
@@ -43,131 +46,281 @@ impl Default for AppSatConfig {
     }
 }
 
-/// Runs the approximate attack. A returned key is *approximate*: it agreed
-/// with the oracle on the settlement sample, not necessarily everywhere.
+/// AppSAT as an [`AttackEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppSatEngine {
+    /// Attack parameters.
+    pub config: AppSatConfig,
+}
+
+impl AttackEngine for AppSatEngine {
+    fn name(&self) -> &'static str {
+        "appsat"
+    }
+
+    fn start<'a>(
+        &self,
+        locked: &'a LockedCircuit,
+        oracle: &'a mut dyn Oracle,
+    ) -> Box<dyn AttackSession + 'a> {
+        let ctx = AttackContext::new(locked);
+        let config = self.config;
+        let (sim, outcome) = match gatesim::CombSim::new(&locked.circuit) {
+            Ok(s) => (Some(s), None),
+            Err(_) => (
+                None,
+                Some(
+                    AttackOutcome::failed(FailureReason::Inconclusive, 0, 0)
+                        .with_telemetry(ctx.telemetry()),
+                ),
+            ),
+        };
+        let (key_pos, data_pos) = match &sim {
+            Some(sim) => {
+                let key_pos: Vec<usize> = locked
+                    .key_inputs
+                    .iter()
+                    .map(|k| {
+                        sim.inputs()
+                            .iter()
+                            .position(|n| n == k)
+                            .expect("key input present")
+                    })
+                    .collect();
+                let data_pos: Vec<usize> = (0..sim.inputs().len())
+                    .filter(|i| !key_pos.contains(i))
+                    .collect();
+                (key_pos, data_pos)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        Box::new(AppSatSession {
+            ctx,
+            oracle,
+            config,
+            rng: SplitMix64::new(config.seed),
+            sim,
+            key_pos,
+            data_pos,
+            iterations: 0,
+            pending_dip: None,
+            settle: None,
+            started: false,
+            outcome,
+        })
+    }
+}
+
+/// In-flight settlement check state, kept across interrupted steps so a
+/// resumed session replays the exact settlement the uninterrupted run would
+/// have performed.
+struct SettleState {
+    candidate: Vec<bool>,
+    mismatches: usize,
+    answered: usize,
+    sampled: usize,
+    /// A drawn-but-unqueried sample stashed by an interrupt.
+    pending_x: Option<Vec<bool>>,
+}
+
+/// An AppSAT attack in progress: one step learns one DIP; when a settlement
+/// check falls due it runs inside the same step (interrupting mid-settlement
+/// stashes the settlement state for exact resumption).
+pub struct AppSatSession<'a> {
+    ctx: AttackContext,
+    oracle: &'a mut dyn Oracle,
+    config: AppSatConfig,
+    rng: SplitMix64,
+    sim: Option<gatesim::CombSim>,
+    key_pos: Vec<usize>,
+    data_pos: Vec<usize>,
+    iterations: usize,
+    pending_dip: Option<Vec<bool>>,
+    settle: Option<SettleState>,
+    started: bool,
+    outcome: Option<AttackOutcome>,
+}
+
+impl AppSatSession<'_> {
+    fn finish(&mut self, outcome: AttackOutcome) -> StepStatus {
+        self.outcome = Some(outcome);
+        StepStatus::Done
+    }
+
+    fn finish_failed(&mut self, reason: FailureReason) -> StepStatus {
+        let out = AttackOutcome::failed(
+            reason,
+            self.iterations,
+            self.oracle.queries_attempted(),
+        )
+        .with_telemetry(self.ctx.telemetry());
+        self.finish(out)
+    }
+
+    fn finish_success(&mut self, key: Vec<bool>) -> StepStatus {
+        let out = AttackOutcome {
+            key: Some(key),
+            failure: None,
+            iterations: self.iterations,
+            oracle_queries: self.oracle.queries_attempted(),
+            telemetry: self.ctx.telemetry(),
+        };
+        self.finish(out)
+    }
+
+    /// Runs (or resumes) the settlement check in `self.settle`.
+    fn run_settlement(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        let mut st = self.settle.take().expect("settlement state present");
+        let sim = self.sim.as_ref().expect("settlement implies a simulator");
+        while st.sampled < self.config.settle_samples {
+            let x: Vec<bool> = match st.pending_x.take() {
+                Some(x) => x,
+                None => (0..self.data_pos.len()).map(|_| self.rng.bool()).collect(),
+            };
+            match ctl.query(self.oracle, &x) {
+                Err(why) => {
+                    st.pending_x = Some(x);
+                    self.settle = Some(st);
+                    return StepStatus::Interrupted(why);
+                }
+                Ok(None) => return self.finish_failed(FailureReason::OracleUnavailable),
+                Ok(Some(y)) => {
+                    st.sampled += 1;
+                    st.answered += 1;
+                    // Simulate the locked circuit under the candidate key.
+                    let mut input = vec![false; sim.inputs().len()];
+                    for (&p, &b) in self.data_pos.iter().zip(&x) {
+                        input[p] = b;
+                    }
+                    for (&p, &b) in self.key_pos.iter().zip(&st.candidate) {
+                        input[p] = b;
+                    }
+                    let got = sim.eval_bools(&input);
+                    if got != y {
+                        st.mismatches += 1;
+                        // Feed the failing sample back as a constraint (the
+                        // AppSAT refinement step).
+                        self.ctx.learn(&x, &y);
+                    }
+                }
+            }
+        }
+        let err = st.mismatches as f64 / st.answered.max(1) as f64;
+        if err <= self.config.error_threshold {
+            self.finish_success(st.candidate)
+        } else {
+            StepStatus::Running
+        }
+    }
+}
+
+impl AttackSession for AppSatSession<'_> {
+    fn step(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
+        }
+        if let Err(why) = ctl.check() {
+            return StepStatus::Interrupted(why);
+        }
+        if !self.started {
+            self.started = true;
+            ctl.emit_stage("dip-search");
+        }
+        ctl.arm_solver(&mut self.ctx.solver);
+        if self.settle.is_some() {
+            return self.run_settlement(ctl);
+        }
+        let x = match self.pending_dip.take() {
+            Some(x) => x,
+            None => {
+                if self.iterations >= self.config.max_iterations {
+                    return self.finish_failed(FailureReason::IterationLimit);
+                }
+                match self.ctx.solve_miter() {
+                    SolveResult::Unknown => {
+                        return match ctl.solver_interrupt(&self.ctx.solver) {
+                            Some(why) => StepStatus::Interrupted(why),
+                            None => self.finish_failed(FailureReason::SolverBudget),
+                        };
+                    }
+                    SolveResult::Unsat => {
+                        ctl.emit_stage("extract");
+                        let key = self.ctx.extract_key();
+                        return match key {
+                            Some(key) => self.finish_success(key),
+                            None => self.finish_failed(FailureReason::Inconclusive),
+                        };
+                    }
+                    SolveResult::Sat => self.ctx.model_dip(),
+                }
+            }
+        };
+        match ctl.query(self.oracle, &x) {
+            Err(why) => {
+                self.pending_dip = Some(x);
+                return StepStatus::Interrupted(why);
+            }
+            Ok(None) => {
+                self.iterations += 1;
+                return self.finish_failed(FailureReason::OracleUnavailable);
+            }
+            Ok(Some(y)) => {
+                self.iterations += 1;
+                self.ctx.learn(&x, &y);
+                ctl.emit(ProgressEvent::Milestone(Milestone {
+                    stage: "dip-search",
+                    iterations: self.iterations,
+                    dips_eliminated: self.ctx.dips.len(),
+                    clauses_learned: self.ctx.solver.stats().learned_clauses,
+                    oracle_queries: ctl.queries(),
+                }));
+            }
+        }
+        if self.iterations.is_multiple_of(self.config.settle_every) {
+            if let Some(candidate) = self.ctx.extract_key() {
+                ctl.emit_stage("settle");
+                self.settle = Some(SettleState {
+                    candidate,
+                    mismatches: 0,
+                    answered: 0,
+                    sampled: 0,
+                    pending_x: None,
+                });
+                return self.run_settlement(ctl);
+            }
+        }
+        StepStatus::Running
+    }
+
+    fn outcome(&self) -> Option<&AttackOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn interrupted_outcome(&self, why: Interrupt) -> AttackOutcome {
+        AttackOutcome::failed(
+            why.into(),
+            self.iterations,
+            self.oracle.queries_attempted(),
+        )
+        .with_telemetry(self.ctx.telemetry())
+    }
+}
+
+/// Runs the approximate attack to completion. A returned key is
+/// *approximate*: it agreed with the oracle on the settlement sample, not
+/// necessarily everywhere. (Thin wrapper over the engine with an inert
+/// control block.)
 pub fn attack(
     locked: &LockedCircuit,
     oracle: &mut dyn Oracle,
     config: &AppSatConfig,
 ) -> AttackOutcome {
-    let mut ctx = AttackContext::new(locked);
-    let mut rng = SplitMix64::new(config.seed);
-    let sim = match gatesim::CombSim::new(&locked.circuit) {
-        Ok(s) => s,
-        Err(_) => {
-            return AttackOutcome::failed(FailureReason::Inconclusive, 0, 0)
-                .with_telemetry(ctx.telemetry());
-        }
-    };
-    let key_pos: Vec<usize> = locked
-        .key_inputs
-        .iter()
-        .map(|k| {
-            sim.inputs()
-                .iter()
-                .position(|n| n == k)
-                .expect("key input present")
-        })
-        .collect();
-    let data_pos: Vec<usize> = (0..sim.inputs().len())
-        .filter(|i| !key_pos.contains(i))
-        .collect();
-
-    let mut iterations = 0usize;
-    loop {
-        if iterations >= config.max_iterations {
-            return AttackOutcome::failed(
-                FailureReason::IterationLimit,
-                iterations,
-                oracle.queries_attempted(),
-            )
-            .with_telemetry(ctx.telemetry());
-        }
-        match ctx.solve_miter() {
-            SolveResult::Unknown => {
-                return AttackOutcome::failed(
-                    FailureReason::SolverBudget,
-                    iterations,
-                    oracle.queries_attempted(),
-                )
-                .with_telemetry(ctx.telemetry());
-            }
-            SolveResult::Unsat => break,
-            SolveResult::Sat => {
-                iterations += 1;
-                let x = ctx.model_dip();
-                let Some(y) = oracle.query(&x) else {
-                    return AttackOutcome::failed(
-                        FailureReason::OracleUnavailable,
-                        iterations,
-                        oracle.queries_attempted(),
-                    )
-                    .with_telemetry(ctx.telemetry());
-                };
-                ctx.learn(&x, &y);
-            }
-        }
-        if iterations.is_multiple_of(config.settle_every) {
-            if let Some(candidate) = ctx.extract_key() {
-                let mut mismatches = 0usize;
-                let mut answered = 0usize;
-                for _ in 0..config.settle_samples {
-                    let x: Vec<bool> = (0..data_pos.len()).map(|_| rng.bool()).collect();
-                    let Some(y) = oracle.query(&x) else {
-                        return AttackOutcome::failed(
-                            FailureReason::OracleUnavailable,
-                            iterations,
-                            oracle.queries_attempted(),
-                        )
-                        .with_telemetry(ctx.telemetry());
-                    };
-                    answered += 1;
-                    // Simulate the locked circuit under the candidate key.
-                    let mut input = vec![false; sim.inputs().len()];
-                    for (&p, &b) in data_pos.iter().zip(&x) {
-                        input[p] = b;
-                    }
-                    for (&p, &b) in key_pos.iter().zip(&candidate) {
-                        input[p] = b;
-                    }
-                    let got = sim.eval_bools(&input);
-                    if got != y {
-                        mismatches += 1;
-                        // Feed the failing sample back as a constraint (the
-                        // AppSAT refinement step).
-                        ctx.learn(&x, &y);
-                    }
-                }
-                let err = mismatches as f64 / answered.max(1) as f64;
-                if err <= config.error_threshold {
-                    return AttackOutcome {
-                        key: Some(candidate),
-                        failure: None,
-                        iterations,
-                        oracle_queries: oracle.queries_attempted(),
-                        telemetry: ctx.telemetry(),
-                    };
-                }
-            }
-        }
-    }
-    let key = ctx.extract_key();
-    let telemetry = ctx.telemetry();
-    match key {
-        Some(key) => AttackOutcome {
-            key: Some(key),
-            failure: None,
-            iterations,
-            oracle_queries: oracle.queries_attempted(),
-            telemetry,
-        },
-        None => AttackOutcome::failed(
-            FailureReason::Inconclusive,
-            iterations,
-            oracle.queries_attempted(),
-        )
-        .with_telemetry(telemetry),
-    }
+    crate::engine::run(
+        &AppSatEngine { config: *config },
+        locked,
+        oracle,
+        &mut AttackCtl::new(),
+    )
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@ use cdcl::{SolveResult, Solver};
 use locking::LockedCircuit;
 
 use crate::aigcnf::{xor_pos, ReducedEncoder};
+use crate::engine::{
+    AttackCtl, AttackEngine, AttackSession, Interrupt, Milestone, ProgressEvent, StepStatus,
+};
 use crate::sat::AttackContext;
 use crate::{AttackOutcome, FailureReason, Oracle};
 
@@ -69,129 +72,245 @@ fn build_miter(locked: &LockedCircuit) -> FourCopyMiter {
     FourCopyMiter { solver, enc }
 }
 
-/// Runs the Double-DIP attack.
+/// Double-DIP as an [`AttackEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DoubleDipEngine {
+    /// Attack parameters.
+    pub config: DoubleDipConfig,
+}
+
+impl AttackEngine for DoubleDipEngine {
+    fn name(&self) -> &'static str {
+        "double_dip"
+    }
+
+    fn start<'a>(
+        &self,
+        locked: &'a LockedCircuit,
+        oracle: &'a mut dyn Oracle,
+    ) -> Box<dyn AttackSession + 'a> {
+        // The plain two-copy context accumulates the same constraints in
+        // parallel; after the 2-discriminating phase it continues as the
+        // fallback attack and performs key extraction.
+        Box::new(DoubleDipSession {
+            ctx: AttackContext::new(locked),
+            miter: build_miter(locked),
+            oracle,
+            config: self.config,
+            in_fallback: false,
+            miter_iterations: 0,
+            fallback_iterations: 0,
+            pending_dip: None,
+            started: false,
+            outcome: None,
+        })
+    }
+}
+
+/// A Double-DIP attack in progress: 2-discriminating DIPs first, then the
+/// plain SAT fallback on the two-copy context that accumulated the same
+/// constraints all along.
+pub struct DoubleDipSession<'a> {
+    ctx: AttackContext,
+    miter: FourCopyMiter,
+    oracle: &'a mut dyn Oracle,
+    config: DoubleDipConfig,
+    in_fallback: bool,
+    miter_iterations: usize,
+    fallback_iterations: usize,
+    /// A DIP (of the current phase) whose oracle query was interrupted.
+    pending_dip: Option<Vec<bool>>,
+    started: bool,
+    outcome: Option<AttackOutcome>,
+}
+
+impl DoubleDipSession<'_> {
+    fn total_iterations(&self) -> usize {
+        self.miter_iterations + self.fallback_iterations
+    }
+
+    fn finish(&mut self, outcome: AttackOutcome) -> StepStatus {
+        self.outcome = Some(outcome);
+        StepStatus::Done
+    }
+
+    fn finish_failed(&mut self, reason: FailureReason) -> StepStatus {
+        let out = AttackOutcome::failed(
+            reason,
+            self.total_iterations(),
+            self.oracle.queries_attempted(),
+        )
+        .with_telemetry(self.ctx.telemetry());
+        self.finish(out)
+    }
+
+    fn emit_milestone(&self, ctl: &mut AttackCtl, stage: &'static str) {
+        ctl.emit(ProgressEvent::Milestone(Milestone {
+            stage,
+            iterations: self.total_iterations(),
+            dips_eliminated: self.ctx.dips.len(),
+            clauses_learned: self.ctx.solver.stats().learned_clauses,
+            oracle_queries: ctl.queries(),
+        }));
+    }
+
+    /// One step of the 2-discriminating phase.
+    fn step_miter(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        ctl.arm_solver(&mut self.miter.solver);
+        let x = match self.pending_dip.take() {
+            Some(x) => x,
+            None => {
+                if self.miter_iterations >= self.config.max_iterations {
+                    return self.finish_failed(FailureReason::IterationLimit);
+                }
+                match self.miter.solver.solve() {
+                    SolveResult::Unknown => {
+                        return match ctl.solver_interrupt(&self.miter.solver) {
+                            Some(why) => StepStatus::Interrupted(why),
+                            None => self.finish_failed(FailureReason::SolverBudget),
+                        };
+                    }
+                    SolveResult::Unsat => {
+                        // No 2-discriminating input remains: switch to the
+                        // plain SAT fallback.
+                        self.in_fallback = true;
+                        ctl.emit_stage("fallback");
+                        return StepStatus::Running;
+                    }
+                    SolveResult::Sat => self
+                        .miter
+                        .enc
+                        .data_vars()
+                        .iter()
+                        .map(|&v| self.miter.solver.value(v).unwrap_or(false))
+                        .collect(),
+                }
+            }
+        };
+        match ctl.query(self.oracle, &x) {
+            Err(why) => {
+                self.pending_dip = Some(x);
+                StepStatus::Interrupted(why)
+            }
+            Ok(None) => {
+                self.miter_iterations += 1;
+                self.finish_failed(FailureReason::OracleUnavailable)
+            }
+            Ok(Some(y)) => {
+                self.miter_iterations += 1;
+                // Constrain all four key copies plus the fallback context.
+                for copy in 0..4 {
+                    self.miter
+                        .enc
+                        .add_io_constraint(&mut self.miter.solver, copy, &x, &y);
+                }
+                self.ctx.learn(&x, &y);
+                self.emit_milestone(ctl, "2dip-search");
+                StepStatus::Running
+            }
+        }
+    }
+
+    /// One step of the plain-SAT fallback phase.
+    fn step_fallback(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        ctl.arm_solver(&mut self.ctx.solver);
+        let x = match self.pending_dip.take() {
+            Some(x) => x,
+            None => {
+                if self.fallback_iterations >= self.config.fallback_iterations {
+                    return self.finish_failed(FailureReason::IterationLimit);
+                }
+                match self.ctx.solve_miter() {
+                    SolveResult::Unknown => {
+                        return match ctl.solver_interrupt(&self.ctx.solver) {
+                            Some(why) => StepStatus::Interrupted(why),
+                            None => self.finish_failed(FailureReason::SolverBudget),
+                        };
+                    }
+                    SolveResult::Unsat => {
+                        ctl.emit_stage("extract");
+                        let key = self.ctx.extract_key();
+                        let telemetry = self.ctx.telemetry();
+                        return match key {
+                            Some(key) => self.finish(AttackOutcome {
+                                key: Some(key),
+                                failure: None,
+                                iterations: self.total_iterations(),
+                                oracle_queries: self.oracle.queries_attempted(),
+                                telemetry,
+                            }),
+                            None => self.finish_failed(FailureReason::Inconclusive),
+                        };
+                    }
+                    SolveResult::Sat => self.ctx.model_dip(),
+                }
+            }
+        };
+        match ctl.query(self.oracle, &x) {
+            Err(why) => {
+                self.pending_dip = Some(x);
+                StepStatus::Interrupted(why)
+            }
+            Ok(None) => {
+                self.fallback_iterations += 1;
+                self.finish_failed(FailureReason::OracleUnavailable)
+            }
+            Ok(Some(y)) => {
+                self.fallback_iterations += 1;
+                self.ctx.learn(&x, &y);
+                self.emit_milestone(ctl, "fallback");
+                StepStatus::Running
+            }
+        }
+    }
+}
+
+impl AttackSession for DoubleDipSession<'_> {
+    fn step(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
+        }
+        if let Err(why) = ctl.check() {
+            return StepStatus::Interrupted(why);
+        }
+        if !self.started {
+            self.started = true;
+            ctl.emit_stage("2dip-search");
+        }
+        if self.in_fallback {
+            self.step_fallback(ctl)
+        } else {
+            self.step_miter(ctl)
+        }
+    }
+
+    fn outcome(&self) -> Option<&AttackOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn interrupted_outcome(&self, why: Interrupt) -> AttackOutcome {
+        AttackOutcome::failed(
+            why.into(),
+            self.total_iterations(),
+            self.oracle.queries_attempted(),
+        )
+        .with_telemetry(self.ctx.telemetry())
+    }
+}
+
+/// Runs the Double-DIP attack to completion (thin wrapper over the engine
+/// with an inert control block).
 pub fn attack(
     locked: &LockedCircuit,
     oracle: &mut dyn Oracle,
     config: &DoubleDipConfig,
 ) -> AttackOutcome {
-    // The plain two-copy context accumulates the same constraints in
-    // parallel; after the 2-discriminating phase it continues as the
-    // fallback attack and performs key extraction.
-    let mut ctx = AttackContext::new(locked);
-    let mut miter = build_miter(locked);
-    let mut iterations = 0usize;
-
-    loop {
-        if iterations >= config.max_iterations {
-            return AttackOutcome::failed(
-                FailureReason::IterationLimit,
-                iterations,
-                oracle.queries_attempted(),
-            )
-            .with_telemetry(ctx.telemetry());
-        }
-        match miter.solver.solve() {
-            SolveResult::Unknown => {
-                return AttackOutcome::failed(
-                    FailureReason::SolverBudget,
-                    iterations,
-                    oracle.queries_attempted(),
-                )
-                .with_telemetry(ctx.telemetry());
-            }
-            SolveResult::Unsat => break,
-            SolveResult::Sat => {
-                iterations += 1;
-                let x: Vec<bool> = miter
-                    .enc
-                    .data_vars()
-                    .iter()
-                    .map(|&v| miter.solver.value(v).unwrap_or(false))
-                    .collect();
-                let Some(y) = oracle.query(&x) else {
-                    return AttackOutcome::failed(
-                        FailureReason::OracleUnavailable,
-                        iterations,
-                        oracle.queries_attempted(),
-                    )
-                    .with_telemetry(ctx.telemetry());
-                };
-                // Constrain all four key copies plus the fallback context.
-                for copy in 0..4 {
-                    miter.enc.add_io_constraint(&mut miter.solver, copy, &x, &y);
-                }
-                ctx.learn(&x, &y);
-            }
-        }
-    }
-
-    // No 2-discriminating input remains: finish with the plain SAT attack
-    // on the context that already holds every learnt constraint.
-    let fallback = run_plain_from(ctx, oracle, config.fallback_iterations);
-    AttackOutcome {
-        iterations: iterations + fallback.iterations,
-        ..fallback
-    }
-}
-
-fn run_plain_from(
-    mut ctx: AttackContext,
-    oracle: &mut dyn Oracle,
-    max_iterations: usize,
-) -> AttackOutcome {
-    let mut iterations = 0usize;
-    loop {
-        if iterations >= max_iterations {
-            return AttackOutcome::failed(
-                FailureReason::IterationLimit,
-                iterations,
-                oracle.queries_attempted(),
-            )
-            .with_telemetry(ctx.telemetry());
-        }
-        match ctx.solve_miter() {
-            SolveResult::Unknown => {
-                return AttackOutcome::failed(
-                    FailureReason::SolverBudget,
-                    iterations,
-                    oracle.queries_attempted(),
-                )
-                .with_telemetry(ctx.telemetry());
-            }
-            SolveResult::Unsat => break,
-            SolveResult::Sat => {
-                iterations += 1;
-                let x = ctx.model_dip();
-                let Some(y) = oracle.query(&x) else {
-                    return AttackOutcome::failed(
-                        FailureReason::OracleUnavailable,
-                        iterations,
-                        oracle.queries_attempted(),
-                    )
-                    .with_telemetry(ctx.telemetry());
-                };
-                ctx.learn(&x, &y);
-            }
-        }
-    }
-    let key = ctx.extract_key();
-    let telemetry = ctx.telemetry();
-    match key {
-        Some(key) => AttackOutcome {
-            key: Some(key),
-            failure: None,
-            iterations,
-            oracle_queries: oracle.queries_attempted(),
-            telemetry,
-        },
-        None => AttackOutcome::failed(
-            FailureReason::Inconclusive,
-            iterations,
-            oracle.queries_attempted(),
-        )
-        .with_telemetry(telemetry),
-    }
+    crate::engine::run(
+        &DoubleDipEngine { config: *config },
+        locked,
+        oracle,
+        &mut AttackCtl::new(),
+    )
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@ use locking::LockedCircuit;
 use netlist::rng::SplitMix64;
 use netlist::{CompiledCircuit, EngineCounters, EvalScratch};
 
+use crate::engine::{
+    AttackCtl, AttackEngine, AttackSession, Interrupt, Milestone, ProgressEvent, StepStatus,
+};
 use crate::{AttackOutcome, AttackTelemetry, FailureReason, Oracle};
 
 /// Hill-climbing configuration.
@@ -49,39 +52,432 @@ impl Default for HillClimbConfig {
     }
 }
 
+/// Hill climbing as an [`AttackEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HillClimbEngine {
+    /// Attack parameters.
+    pub config: HillClimbConfig,
+}
+
+impl AttackEngine for HillClimbEngine {
+    fn name(&self) -> &'static str {
+        "hill_climbing"
+    }
+
+    fn start<'a>(
+        &self,
+        locked: &'a LockedCircuit,
+        oracle: &'a mut dyn Oracle,
+    ) -> Box<dyn AttackSession + 'a> {
+        Box::new(HillClimbSession {
+            locked,
+            oracle: Some(oracle),
+            config: self.config,
+            phase: HcPhase::Sample {
+                rng: SplitMix64::new(self.config.seed),
+                patterns: Vec::with_capacity(self.config.sample_patterns),
+                responses: Vec::with_capacity(self.config.sample_patterns),
+                pending_x: None,
+            },
+            started: false,
+            outcome: None,
+        })
+    }
+}
+
+enum HcPhase {
+    /// Sampling oracle responses for the objective function.
+    Sample {
+        rng: SplitMix64,
+        patterns: Vec<Vec<bool>>,
+        responses: Vec<Vec<bool>>,
+        /// A drawn-but-unqueried pattern stashed by an interrupt.
+        pending_x: Option<Vec<bool>>,
+    },
+    /// Greedy key-bit search over the sampled (or provided) responses.
+    Search(Box<HcSearch>),
+}
+
+/// The deduplicated hill-climbing core: the packed batches, scratches and
+/// greedy restart/sweep state shared by the live-oracle engine path and the
+/// fixed-responses shim ([`attack_with_responses`]).
+struct HcSearch {
+    cc: CompiledCircuit,
+    inputs: Vec<netlist::NetId>,
+    outputs: Vec<netlist::NetId>,
+    key_pos: Vec<usize>,
+    nk: usize,
+    rng: SplitMix64,
+    batch_words: Vec<Vec<u64>>,
+    batch_want: Vec<Vec<u64>>,
+    batch_mask: Vec<u64>,
+    scratches: Vec<EvalScratch>,
+    max_sweeps: usize,
+    restarts: usize,
+    restarts_used: usize,
+    /// Oracle queries attempted before the search began (the sampling
+    /// phase's count, or the caller-provided count for fixed responses).
+    queries_attempted: usize,
+}
+
+impl HcSearch {
+    /// Builds the search state exactly as the historical
+    /// `attack_with_responses` body did (compile, position maps, 64-lane
+    /// batch packing), or `None` when the circuit cannot be compiled.
+    fn build(
+        locked: &LockedCircuit,
+        patterns: &[Vec<bool>],
+        responses: &[Vec<bool>],
+        config: &HillClimbConfig,
+        queries_attempted: usize,
+    ) -> Option<Self> {
+        assert_eq!(patterns.len(), responses.len(), "pattern/response mismatch");
+        let cc = CompiledCircuit::compile(&locked.circuit).ok()?;
+        let inputs = cc.inputs().to_vec();
+        let outputs = cc.outputs().to_vec();
+        let key_pos: Vec<usize> = locked
+            .key_inputs
+            .iter()
+            .map(|k| {
+                inputs
+                    .iter()
+                    .position(|n| n == k)
+                    .expect("key input present")
+            })
+            .collect();
+        let data_pos: Vec<usize> = (0..inputs.len())
+            .filter(|i| !key_pos.contains(i))
+            .collect();
+        let nk = key_pos.len();
+
+        // Pack the sampled patterns 64 per batch: one scratch and one
+        // input-word buffer per batch, the oracle responses as want-words,
+        // and a lane mask for the ragged tail.
+        let n_p = patterns.len();
+        let n_batches = n_p.div_ceil(64);
+        let mut batch_words: Vec<Vec<u64>> = vec![vec![0u64; inputs.len()]; n_batches];
+        let mut batch_want: Vec<Vec<u64>> = vec![vec![0u64; outputs.len()]; n_batches];
+        let mut batch_mask: Vec<u64> = vec![0u64; n_batches];
+        for (pi, (x, y)) in patterns.iter().zip(responses).enumerate() {
+            let (b, lane) = (pi / 64, pi % 64);
+            batch_mask[b] |= 1u64 << lane;
+            for (&p, &bit) in data_pos.iter().zip(x) {
+                if bit {
+                    batch_words[b][p] |= 1u64 << lane;
+                }
+            }
+            for (w, &bit) in batch_want[b].iter_mut().zip(y) {
+                if bit {
+                    *w |= 1u64 << lane;
+                }
+            }
+        }
+        let scratches: Vec<EvalScratch> =
+            (0..n_batches).map(|_| EvalScratch::new(&cc)).collect();
+        Some(HcSearch {
+            cc,
+            inputs,
+            outputs,
+            key_pos,
+            nk,
+            rng: SplitMix64::new(config.seed ^ 0x5eed),
+            batch_words,
+            batch_want,
+            batch_mask,
+            scratches,
+            max_sweeps: config.max_sweeps,
+            restarts: config.restarts,
+            restarts_used: 0,
+            queries_attempted,
+        })
+    }
+
+    /// Mismatching output bits of one batch against the oracle responses.
+    fn mismatch(&self, b: usize) -> u64 {
+        let s = &self.scratches[b];
+        self.outputs
+            .iter()
+            .zip(&self.batch_want[b])
+            .map(|(o, &want)| {
+                ((s.value(o.index() as u32) ^ want) & self.batch_mask[b]).count_ones() as u64
+            })
+            .sum()
+    }
+
+    fn drain_counters(&self) -> EngineCounters {
+        let mut total = EngineCounters::default();
+        for s in &self.scratches {
+            total.merge(s.counters());
+        }
+        total
+    }
+
+    /// Runs one random restart (full sweep plus greedy bit-flip sweeps).
+    /// Returns the recovered key when the restart explains every response.
+    ///
+    /// The whole search is sequential over word batches, so the greedy
+    /// trajectory (and every score) is bit-identical for any thread count —
+    /// and identical whether the session was interrupted between restarts
+    /// or not (the PRNG is only consumed here).
+    fn run_restart(&mut self) -> Option<Vec<bool>> {
+        self.restarts_used += 1;
+        let mut key: Vec<bool> = (0..self.nk).map(|_| self.rng.bool()).collect();
+        // Full sweep once per restart with the fresh key.
+        let mut best = 0u64;
+        for b in 0..self.scratches.len() {
+            for (&p, &bit) in self.key_pos.iter().zip(&key) {
+                self.batch_words[b][p] = if bit { !0u64 } else { 0 };
+            }
+            self.scratches[b].eval_full(&self.cc, &self.batch_words[b]);
+            best += self.mismatch(b);
+        }
+        if best == 0 {
+            return Some(key);
+        }
+        for _sweep in 0..self.max_sweeps {
+            let mut improved = false;
+            for (bit, kb) in key.iter_mut().enumerate() {
+                // Tentatively flip: propagate only the key input's cone.
+                let net = self.inputs[self.key_pos[bit]].index() as u32;
+                let word = if *kb { 0u64 } else { !0u64 };
+                let mut s_new = 0u64;
+                for b in 0..self.scratches.len() {
+                    self.scratches[b].propagate(&self.cc, net, word);
+                    s_new += self.mismatch(b);
+                }
+                if s_new < best {
+                    best = s_new;
+                    improved = true;
+                    *kb = !*kb;
+                    self.scratches.iter_mut().for_each(EvalScratch::commit);
+                } else {
+                    self.scratches.iter_mut().for_each(EvalScratch::revert);
+                }
+            }
+            if best == 0 {
+                return Some(key);
+            }
+            if !improved {
+                break;
+            }
+        }
+        None
+    }
+
+    fn success_outcome(&self, key: Vec<bool>) -> AttackOutcome {
+        AttackOutcome {
+            key: Some(key),
+            failure: None,
+            iterations: self.restarts_used,
+            oracle_queries: self.queries_attempted,
+            telemetry: AttackTelemetry {
+                engine: self.drain_counters(),
+                ..AttackTelemetry::default()
+            },
+        }
+    }
+
+    fn failed_outcome(&self) -> AttackOutcome {
+        let mut out = AttackOutcome::failed(
+            FailureReason::Inconclusive,
+            self.restarts_used,
+            self.queries_attempted,
+        );
+        out.telemetry.engine = self.drain_counters();
+        out
+    }
+}
+
+/// A hill-climbing attack in progress: the first steps sample oracle
+/// responses; each later step runs one random restart.
+pub struct HillClimbSession<'a> {
+    locked: &'a LockedCircuit,
+    /// `None` for the fixed-responses shim, which never samples.
+    oracle: Option<&'a mut dyn Oracle>,
+    config: HillClimbConfig,
+    phase: HcPhase,
+    started: bool,
+    outcome: Option<AttackOutcome>,
+}
+
+impl<'a> HillClimbSession<'a> {
+    /// A session pre-loaded with fixed stimulus/response pairs (e.g.
+    /// manufacturing-test data), skipping the sampling phase entirely.
+    pub fn with_responses(
+        locked: &'a LockedCircuit,
+        patterns: &[Vec<bool>],
+        responses: &[Vec<bool>],
+        config: &HillClimbConfig,
+        queries_attempted: usize,
+    ) -> Self {
+        let (phase, outcome) =
+            match HcSearch::build(locked, patterns, responses, config, queries_attempted) {
+                Some(search) => (HcPhase::Search(Box::new(search)), None),
+                None => (
+                    HcPhase::Sample {
+                        rng: SplitMix64::new(config.seed),
+                        patterns: Vec::new(),
+                        responses: Vec::new(),
+                        pending_x: None,
+                    },
+                    Some(AttackOutcome::failed(
+                        FailureReason::Inconclusive,
+                        0,
+                        queries_attempted,
+                    )),
+                ),
+            };
+        HillClimbSession {
+            locked,
+            oracle: None,
+            config: *config,
+            phase,
+            started: false,
+            outcome,
+        }
+    }
+
+    fn finish(&mut self, outcome: AttackOutcome) -> StepStatus {
+        self.outcome = Some(outcome);
+        StepStatus::Done
+    }
+
+    fn queries_attempted(&self) -> usize {
+        match (&self.oracle, &self.phase) {
+            (Some(oracle), _) => oracle.queries_attempted(),
+            (None, HcPhase::Search(search)) => search.queries_attempted,
+            (None, HcPhase::Sample { .. }) => 0,
+        }
+    }
+}
+
+impl AttackSession for HillClimbSession<'_> {
+    fn step(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
+        }
+        if let Err(why) = ctl.check() {
+            return StepStatus::Interrupted(why);
+        }
+        if !self.started {
+            self.started = true;
+            ctl.emit_stage(match self.phase {
+                HcPhase::Sample { .. } => "sample",
+                HcPhase::Search(_) => "search",
+            });
+        }
+        match &mut self.phase {
+            HcPhase::Sample {
+                rng,
+                patterns,
+                responses,
+                pending_x,
+            } => {
+                let oracle = self
+                    .oracle
+                    .as_deref_mut()
+                    .expect("sampling phase requires a live oracle");
+                let n_data = oracle.num_inputs();
+                while patterns.len() < self.config.sample_patterns {
+                    let x: Vec<bool> = match pending_x.take() {
+                        Some(x) => x,
+                        None => (0..n_data).map(|_| rng.bool()).collect(),
+                    };
+                    match ctl.query(oracle, &x) {
+                        Err(why) => {
+                            *pending_x = Some(x);
+                            return StepStatus::Interrupted(why);
+                        }
+                        Ok(None) => {
+                            let queries = oracle.queries_attempted();
+                            return self.finish(AttackOutcome::failed(
+                                FailureReason::OracleUnavailable,
+                                0,
+                                queries,
+                            ));
+                        }
+                        Ok(Some(y)) => {
+                            patterns.push(x);
+                            responses.push(y);
+                        }
+                    }
+                }
+                let queries = oracle.queries_attempted();
+                match HcSearch::build(self.locked, patterns, responses, &self.config, queries) {
+                    Some(search) => {
+                        self.phase = HcPhase::Search(Box::new(search));
+                        ctl.emit_stage("search");
+                        StepStatus::Running
+                    }
+                    None => self.finish(AttackOutcome::failed(
+                        FailureReason::Inconclusive,
+                        0,
+                        queries,
+                    )),
+                }
+            }
+            HcPhase::Search(search) => {
+                if search.restarts_used >= search.restarts {
+                    let out = search.failed_outcome();
+                    return self.finish(out);
+                }
+                let recovered = search.run_restart();
+                ctl.emit(ProgressEvent::Milestone(Milestone {
+                    stage: "search",
+                    iterations: search.restarts_used,
+                    dips_eliminated: 0,
+                    clauses_learned: 0,
+                    oracle_queries: ctl.queries(),
+                }));
+                match recovered {
+                    Some(key) => {
+                        let out = search.success_outcome(key);
+                        self.finish(out)
+                    }
+                    None if search.restarts_used >= search.restarts => {
+                        let out = search.failed_outcome();
+                        self.finish(out)
+                    }
+                    None => StepStatus::Running,
+                }
+            }
+        }
+    }
+
+    fn outcome(&self) -> Option<&AttackOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn interrupted_outcome(&self, why: Interrupt) -> AttackOutcome {
+        let (iterations, engine) = match &self.phase {
+            HcPhase::Sample { .. } => (0, EngineCounters::default()),
+            HcPhase::Search(search) => (search.restarts_used, search.drain_counters()),
+        };
+        let mut out = AttackOutcome::failed(why.into(), iterations, self.queries_attempted());
+        out.telemetry.engine = engine;
+        out
+    }
+}
+
 /// Runs hill climbing against a live oracle: samples `sample_patterns`
-/// responses, then searches the key space.
+/// responses, then searches the key space. (Thin wrapper over the engine
+/// with an inert control block.)
 pub fn attack(
     locked: &LockedCircuit,
     oracle: &mut dyn Oracle,
     config: &HillClimbConfig,
 ) -> AttackOutcome {
-    let mut rng = SplitMix64::new(config.seed);
-    let n_data = oracle.num_inputs();
-    let mut patterns = Vec::with_capacity(config.sample_patterns);
-    let mut responses = Vec::with_capacity(config.sample_patterns);
-    for _ in 0..config.sample_patterns {
-        let x: Vec<bool> = (0..n_data).map(|_| rng.bool()).collect();
-        match oracle.query(&x) {
-            None => {
-                return AttackOutcome::failed(
-                    FailureReason::OracleUnavailable,
-                    0,
-                    oracle.queries_attempted(),
-                );
-            }
-            Some(y) => {
-                patterns.push(x);
-                responses.push(y);
-            }
-        }
-    }
-    attack_with_responses(locked, &patterns, &responses, config, oracle.queries_attempted())
+    crate::engine::run(
+        &HillClimbEngine { config: *config },
+        locked,
+        oracle,
+        &mut AttackCtl::new(),
+    )
 }
 
 /// Runs hill climbing against a fixed set of stimulus/response pairs (e.g.
 /// manufacturing-test data). Returns the recovered key only if it explains
-/// every response exactly.
+/// every response exactly. (Thin shim over the engine-backed search core.)
 pub fn attack_with_responses(
     locked: &LockedCircuit,
     patterns: &[Vec<bool>],
@@ -89,132 +485,9 @@ pub fn attack_with_responses(
     config: &HillClimbConfig,
     queries_attempted: usize,
 ) -> AttackOutcome {
-    assert_eq!(patterns.len(), responses.len(), "pattern/response mismatch");
-    let Ok(cc) = CompiledCircuit::compile(&locked.circuit) else {
-        return AttackOutcome::failed(FailureReason::Inconclusive, 0, queries_attempted);
-    };
-    let inputs = cc.inputs().to_vec();
-    let outputs = cc.outputs().to_vec();
-    let key_pos: Vec<usize> = locked
-        .key_inputs
-        .iter()
-        .map(|k| {
-            inputs
-                .iter()
-                .position(|n| n == k)
-                .expect("key input present")
-        })
-        .collect();
-    let data_pos: Vec<usize> = (0..inputs.len())
-        .filter(|i| !key_pos.contains(i))
-        .collect();
-    let nk = key_pos.len();
-    let mut rng = SplitMix64::new(config.seed ^ 0x5eed);
-
-    // Pack the sampled patterns 64 per batch: one scratch and one
-    // input-word buffer per batch, the oracle responses as want-words, and
-    // a lane mask for the ragged tail.
-    let n_p = patterns.len();
-    let n_batches = n_p.div_ceil(64);
-    let mut batch_words: Vec<Vec<u64>> = vec![vec![0u64; inputs.len()]; n_batches];
-    let mut batch_want: Vec<Vec<u64>> = vec![vec![0u64; outputs.len()]; n_batches];
-    let mut batch_mask: Vec<u64> = vec![0u64; n_batches];
-    for (pi, (x, y)) in patterns.iter().zip(responses).enumerate() {
-        let (b, lane) = (pi / 64, pi % 64);
-        batch_mask[b] |= 1u64 << lane;
-        for (&p, &bit) in data_pos.iter().zip(x) {
-            if bit {
-                batch_words[b][p] |= 1u64 << lane;
-            }
-        }
-        for (w, &bit) in batch_want[b].iter_mut().zip(y) {
-            if bit {
-                *w |= 1u64 << lane;
-            }
-        }
-    }
-    let mut scratches: Vec<EvalScratch> = (0..n_batches).map(|_| EvalScratch::new(&cc)).collect();
-
-    // Mismatching output bits of one batch against the oracle responses.
-    let mismatch = |s: &EvalScratch, b: usize| -> u64 {
-        outputs
-            .iter()
-            .zip(&batch_want[b])
-            .map(|(o, &want)| ((s.value(o.index() as u32) ^ want) & batch_mask[b]).count_ones() as u64)
-            .sum()
-    };
-    let drain_counters = |scratches: &[EvalScratch]| -> EngineCounters {
-        let mut total = EngineCounters::default();
-        for s in scratches {
-            total.merge(s.counters());
-        }
-        total
-    };
-    let done = |key: Vec<bool>, iters: usize, engine: EngineCounters| AttackOutcome {
-        key: Some(key),
-        failure: None,
-        iterations: iters,
-        oracle_queries: queries_attempted,
-        telemetry: AttackTelemetry {
-            engine,
-            ..AttackTelemetry::default()
-        },
-    };
-
-    // The whole search is sequential over word batches, so the greedy
-    // trajectory (and every score) is bit-identical for any thread count.
-    let mut restarts_used = 0usize;
-    for restart in 0..config.restarts {
-        restarts_used = restart + 1;
-        let key: Vec<bool> = (0..nk).map(|_| rng.bool()).collect();
-        // Full sweep once per restart with the fresh key.
-        let mut best = 0u64;
-        for (b, s) in scratches.iter_mut().enumerate() {
-            for (&p, &bit) in key_pos.iter().zip(&key) {
-                batch_words[b][p] = if bit { !0u64 } else { 0 };
-            }
-            s.eval_full(&cc, &batch_words[b]);
-            best += mismatch(s, b);
-        }
-        let mut key = key;
-        if best == 0 {
-            return done(key, restarts_used, drain_counters(&scratches));
-        }
-        for _sweep in 0..config.max_sweeps {
-            let mut improved = false;
-            for bit in 0..nk {
-                // Tentatively flip: propagate only the key input's cone.
-                let net = inputs[key_pos[bit]].index() as u32;
-                let word = if key[bit] { 0u64 } else { !0u64 };
-                let mut s_new = 0u64;
-                for (b, s) in scratches.iter_mut().enumerate() {
-                    s.propagate(&cc, net, word);
-                    s_new += mismatch(s, b);
-                }
-                if s_new < best {
-                    best = s_new;
-                    improved = true;
-                    key[bit] = !key[bit];
-                    scratches.iter_mut().for_each(EvalScratch::commit);
-                } else {
-                    scratches.iter_mut().for_each(EvalScratch::revert);
-                }
-            }
-            if best == 0 {
-                return done(key, restarts_used, drain_counters(&scratches));
-            }
-            if !improved {
-                break;
-            }
-        }
-    }
-    let mut out = AttackOutcome::failed(
-        FailureReason::Inconclusive,
-        restarts_used,
-        queries_attempted,
-    );
-    out.telemetry.engine = drain_counters(&scratches);
-    out
+    let mut session =
+        HillClimbSession::with_responses(locked, patterns, responses, config, queries_attempted);
+    crate::engine::drive(&mut session, &mut AttackCtl::new())
 }
 
 #[cfg(test)]

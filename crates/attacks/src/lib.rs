@@ -46,6 +46,7 @@ pub mod aigcnf;
 pub mod appsat;
 pub mod cnf;
 pub mod double_dip;
+pub mod engine;
 pub mod hill_climbing;
 pub mod sat;
 pub mod sensitization;
@@ -72,6 +73,13 @@ pub enum FailureReason {
     /// oracle responses, which indicate the oracle was answering with a
     /// locked circuit's outputs).
     Inconclusive,
+    /// The session's cancel flag fired ([`engine::AttackCtl`]).
+    Cancelled,
+    /// The session's wall-clock deadline passed ([`engine::AttackCtl`]).
+    TimedOut,
+    /// The session's oracle-query budget ran out before the attack could
+    /// finish — the paper's protect-the-oracle metric as a hard limit.
+    QueryBudgetExhausted,
 }
 
 impl std::fmt::Display for FailureReason {
@@ -81,6 +89,9 @@ impl std::fmt::Display for FailureReason {
             FailureReason::IterationLimit => "iteration limit reached",
             FailureReason::SolverBudget => "solver budget exhausted",
             FailureReason::Inconclusive => "inconclusive",
+            FailureReason::Cancelled => "cancelled",
+            FailureReason::TimedOut => "timed out",
+            FailureReason::QueryBudgetExhausted => "oracle query budget exhausted",
         };
         f.write_str(s)
     }

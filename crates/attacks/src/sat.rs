@@ -24,6 +24,9 @@ use cdcl::{Lit, SolveResult, Solver};
 use locking::LockedCircuit;
 
 use crate::aigcnf::ReducedEncoder;
+use crate::engine::{
+    AttackCtl, AttackEngine, AttackSession, Interrupt, Milestone, ProgressEvent, StepStatus,
+};
 use crate::{AttackOutcome, AttackTelemetry, DipTelemetry, FailureReason, Oracle};
 
 /// SAT attack configuration.
@@ -143,68 +146,170 @@ impl AttackContext {
     }
 }
 
-/// Runs the SAT attack.
+/// The SAT attack as an [`AttackEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatEngine {
+    /// Attack parameters.
+    pub config: SatAttackConfig,
+}
+
+impl AttackEngine for SatEngine {
+    fn name(&self) -> &'static str {
+        "sat"
+    }
+
+    fn start<'a>(
+        &self,
+        locked: &'a LockedCircuit,
+        oracle: &'a mut dyn Oracle,
+    ) -> Box<dyn AttackSession + 'a> {
+        let mut ctx = AttackContext::new(locked);
+        ctx.solver.set_conflict_budget(self.config.conflict_budget);
+        Box::new(SatSession {
+            ctx,
+            oracle,
+            max_iterations: self.config.max_iterations,
+            iterations: 0,
+            pending_dip: None,
+            started: false,
+            outcome: None,
+        })
+    }
+}
+
+/// A SAT attack in progress: one [`step`](AttackSession::step) learns one
+/// distinguishing input (or finishes via extraction when the miter is
+/// UNSAT).
+pub struct SatSession<'a> {
+    ctx: AttackContext,
+    oracle: &'a mut dyn Oracle,
+    max_iterations: usize,
+    iterations: usize,
+    /// A DIP whose oracle query was interrupted; resumed before any new
+    /// miter solve so the interrupted trajectory stays bit-identical.
+    pending_dip: Option<Vec<bool>>,
+    started: bool,
+    outcome: Option<AttackOutcome>,
+}
+
+impl SatSession<'_> {
+    fn finish(&mut self, outcome: AttackOutcome) -> StepStatus {
+        self.outcome = Some(outcome);
+        StepStatus::Done
+    }
+
+    fn finish_failed(&mut self, reason: FailureReason) -> StepStatus {
+        let out = AttackOutcome::failed(
+            reason,
+            self.iterations,
+            self.oracle.queries_attempted(),
+        )
+        .with_telemetry(self.ctx.telemetry());
+        self.finish(out)
+    }
+
+    /// Miter UNSAT: every remaining key is correct — extract one.
+    fn extract_and_finish(&mut self) -> StepStatus {
+        let key = self.ctx.extract_key();
+        let telemetry = self.ctx.telemetry();
+        match key {
+            Some(key) => self.finish(AttackOutcome {
+                key: Some(key),
+                failure: None,
+                iterations: self.iterations,
+                oracle_queries: self.oracle.queries_attempted(),
+                telemetry,
+            }),
+            None => self.finish_failed(FailureReason::Inconclusive),
+        }
+    }
+}
+
+impl AttackSession for SatSession<'_> {
+    fn step(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
+        }
+        if let Err(why) = ctl.check() {
+            return StepStatus::Interrupted(why);
+        }
+        if !self.started {
+            self.started = true;
+            ctl.emit_stage("dip-search");
+        }
+        ctl.arm_solver(&mut self.ctx.solver);
+        let x = match self.pending_dip.take() {
+            Some(x) => x,
+            None => {
+                if self.iterations >= self.max_iterations {
+                    return self.finish_failed(FailureReason::IterationLimit);
+                }
+                match self.ctx.solve_miter() {
+                    SolveResult::Unknown => {
+                        return match ctl.solver_interrupt(&self.ctx.solver) {
+                            Some(why) => StepStatus::Interrupted(why),
+                            None => self.finish_failed(FailureReason::SolverBudget),
+                        };
+                    }
+                    SolveResult::Unsat => {
+                        ctl.emit_stage("extract");
+                        return self.extract_and_finish();
+                    }
+                    SolveResult::Sat => self.ctx.model_dip(),
+                }
+            }
+        };
+        match ctl.query(self.oracle, &x) {
+            Err(why) => {
+                self.pending_dip = Some(x);
+                StepStatus::Interrupted(why)
+            }
+            Ok(None) => {
+                self.iterations += 1;
+                self.finish_failed(FailureReason::OracleUnavailable)
+            }
+            Ok(Some(y)) => {
+                self.iterations += 1;
+                self.ctx.learn(&x, &y);
+                ctl.emit(ProgressEvent::Milestone(Milestone {
+                    stage: "dip-search",
+                    iterations: self.iterations,
+                    dips_eliminated: self.ctx.dips.len(),
+                    clauses_learned: self.ctx.solver.stats().learned_clauses,
+                    oracle_queries: ctl.queries(),
+                }));
+                StepStatus::Running
+            }
+        }
+    }
+
+    fn outcome(&self) -> Option<&AttackOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn interrupted_outcome(&self, why: Interrupt) -> AttackOutcome {
+        AttackOutcome::failed(
+            why.into(),
+            self.iterations,
+            self.oracle.queries_attempted(),
+        )
+        .with_telemetry(self.ctx.telemetry())
+    }
+}
+
+/// Runs the SAT attack to completion (thin wrapper over the engine with an
+/// inert control block).
 pub fn attack(
     locked: &LockedCircuit,
     oracle: &mut dyn Oracle,
     config: &SatAttackConfig,
 ) -> AttackOutcome {
-    let mut ctx = AttackContext::new(locked);
-    ctx.solver.set_conflict_budget(config.conflict_budget);
-    let mut iterations = 0usize;
-    loop {
-        if iterations >= config.max_iterations {
-            return AttackOutcome::failed(
-                FailureReason::IterationLimit,
-                iterations,
-                oracle.queries_attempted(),
-            )
-            .with_telemetry(ctx.telemetry());
-        }
-        match ctx.solve_miter() {
-            SolveResult::Unknown => {
-                return AttackOutcome::failed(
-                    FailureReason::SolverBudget,
-                    iterations,
-                    oracle.queries_attempted(),
-                )
-                .with_telemetry(ctx.telemetry());
-            }
-            SolveResult::Unsat => break,
-            SolveResult::Sat => {
-                iterations += 1;
-                let x = ctx.model_dip();
-                match oracle.query(&x) {
-                    None => {
-                        return AttackOutcome::failed(
-                            FailureReason::OracleUnavailable,
-                            iterations,
-                            oracle.queries_attempted(),
-                        )
-                        .with_telemetry(ctx.telemetry());
-                    }
-                    Some(y) => ctx.learn(&x, &y),
-                }
-            }
-        }
-    }
-    let key = ctx.extract_key();
-    let telemetry = ctx.telemetry();
-    match key {
-        Some(key) => AttackOutcome {
-            key: Some(key),
-            failure: None,
-            iterations,
-            oracle_queries: oracle.queries_attempted(),
-            telemetry,
-        },
-        None => AttackOutcome::failed(
-            FailureReason::Inconclusive,
-            iterations,
-            oracle.queries_attempted(),
-        )
-        .with_telemetry(telemetry),
-    }
+    crate::engine::run(
+        &SatEngine { config: *config },
+        locked,
+        oracle,
+        &mut AttackCtl::new(),
+    )
 }
 
 #[cfg(test)]

@@ -10,11 +10,14 @@
 
 use std::collections::HashMap;
 
-use cdcl::{Lit, SolveResult, Solver};
+use cdcl::{Lit, SolveResult, Solver, Var};
 use locking::LockedCircuit;
 use netlist::NetId;
 
 use crate::cnf::{add_io_constraint, bind_fresh, encode, encode_xor};
+use crate::engine::{
+    AttackCtl, AttackEngine, AttackSession, Interrupt, Milestone, ProgressEvent, StepStatus,
+};
 use crate::{AttackOutcome, AttackTelemetry, FailureReason, Oracle};
 
 /// Sensitization configuration.
@@ -50,39 +53,110 @@ pub struct SensitizationReport {
     pub outcome: AttackOutcome,
 }
 
-/// Runs the key-sensitization attack.
-pub fn attack(
-    locked: &LockedCircuit,
-    oracle: &mut dyn Oracle,
-    config: &SensitizationConfig,
-) -> SensitizationReport {
-    let c = &locked.circuit;
-    // One compiled artifact feeds every miter copy and consistency
-    // constraint: the circuit is levelized once for the whole attack.
-    let cc = netlist::CompiledCircuit::compile(c).expect("attack targets are acyclic");
-    let data_inputs: Vec<NetId> = c
-        .comb_inputs()
-        .into_iter()
-        .filter(|n| !locked.key_inputs.contains(n))
-        .collect();
-    let outputs = c.comb_outputs();
-    let nk = locked.key_inputs.len();
+/// Key sensitization as an [`AttackEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SensitizationEngine {
+    /// Attack parameters.
+    pub config: SensitizationConfig,
+}
 
-    // Consistency solver: accumulates every oracle observation over one set
-    // of key variables.
-    let mut consistency = Solver::new();
-    let (kc, kc_vars) = bind_fresh(&mut consistency, &locked.key_inputs);
+impl AttackEngine for SensitizationEngine {
+    fn name(&self) -> &'static str {
+        "sensitization"
+    }
 
-    let mut verdicts = vec![BitVerdict::Ambiguous; nk];
-    let mut probes = 0usize;
+    fn start<'a>(
+        &self,
+        locked: &'a LockedCircuit,
+        oracle: &'a mut dyn Oracle,
+    ) -> Box<dyn AttackSession + 'a> {
+        Box::new(SensitizationSession::new(locked, oracle, &self.config))
+    }
+}
 
-    for (bi, &key_net) in locked.key_inputs.iter().enumerate() {
-        // Sensitization miter: two copies share X and all key bits except
-        // bit bi, which is 0 in copy 1 and 1 in copy 2; outputs must differ.
+/// One key bit's in-flight probe state: its sensitization miter plus how
+/// many probes were answered so far.
+struct BitProbe {
+    miter: Solver,
+    data_vars: Vec<Var>,
+    probe: usize,
+    found_any: bool,
+    /// A sensitizing input found but not yet answered (interrupt stash).
+    pending_x: Option<Vec<bool>>,
+}
+
+/// A sensitization attack in progress; each step probes one key bit, the
+/// final step runs consistency inference.
+pub struct SensitizationSession<'a> {
+    locked: &'a LockedCircuit,
+    oracle: &'a mut dyn Oracle,
+    config: SensitizationConfig,
+    cc: netlist::CompiledCircuit,
+    data_inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    nk: usize,
+    /// Consistency solver: accumulates every oracle observation over one set
+    /// of key variables.
+    consistency: Solver,
+    kc: HashMap<NetId, Lit>,
+    kc_vars: Vec<Var>,
+    verdicts: Vec<BitVerdict>,
+    probes: usize,
+    bit: usize,
+    current: Option<BitProbe>,
+    started: bool,
+    outcome: Option<AttackOutcome>,
+}
+
+impl<'a> SensitizationSession<'a> {
+    fn new(
+        locked: &'a LockedCircuit,
+        oracle: &'a mut dyn Oracle,
+        config: &SensitizationConfig,
+    ) -> Self {
+        let c = &locked.circuit;
+        // One compiled artifact feeds every miter copy and consistency
+        // constraint: the circuit is levelized once for the whole attack.
+        let cc = netlist::CompiledCircuit::compile(c).expect("attack targets are acyclic");
+        let data_inputs: Vec<NetId> = c
+            .comb_inputs()
+            .into_iter()
+            .filter(|n| !locked.key_inputs.contains(n))
+            .collect();
+        let outputs = c.comb_outputs();
+        let nk = locked.key_inputs.len();
+        let mut consistency = Solver::new();
+        let (kc, kc_vars) = bind_fresh(&mut consistency, &locked.key_inputs);
+        SensitizationSession {
+            locked,
+            oracle,
+            config: *config,
+            cc,
+            data_inputs,
+            outputs,
+            nk,
+            consistency,
+            kc,
+            kc_vars,
+            verdicts: vec![BitVerdict::Ambiguous; nk],
+            probes: 0,
+            bit: 0,
+            current: None,
+            started: false,
+            outcome: None,
+        }
+    }
+
+    /// Builds the sensitization miter for key bit `self.bit`: two copies
+    /// share X and all key bits except that bit, which is 0 in copy 1 and 1
+    /// in copy 2; outputs must differ.
+    fn build_probe(&self) -> BitProbe {
+        let key_net = self.locked.key_inputs[self.bit];
         let mut miter = Solver::new();
-        let (data_bind, data_vars) = bind_fresh(&mut miter, &data_inputs);
+        let (data_bind, data_vars) = bind_fresh(&mut miter, &self.data_inputs);
         let shared_keys: HashMap<NetId, Lit> = {
-            let others: Vec<NetId> = locked
+            let others: Vec<NetId> = self
+                .locked
                 .key_inputs
                 .iter()
                 .copied()
@@ -99,104 +173,224 @@ pub fn attack(
         let mut bound1 = data_bind.clone();
         bound1.extend(shared_keys.iter().map(|(n, l)| (*n, *l)));
         bound1.insert(key_net, bit0.positive());
-        let lits1 = encode(&mut miter, &cc, &bound1);
+        let lits1 = encode(&mut miter, &self.cc, &bound1);
         let mut bound2 = data_bind.clone();
         bound2.extend(shared_keys.iter().map(|(n, l)| (*n, *l)));
         bound2.insert(key_net, bit1.positive());
-        let lits2 = encode(&mut miter, &cc, &bound2);
-        let diffs: Vec<Lit> = outputs
+        let lits2 = encode(&mut miter, &self.cc, &bound2);
+        let diffs: Vec<Lit> = self
+            .outputs
             .iter()
             .map(|o| encode_xor(&mut miter, lits1[o.index()], lits2[o.index()]))
             .collect();
         miter.add_clause(&diffs);
+        BitProbe {
+            miter,
+            data_vars,
+            probe: 0,
+            found_any: false,
+            pending_x: None,
+        }
+    }
 
-        let mut found_any = false;
-        for _ in 0..config.probes_per_bit {
-            match miter.solve() {
-                SolveResult::Sat => {
-                    found_any = true;
-                    let x: Vec<bool> = data_vars
-                        .iter()
-                        .map(|&v| miter.value(v).unwrap_or(false))
-                        .collect();
-                    probes += 1;
-                    let Some(y) = oracle.query(&x) else {
-                        return SensitizationReport {
-                            verdicts,
-                            outcome: AttackOutcome::failed(
-                                FailureReason::OracleUnavailable,
-                                probes,
-                                oracle.queries_attempted(),
-                            ),
-                        };
-                    };
+    /// Probes the current bit to completion (or interrupt). Returns
+    /// `Running` when the bit is done and the session should move on.
+    fn step_probe(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        if self.current.is_none() {
+            self.current = Some(self.build_probe());
+        }
+        let mut probe = self.current.take().expect("probe just ensured");
+        ctl.arm_solver(&mut probe.miter);
+        while probe.probe < self.config.probes_per_bit {
+            let x: Vec<bool> = match probe.pending_x.take() {
+                Some(x) => x,
+                None => match probe.miter.solve() {
+                    SolveResult::Sat => {
+                        probe.found_any = true;
+                        self.probes += 1;
+                        probe
+                            .data_vars
+                            .iter()
+                            .map(|&v| probe.miter.value(v).unwrap_or(false))
+                            .collect()
+                    }
+                    SolveResult::Unknown => {
+                        if let Some(why) = ctl.solver_interrupt(&probe.miter) {
+                            self.current = Some(probe);
+                            return StepStatus::Interrupted(why);
+                        }
+                        break;
+                    }
+                    SolveResult::Unsat => break,
+                },
+            };
+            match ctl.query(self.oracle, &x) {
+                Err(why) => {
+                    probe.pending_x = Some(x);
+                    self.current = Some(probe);
+                    return StepStatus::Interrupted(why);
+                }
+                Ok(None) => {
+                    let queries = self.oracle.queries_attempted();
+                    self.current = Some(probe);
+                    self.outcome = Some(AttackOutcome::failed(
+                        FailureReason::OracleUnavailable,
+                        self.probes,
+                        queries,
+                    ));
+                    return StepStatus::Done;
+                }
+                Ok(Some(y)) => {
                     add_io_constraint(
-                        &mut consistency,
-                        &cc,
-                        &data_inputs,
-                        &kc,
+                        &mut self.consistency,
+                        &self.cc,
+                        &self.data_inputs,
+                        &self.kc,
                         &x,
                         &y,
-                        &outputs,
+                        &self.outputs,
                     );
                     // Block this X so the next probe differs.
-                    let block: Vec<Lit> = data_vars
+                    let block: Vec<Lit> = probe
+                        .data_vars
                         .iter()
                         .zip(&x)
                         .map(|(&v, &b)| v.lit(!b))
                         .collect();
-                    miter.add_clause(&block);
+                    probe.miter.add_clause(&block);
+                    probe.probe += 1;
                 }
-                _ => break,
             }
         }
-        if !found_any {
-            verdicts[bi] = BitVerdict::Unsensitizable;
+        if !probe.found_any {
+            self.verdicts[self.bit] = BitVerdict::Unsensitizable;
         }
+        self.bit += 1;
+        self.current = None;
+        ctl.emit(ProgressEvent::Milestone(Milestone {
+            stage: "probe",
+            iterations: self.probes,
+            dips_eliminated: 0,
+            clauses_learned: 0,
+            oracle_queries: ctl.queries(),
+        }));
+        StepStatus::Running
     }
 
-    // Per-bit inference from the accumulated observations.
-    let mut inferred_key = vec![false; nk];
-    let mut all_inferred = true;
-    for bi in 0..nk {
-        if verdicts[bi] == BitVerdict::Unsensitizable {
-            all_inferred = false;
-            continue;
-        }
-        let can_be_0 = consistency.solve_with(&[kc_vars[bi].negative()]) == SolveResult::Sat;
-        let can_be_1 = consistency.solve_with(&[kc_vars[bi].positive()]) == SolveResult::Sat;
-        verdicts[bi] = match (can_be_0, can_be_1) {
-            (true, false) => {
-                inferred_key[bi] = false;
-                BitVerdict::Inferred(false)
-            }
-            (false, true) => {
-                inferred_key[bi] = true;
-                BitVerdict::Inferred(true)
-            }
-            _ => {
+    /// Per-bit inference from the accumulated observations. Idempotent: an
+    /// interrupted inference pass re-derives the same verdicts on resume.
+    fn step_infer(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        ctl.emit_stage("infer");
+        ctl.arm_solver(&mut self.consistency);
+        let mut inferred_key = vec![false; self.nk];
+        let mut all_inferred = true;
+        for (bi, inferred) in inferred_key.iter_mut().enumerate() {
+            if self.verdicts[bi] == BitVerdict::Unsensitizable {
                 all_inferred = false;
-                BitVerdict::Ambiguous
+                continue;
             }
-        };
+            let assume = |s: &mut Solver, lit: Lit| match s.solve_with(&[lit]) {
+                SolveResult::Sat => Ok(true),
+                SolveResult::Unsat => Ok(false),
+                SolveResult::Unknown => Err(()),
+            };
+            let can_be_0 = match assume(&mut self.consistency, self.kc_vars[bi].negative()) {
+                Ok(v) => v,
+                Err(()) => {
+                    let why = ctl
+                        .solver_interrupt(&self.consistency)
+                        .unwrap_or(Interrupt::Cancelled);
+                    return StepStatus::Interrupted(why);
+                }
+            };
+            let can_be_1 = match assume(&mut self.consistency, self.kc_vars[bi].positive()) {
+                Ok(v) => v,
+                Err(()) => {
+                    let why = ctl
+                        .solver_interrupt(&self.consistency)
+                        .unwrap_or(Interrupt::Cancelled);
+                    return StepStatus::Interrupted(why);
+                }
+            };
+            self.verdicts[bi] = match (can_be_0, can_be_1) {
+                (true, false) => {
+                    *inferred = false;
+                    BitVerdict::Inferred(false)
+                }
+                (false, true) => {
+                    *inferred = true;
+                    BitVerdict::Inferred(true)
+                }
+                _ => {
+                    all_inferred = false;
+                    BitVerdict::Ambiguous
+                }
+            };
+        }
+        let queries = self.oracle.queries_attempted();
+        self.outcome = Some(if all_inferred {
+            AttackOutcome {
+                key: Some(inferred_key),
+                failure: None,
+                iterations: self.probes,
+                oracle_queries: queries,
+                telemetry: AttackTelemetry::default(),
+            }
+        } else {
+            AttackOutcome::failed(FailureReason::Inconclusive, self.probes, queries)
+        });
+        StepStatus::Done
     }
 
-    let outcome = if all_inferred {
-        AttackOutcome {
-            key: Some(inferred_key),
-            failure: None,
-            iterations: probes,
-            oracle_queries: oracle.queries_attempted(),
-            telemetry: AttackTelemetry::default(),
+    /// The per-bit verdicts accumulated so far (complete once the session
+    /// reports [`StepStatus::Done`]).
+    pub fn verdicts(&self) -> &[BitVerdict] {
+        &self.verdicts
+    }
+}
+
+impl AttackSession for SensitizationSession<'_> {
+    fn step(&mut self, ctl: &mut AttackCtl) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
         }
-    } else {
-        AttackOutcome::failed(
-            FailureReason::Inconclusive,
-            probes,
-            oracle.queries_attempted(),
-        )
-    };
-    SensitizationReport { verdicts, outcome }
+        if let Err(why) = ctl.check() {
+            return StepStatus::Interrupted(why);
+        }
+        if !self.started {
+            self.started = true;
+            ctl.emit_stage("probe");
+        }
+        if self.bit < self.nk {
+            self.step_probe(ctl)
+        } else {
+            self.step_infer(ctl)
+        }
+    }
+
+    fn outcome(&self) -> Option<&AttackOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn interrupted_outcome(&self, why: Interrupt) -> AttackOutcome {
+        AttackOutcome::failed(why.into(), self.probes, self.oracle.queries_attempted())
+    }
+}
+
+/// Runs the key-sensitization attack, returning the per-bit verdict detail
+/// alongside the standard outcome. (Drives a [`SensitizationSession`] with
+/// an inert control block.)
+pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &mut dyn Oracle,
+    config: &SensitizationConfig,
+) -> SensitizationReport {
+    let mut session = SensitizationSession::new(locked, oracle, config);
+    let outcome = crate::engine::drive(&mut session, &mut AttackCtl::new());
+    SensitizationReport {
+        verdicts: session.verdicts.clone(),
+        outcome,
+    }
 }
 
 #[cfg(test)]

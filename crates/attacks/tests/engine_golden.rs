@@ -1,0 +1,266 @@
+//! The engine refactor must not move a single bit: these goldens pin the
+//! exact iteration counts, oracle-query counts, and recovered keys the
+//! pre-engine free-function attacks produced, now reproduced through
+//! [`attacks::engine::run`]. They also pin the interrupt semantics: budgets
+//! stop attacks at the oracle boundary, cancels and deadlines stop them
+//! mid-solve, and an interrupted-then-resumed session lands on the same key
+//! by the same trajectory as an uninterrupted run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use attacks::appsat::{AppSatConfig, AppSatEngine};
+use attacks::double_dip::{DoubleDipConfig, DoubleDipEngine};
+use attacks::engine::{
+    self, AttackCtl, AttackEngine, Interrupt, ProgressEvent, StepStatus, ENGINE_NAMES,
+};
+use attacks::hill_climbing::{HillClimbConfig, HillClimbEngine};
+use attacks::sat::{SatAttackConfig, SatEngine};
+use attacks::sensitization::{SensitizationConfig, SensitizationEngine};
+use attacks::{CombOracle, FailureReason, Oracle};
+use locking::random::RllConfig;
+use locking::LockedCircuit;
+use netlist::samples;
+
+fn rll(circuit: &netlist::Circuit, key_bits: usize, seed: u64) -> LockedCircuit {
+    locking::random::lock(circuit, &RllConfig { key_bits, seed }).expect("lockable")
+}
+
+fn key_string(key: &[bool]) -> String {
+    key.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Runs `engine` through the unified driver and asserts the exact golden
+/// (iterations, oracle queries, key bits) captured from the pre-engine code.
+fn assert_golden(
+    engine: &dyn AttackEngine,
+    locked: &LockedCircuit,
+    iterations: usize,
+    queries: usize,
+    key: &str,
+) {
+    let mut oracle = CombOracle::from_locked(locked).expect("valid lock");
+    let out = engine::run(engine, locked, &mut oracle, &mut AttackCtl::new());
+    assert_eq!(out.iterations, iterations, "{}: iterations", engine.name());
+    assert_eq!(out.oracle_queries, queries, "{}: queries", engine.name());
+    let got = key_string(out.key.as_deref().unwrap_or_else(|| {
+        panic!("{}: expected key, got failure {:?}", engine.name(), out.failure)
+    }));
+    assert_eq!(got, key, "{}: recovered key", engine.name());
+}
+
+#[test]
+fn sat_goldens_are_bit_identical_to_pre_engine_attack() {
+    let e = SatEngine { config: SatAttackConfig::default() };
+    assert_golden(&e, &rll(&samples::ripple_adder(4), 8, 3), 4, 4, "00010100");
+    let comb = netlist::generate::random_comb(41, 10, 6, 150).unwrap();
+    assert_golden(&e, &rll(&comb, 12, 7), 6, 6, "000011101111");
+}
+
+#[test]
+fn appsat_golden_is_bit_identical_to_pre_engine_attack() {
+    let e = AppSatEngine { config: AppSatConfig::default() };
+    assert_golden(&e, &rll(&samples::ripple_adder(4), 8, 9), 3, 3, "11011011");
+}
+
+#[test]
+fn double_dip_golden_is_bit_identical_to_pre_engine_attack() {
+    let e = DoubleDipEngine { config: DoubleDipConfig::default() };
+    assert_golden(&e, &rll(&samples::ripple_adder(3), 6, 2), 3, 3, "011011");
+}
+
+#[test]
+fn hill_climbing_golden_is_bit_identical_to_pre_engine_attack() {
+    let config = HillClimbConfig { seed: 0xC11B, ..Default::default() };
+    let e = HillClimbEngine { config };
+    assert_golden(&e, &rll(&samples::ripple_adder(4), 8, 6), 3, 64, "10110110");
+}
+
+#[test]
+fn sensitization_golden_is_bit_identical_to_pre_engine_attack() {
+    let e = SensitizationEngine {
+        config: SensitizationConfig { probes_per_bit: 16 },
+    };
+    assert_golden(&e, &rll(&samples::ripple_adder(8), 3, 21), 48, 48, "111");
+}
+
+#[test]
+fn by_name_covers_every_engine_and_rejects_unknowns() {
+    for name in ENGINE_NAMES {
+        let e = engine::by_name(name).unwrap_or_else(|| panic!("missing engine {name}"));
+        assert_eq!(e.name(), name);
+    }
+    assert_eq!(engine::by_name("double-dip").unwrap().name(), "double_dip");
+    assert_eq!(engine::by_name("hill-climb").unwrap().name(), "hill_climbing");
+    assert_eq!(engine::by_name("sensitize").unwrap().name(), "sensitization");
+    assert!(engine::by_name("smt").is_none());
+}
+
+#[test]
+fn progress_sink_sees_stages_and_monotonic_milestones() {
+    let locked = rll(&samples::ripple_adder(4), 8, 3);
+    let mut oracle = CombOracle::from_locked(&locked).unwrap();
+    let events: Arc<Mutex<Vec<ProgressEvent>>> = Arc::default();
+    let sink = Arc::clone(&events);
+    let mut ctl =
+        AttackCtl::new().with_progress(Box::new(move |e| sink.lock().unwrap().push(*e)));
+    let out = engine::run(
+        &SatEngine { config: SatAttackConfig::default() },
+        &locked,
+        &mut oracle,
+        &mut ctl,
+    );
+    assert!(out.succeeded());
+    let events = events.lock().unwrap();
+    let stages: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            ProgressEvent::Stage { name } => Some(*name),
+            ProgressEvent::Milestone(_) => None,
+        })
+        .collect();
+    assert_eq!(stages, ["dip-search", "extract"]);
+    let milestones: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            ProgressEvent::Milestone(m) => Some(*m),
+            ProgressEvent::Stage { .. } => None,
+        })
+        .collect();
+    assert_eq!(milestones.len(), out.iterations, "one milestone per DIP");
+    for w in milestones.windows(2) {
+        assert!(w[1].iterations > w[0].iterations, "iterations monotonic");
+        assert!(w[1].oracle_queries > w[0].oracle_queries, "queries monotonic");
+    }
+    assert_eq!(milestones.last().unwrap().oracle_queries as usize, out.oracle_queries);
+}
+
+#[test]
+fn query_budget_stops_the_attack_at_the_oracle_boundary() {
+    let locked = rll(&samples::ripple_adder(4), 8, 3);
+    let mut oracle = CombOracle::from_locked(&locked).unwrap();
+    let mut ctl = AttackCtl::new().with_query_budget(Some(2));
+    let out = engine::run(
+        &SatEngine { config: SatAttackConfig::default() },
+        &locked,
+        &mut oracle,
+        &mut ctl,
+    );
+    assert_eq!(out.failure, Some(FailureReason::QueryBudgetExhausted));
+    // The budget is enforced *before* the oracle is consulted: exactly the
+    // budgeted number of queries reached it, and the ledger agrees.
+    assert_eq!(oracle.queries_attempted(), 2);
+    assert_eq!(ctl.queries(), 2);
+}
+
+/// An interrupted-then-resumed session recovers the same key by the same
+/// trajectory as an uninterrupted run: the budget interrupt fires at the
+/// oracle boundary, the pending distinguishing input is stashed, and the
+/// resumed session replays it without re-solving.
+#[test]
+fn interrupted_then_resumed_session_matches_uninterrupted_run() {
+    qcheck::qcheck!(
+        "resume_equals_uninterrupted",
+        qcheck::Config::with_cases(12),
+        (lock_seed, budget) in (0u64..40, 1u64..5) => {
+            let circuit = samples::ripple_adder(4);
+            let locked = rll(&circuit, 8, lock_seed);
+            let engine = SatEngine { config: SatAttackConfig::default() };
+
+            let mut oracle_a = CombOracle::from_locked(&locked).unwrap();
+            let baseline =
+                engine::run(&engine, &locked, &mut oracle_a, &mut AttackCtl::new());
+
+            let mut oracle_b = CombOracle::from_locked(&locked).unwrap();
+            let mut session = engine.start(&locked, &mut oracle_b);
+            let mut budgeted = AttackCtl::new().with_query_budget(Some(budget));
+            let mut interrupted = false;
+            loop {
+                match session.step(&mut budgeted) {
+                    StepStatus::Running => {}
+                    StepStatus::Done => break,
+                    StepStatus::Interrupted(why) => {
+                        qcheck::prop_assert_eq!(why, Interrupt::QueryBudgetExhausted);
+                        interrupted = true;
+                        break;
+                    }
+                }
+            }
+            // Resume with a fresh, unbudgeted ctl.
+            let mut open = AttackCtl::new();
+            let resumed = engine::drive(session.as_mut(), &mut open);
+            qcheck::prop_assert_eq!(&resumed.key, &baseline.key);
+            qcheck::prop_assert_eq!(resumed.iterations, baseline.iterations);
+            qcheck::prop_assert_eq!(resumed.oracle_queries, baseline.oracle_queries);
+            // When the budget was genuinely smaller than the attack's needs
+            // the first drive really was cut short.
+            if (budget as usize) < baseline.oracle_queries {
+                qcheck::prop_assert!(interrupted);
+            }
+        });
+}
+
+/// A cancel raised while the SAT attack is deep in a large-circuit solve
+/// takes effect promptly: the conflict-granularity solver hook (not just the
+/// per-DIP poll) observes the flag mid-solve.
+#[test]
+fn cancel_interrupts_a_sat_attack_on_a_large_circuit_mid_solve() {
+    // ~20k gates, 32 key bits: every miter solve is big enough that a whole
+    // DIP iteration takes far longer than the cancel latency we assert.
+    let comb = netlist::generate::random_comb(7, 48, 24, 20_000).unwrap();
+    let locked = rll(&comb, 32, 11);
+    let mut oracle = CombOracle::from_locked(&locked).unwrap();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let setter = Arc::clone(&cancel);
+    let t = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        setter.store(true, Ordering::Relaxed);
+    });
+    let start = Instant::now();
+    let mut ctl = AttackCtl::new().with_cancel(Arc::clone(&cancel));
+    let out = engine::run(
+        &SatEngine { config: SatAttackConfig::default() },
+        &locked,
+        &mut oracle,
+        &mut ctl,
+    );
+    let elapsed = start.elapsed();
+    t.join().unwrap();
+    assert_eq!(out.failure, Some(FailureReason::Cancelled));
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "cancel took {elapsed:?} to be observed"
+    );
+}
+
+#[test]
+fn expired_deadline_times_an_attack_out() {
+    let locked = rll(&samples::ripple_adder(4), 8, 3);
+    let mut oracle = CombOracle::from_locked(&locked).unwrap();
+    let mut ctl = AttackCtl::new().with_deadline(Some(Instant::now() - Duration::from_secs(1)));
+    let out = engine::run(
+        &SatEngine { config: SatAttackConfig::default() },
+        &locked,
+        &mut oracle,
+        &mut ctl,
+    );
+    assert_eq!(out.failure, Some(FailureReason::TimedOut));
+    assert_eq!(oracle.queries_attempted(), 0, "no query after the deadline");
+}
+
+/// Every engine family honours a pre-set cancel flag before touching the
+/// oracle.
+#[test]
+fn preset_cancel_stops_every_engine_before_any_query() {
+    let locked = rll(&samples::ripple_adder(4), 8, 3);
+    for name in ENGINE_NAMES {
+        let engine = engine::by_name(name).unwrap();
+        let mut oracle = CombOracle::from_locked(&locked).unwrap();
+        let cancel = Arc::new(AtomicBool::new(true));
+        let mut ctl = AttackCtl::new().with_cancel(cancel);
+        let out = engine::run(engine.as_ref(), &locked, &mut oracle, &mut ctl);
+        assert_eq!(out.failure, Some(FailureReason::Cancelled), "{name}");
+        assert_eq!(oracle.queries_attempted(), 0, "{name} queried after cancel");
+    }
+}

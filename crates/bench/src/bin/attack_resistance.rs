@@ -6,10 +6,8 @@
 //!
 //! Run: `cargo run -p orap-bench --release --bin attack_resistance`
 
-use attacks::{
-    appsat, double_dip, hill_climbing, key_is_functionally_correct, sat, sensitization,
-    CombOracle, Oracle,
-};
+use attacks::engine::{self, AttackCtl};
+use attacks::{key_is_functionally_correct, CombOracle, Oracle};
 use locking::LockedCircuit;
 use orap::chip::{OracleMode, ProtectedChip, ProtectedChipOracle};
 use orap::{protect, OrapConfig};
@@ -25,7 +23,7 @@ struct Row {
     key_recovered: bool,
     key_correct: bool,
     iterations: usize,
-    queries: usize,
+    oracle_queries: usize,
     failure: Option<String>,
     telemetry: attacks::AttackTelemetry,
 }
@@ -39,7 +37,7 @@ impl ToJson for Row {
             key_recovered: self.key_recovered,
             key_correct: self.key_correct,
             iterations: self.iterations,
-            queries: self.queries,
+            oracle_queries: self.oracle_queries,
             failure: self.failure,
             telemetry: self.telemetry,
         }
@@ -53,19 +51,11 @@ fn run_attack(
     oracle_name: &str,
     oracle: &mut dyn Oracle,
 ) -> Row {
-    let outcome = match name {
-        "sat" => sat::attack(locked, oracle, &sat::SatAttackConfig::default()),
-        "appsat" => appsat::attack(locked, oracle, &appsat::AppSatConfig::default()),
-        "double-dip" => double_dip::attack(locked, oracle, &double_dip::DoubleDipConfig::default()),
-        "hill-climb" => {
-            hill_climbing::attack(locked, oracle, &hill_climbing::HillClimbConfig::default())
-        }
-        "sensitize" => {
-            sensitization::attack(locked, oracle, &sensitization::SensitizationConfig::default())
-                .outcome
-        }
-        other => unreachable!("unknown attack {other}"),
-    };
+    // Every attack drives through the same engine loop the daemon and the
+    // conformance harness use, so the telemetry (notably the
+    // `oracle_queries` ledger) is schema-identical across all of them.
+    let eng = engine::by_name(name).unwrap_or_else(|| unreachable!("unknown attack {name}"));
+    let outcome = engine::run(eng.as_ref(), locked, oracle, &mut AttackCtl::new());
     let key_correct = outcome
         .key
         .as_ref()
@@ -78,7 +68,7 @@ fn run_attack(
         key_recovered: outcome.key.is_some(),
         key_correct,
         iterations: outcome.iterations,
-        queries: outcome.oracle_queries,
+        oracle_queries: outcome.oracle_queries,
         failure: outcome.failure.map(|f| f.to_string()),
         telemetry: outcome.telemetry,
     }
@@ -170,7 +160,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     key_recovered: recovered,
                     key_correct: correct,
                     iterations: 1,
-                    queries: 0,
+                    oracle_queries: 0,
                     failure: if correct {
                         None
                     } else {
@@ -214,7 +204,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.key_recovered,
             r.key_correct,
             r.iterations,
-            r.queries,
+            r.oracle_queries,
             r.failure.as_deref().unwrap_or("-")
         );
     }

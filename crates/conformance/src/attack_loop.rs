@@ -8,6 +8,7 @@
 //! the attacks whose theory guarantees exactness on termination (the SAT
 //! attack and Double-DIP), the exact verdict itself is asserted.
 
+use attacks::engine::{self, AttackCtl, AttackEngine};
 use attacks::{appsat, double_dip, hill_climbing, sat, sensitization, verify, CombOracle};
 use locking::LockedCircuit;
 
@@ -107,28 +108,17 @@ pub fn run_one(scheme: Scheme, attack: AttackKind) -> Result<LoopRow, String> {
     let locked = lock_for(scheme);
     let mut oracle = CombOracle::from_locked(&locked)
         .map_err(|e| format!("{scheme:?}: oracle construction failed: {e:?}"))?;
-    let outcome = match attack {
-        AttackKind::Sat => sat::attack(&locked, &mut oracle, &sat::SatAttackConfig::default()),
-        AttackKind::AppSat => {
-            appsat::attack(&locked, &mut oracle, &appsat::AppSatConfig::default())
-        }
-        AttackKind::DoubleDip => {
-            double_dip::attack(&locked, &mut oracle, &double_dip::DoubleDipConfig::default())
-        }
-        AttackKind::HillClimbing => hill_climbing::attack(
-            &locked,
-            &mut oracle,
-            &hill_climbing::HillClimbConfig::default(),
-        ),
-        AttackKind::Sensitization => {
-            let report = sensitization::attack(
-                &locked,
-                &mut oracle,
-                &sensitization::SensitizationConfig::default(),
-            );
-            report.outcome
-        }
+    // Every attack goes through the unified engine driver — the same
+    // surface the serve layer and the bench binaries use — so this battery
+    // also conforms the trait plumbing, not just the attack math.
+    let engine: Box<dyn AttackEngine> = match attack {
+        AttackKind::Sat => Box::new(sat::SatEngine::default()),
+        AttackKind::AppSat => Box::new(appsat::AppSatEngine::default()),
+        AttackKind::DoubleDip => Box::new(double_dip::DoubleDipEngine::default()),
+        AttackKind::HillClimbing => Box::new(hill_climbing::HillClimbEngine::default()),
+        AttackKind::Sensitization => Box::new(sensitization::SensitizationEngine::default()),
     };
+    let outcome = engine::run(engine.as_ref(), &locked, &mut oracle, &mut AttackCtl::new());
 
     let exact_required = matches!(attack, AttackKind::Sat | AttackKind::DoubleDip);
     let recovery_required = !matches!(attack, AttackKind::Sensitization);

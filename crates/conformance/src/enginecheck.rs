@@ -1,0 +1,118 @@
+//! Attack-engine control-layer battery: proves the [`AttackCtl`] interrupt
+//! poll and oracle-query ledger actually do their jobs.
+//!
+//! The checks here are the kill battery for the two
+//! [`EngineSabotage`] mutants: a skipped interrupt poll must surface as an
+//! attack that ignores a raised cancel flag, and an undercounting ledger
+//! must surface as a budget that lets extra queries through to the oracle
+//! (and an accounting mismatch against the oracle's own counter).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use attacks::engine::{self, AttackCtl, EngineSabotage};
+use attacks::sat::SatEngine;
+use attacks::{CombOracle, FailureReason, Oracle};
+use locking::LockedCircuit;
+
+fn battery_lock() -> LockedCircuit {
+    locking::random::lock(
+        &netlist::samples::ripple_adder(4),
+        &locking::random::RllConfig { key_bits: 8, seed: 3 },
+    )
+    .expect("lockable")
+}
+
+fn ctl_with(sabotage: Option<EngineSabotage>) -> AttackCtl {
+    let mut ctl = AttackCtl::new();
+    ctl.set_sabotage(sabotage);
+    ctl
+}
+
+/// Runs the control-layer battery, optionally with a sabotaged ctl.
+/// `Ok(())` = every check passed (clean baseline, or the mutant survived);
+/// `Err` = first detection.
+///
+/// # Errors
+///
+/// Returns the first failing check's description.
+pub fn engine_battery(sabotage: Option<EngineSabotage>) -> Result<(), String> {
+    let locked = battery_lock();
+    let engine = SatEngine::default();
+
+    // Check 1: a pre-raised cancel flag stops the attack before any oracle
+    // query — the cooperative interrupt poll must observe it.
+    {
+        let mut oracle = CombOracle::from_locked(&locked).expect("valid lock");
+        let mut ctl = ctl_with(sabotage).with_cancel(Arc::new(AtomicBool::new(true)));
+        let out = engine::run(&engine, &locked, &mut oracle, &mut ctl);
+        if out.failure != Some(FailureReason::Cancelled) {
+            return Err(format!(
+                "interrupt poll: raised cancel flag was ignored \
+                 (outcome: key={:?} failure={:?})",
+                out.key.is_some(),
+                out.failure
+            ));
+        }
+        if oracle.queries_attempted() != 0 {
+            return Err(format!(
+                "interrupt poll: {} oracle queries despite a pre-raised cancel",
+                oracle.queries_attempted()
+            ));
+        }
+    }
+
+    // Check 2: a query budget of B lets exactly B queries reach the oracle,
+    // and the ctl ledger agrees with the oracle's own attempt counter.
+    {
+        const BUDGET: u64 = 2;
+        let mut oracle = CombOracle::from_locked(&locked).expect("valid lock");
+        let mut ctl = ctl_with(sabotage).with_query_budget(Some(BUDGET));
+        let out = engine::run(&engine, &locked, &mut oracle, &mut ctl);
+        if out.failure != Some(FailureReason::QueryBudgetExhausted) {
+            return Err(format!(
+                "query ledger: budget {BUDGET} not reported exhausted \
+                 (outcome: key={:?} failure={:?})",
+                out.key.is_some(),
+                out.failure
+            ));
+        }
+        if oracle.queries_attempted() as u64 != BUDGET {
+            return Err(format!(
+                "query ledger: budget {BUDGET} but {} queries reached the oracle",
+                oracle.queries_attempted()
+            ));
+        }
+        if ctl.queries() != oracle.queries_attempted() as u64 {
+            return Err(format!(
+                "query ledger: ctl counted {} queries, oracle saw {}",
+                ctl.queries(),
+                oracle.queries_attempted()
+            ));
+        }
+    }
+
+    // Check 3: on an unconstrained run the ledger and the oracle agree
+    // exactly, and the outcome reports the same number.
+    {
+        let mut oracle = CombOracle::from_locked(&locked).expect("valid lock");
+        let mut ctl = ctl_with(sabotage);
+        let out = engine::run(&engine, &locked, &mut oracle, &mut ctl);
+        if ctl.queries() != oracle.queries_attempted() as u64 {
+            return Err(format!(
+                "query ledger: ctl counted {} queries on a free run, oracle saw {}",
+                ctl.queries(),
+                oracle.queries_attempted()
+            ));
+        }
+        if out.oracle_queries != oracle.queries_attempted() {
+            return Err(format!(
+                "query ledger: outcome reports {} queries, oracle saw {}",
+                out.oracle_queries,
+                oracle.queries_attempted()
+            ));
+        }
+    }
+
+    Ok(())
+}

@@ -25,6 +25,8 @@
 //!   genuineness) — the SAT leg of the 4-way check.
 //! - [`fsimcheck`]: fault-simulator battery (sequential vs chunked-parallel
 //!   detection across thread counts, counter truthfulness).
+//! - [`enginecheck`]: attack-engine control-layer battery (interrupt-poll
+//!   honesty, oracle-query ledger/budget truthfulness).
 //! - [`attack_loop`]: full lock → attack → key recovery → exact-miter
 //!   verification loops across schemes × attacks.
 //! - [`mutation`]: the mutant catalog and the kill-matrix runner.
@@ -44,6 +46,7 @@
 pub mod attack_loop;
 pub mod differential;
 pub mod enccheck;
+pub mod enginecheck;
 pub mod fsimcheck;
 pub mod mutation;
 pub mod reference;

@@ -19,11 +19,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use attacks::aigcnf::EncoderSabotage;
+use attacks::engine::EngineSabotage;
 use cdcl::SolverSabotage;
 
 use crate::differential::{self, EngineFault};
 use crate::fsimcheck::{self, FsimFault};
-use crate::{enccheck, satcheck};
+use crate::{enccheck, enginecheck, satcheck};
 
 /// Battery scale: `Smoke` is the CI configuration, `Full` the nightly one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,8 @@ pub enum MutantKind {
     Encoder(EncoderSabotage),
     /// A parallel fault-simulation fault.
     Fsim(FsimFault),
+    /// An attack-engine control-layer (`AttackCtl`) sabotage.
+    AttackEngine(EngineSabotage),
 }
 
 /// One catalog entry.
@@ -61,7 +64,7 @@ pub struct MutantSpec {
     pub kind: MutantKind,
 }
 
-/// The checked-in mutant catalog: 19 semantic mutants spanning the
+/// The checked-in mutant catalog: 21 semantic mutants spanning the
 /// `netlist`, `sim`(kernel), `atpg`, `sat` and `attacks` layers.
 pub fn catalog() -> Vec<MutantSpec> {
     use EngineFault::*;
@@ -180,6 +183,18 @@ pub fn catalog() -> Vec<MutantSpec> {
             description: "complement one literal in the 4-clause XOR-cluster gadget",
             kind: MutantKind::Encoder(EncoderSabotage::FlipXorGadgetLit),
         },
+        MutantSpec {
+            id: "attacks-skip-interrupt-poll",
+            layer: "attacks",
+            description: "skip the cooperative interrupt poll and never arm the solver hook",
+            kind: MutantKind::AttackEngine(EngineSabotage::SkipInterruptPoll),
+        },
+        MutantSpec {
+            id: "attacks-undercount-oracle-query",
+            layer: "attacks",
+            description: "count only every other oracle query in the budget ledger",
+            kind: MutantKind::AttackEngine(EngineSabotage::UndercountOracleQuery),
+        },
     ]
 }
 
@@ -285,6 +300,7 @@ fn run_battery(kind: Option<MutantKind>, scale: Scale) -> Result<(), String> {
             satcheck::solver_battery(None, cnf_instances(scale))?;
             enccheck::encoder_battery(None, enc_patterns(scale))?;
             fsimcheck::fsim_battery(None)?;
+            enginecheck::engine_battery(None)?;
             if scale == Scale::Full {
                 crate::attack_loop::attack_loop_battery()?;
             }
@@ -311,6 +327,7 @@ fn run_battery(kind: Option<MutantKind>, scale: Scale) -> Result<(), String> {
             enccheck::encoder_battery(Some(sab), enc_patterns(scale))
         }
         Some(MutantKind::Fsim(f)) => fsimcheck::fsim_battery(Some(f)),
+        Some(MutantKind::AttackEngine(sab)) => enginecheck::engine_battery(Some(sab)),
     }
 }
 

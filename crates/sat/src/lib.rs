@@ -54,5 +54,6 @@ mod types;
 
 pub use solver::{
     CcMin, RestartMode, SolveResult, Solver, SolverConfig, SolverSabotage, SolverStats,
+    DEADLINE_CHECK_MASK,
 };
 pub use types::{Lit, Var};

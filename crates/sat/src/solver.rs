@@ -1,4 +1,7 @@
 use crate::types::{Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 // Inprocessing lives in child modules so it can reach the solver's private
 // state without widening field visibility: `simplify.rs` holds root-level
@@ -23,6 +26,12 @@ pub enum SolveResult {
 const UNDEF: i8 = 0;
 const TRUE: i8 = 1;
 const FALSE: i8 = -1;
+
+/// The deadline is consulted only on conflicts where
+/// `conflicts & DEADLINE_CHECK_MASK == 0`, keeping the `Instant::now()`
+/// syscall off the per-conflict hot path (the interrupt *flag* is a plain
+/// atomic load and is checked on every conflict).
+pub const DEADLINE_CHECK_MASK: u64 = 63;
 
 /// Arena offset of a clause's header word.
 type ClauseRef = u32;
@@ -273,6 +282,14 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     budget: Option<u64>,
+    /// Cooperative interrupt flag, shared with the caller; checked once per
+    /// conflict so even a single long solve observes an external cancel.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline, checked every [`DEADLINE_CHECK_MASK`]+1 conflicts.
+    deadline: Option<Instant>,
+    /// Whether the last solve stopped because of the interrupt flag or
+    /// deadline (as opposed to the conflict budget).
+    interrupted: bool,
 
     // scratch for analyze / minimization / LBD
     seen: Vec<bool>,
@@ -397,6 +414,9 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             budget: None,
+            interrupt: None,
+            deadline: None,
+            interrupted: false,
             seen: Vec::new(),
             analyze_stack: Vec::new(),
             analyze_toclear: Vec::new(),
@@ -502,6 +522,31 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.budget = budget;
+    }
+
+    /// Installs (or clears) a cooperative interrupt flag. The flag is
+    /// polled once per conflict during search; when it reads `true`,
+    /// `solve` stops at the next conflict with [`SolveResult::Unknown`]
+    /// and [`Solver::interrupted`] reports `true`. The flag is shared —
+    /// the caller keeps a clone of the `Arc` and sets it from another
+    /// thread (or from a signal handler) to cancel a long solve.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Installs (or clears) a wall-clock deadline. Checked every
+    /// [`DEADLINE_CHECK_MASK`]`+1` conflicts during search; once passed,
+    /// `solve` returns [`SolveResult::Unknown`] and
+    /// [`Solver::interrupted`] reports `true`.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Whether the most recent solve stopped because of the interrupt flag
+    /// or deadline (distinguishing an external cancel from an exhausted
+    /// conflict budget, which also yields [`SolveResult::Unknown`]).
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
     }
 
     #[inline]
@@ -1150,6 +1195,29 @@ impl Solver {
         self.assigns[v] != UNDEF && self.reason[v] == cref
     }
 
+    /// Checks the cooperative interrupt sources, latching
+    /// [`Solver::interrupted`] when one has fired. The flag is always
+    /// consulted; the deadline only when `check_deadline` is set (it costs
+    /// a syscall).
+    #[inline]
+    fn poll_interrupt(&mut self, check_deadline: bool) -> bool {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                self.interrupted = true;
+                return true;
+            }
+        }
+        if check_deadline {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.interrupted = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Solves the formula without assumptions.
     pub fn solve(&mut self) -> SolveResult {
         self.solve_with(&[])
@@ -1164,6 +1232,13 @@ impl Solver {
             return SolveResult::Unsat;
         }
         debug_assert!(self.trail_lim.is_empty());
+        self.interrupted = false;
+        // A cancel raised before (or between) solves must still be honored:
+        // check once up front so an already-fired flag or expired deadline
+        // never starts a search.
+        if self.poll_interrupt(true) {
+            return SolveResult::Unknown;
+        }
 
         // Re-introduce any eliminated variable the assumptions mention, then
         // run an inprocessing round if enough clauses arrived since the last
@@ -1296,6 +1371,14 @@ impl Solver {
                     self.var_inc /= self.config.var_decay;
                     self.cla_inc /= self.config.cla_decay as f32;
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                    // Cooperative interrupt: flag every conflict, deadline
+                    // every DEADLINE_CHECK_MASK+1 conflicts. Sits next to the
+                    // budget check so one long solve observes an external
+                    // cancel with conflict granularity.
+                    if self.poll_interrupt(self.stats.conflicts & DEADLINE_CHECK_MASK == 0) {
+                        result = SolveResult::Unknown;
+                        break 'main;
+                    }
                     if let Some(end) = budget_end {
                         if self.stats.conflicts >= end {
                             result = SolveResult::Unknown;

@@ -307,3 +307,90 @@ fn assumption_model_respects_assumptions() {
         assert_eq!(s.value(x), Some(true), "implication chain from assumption");
     }
 }
+
+/// Builds pigeonhole PHP(holes+1, holes): unsatisfiable and exponentially
+/// hard for resolution, so a search on it reliably outlives short timers.
+fn php(s: &mut Solver, holes: usize) -> Vec<Vec<Var>> {
+    let p: Vec<Vec<Var>> = (0..holes + 1).map(|_| vars(s, holes)).collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+        s.add_clause(&clause);
+    }
+    at_most_one_per_hole(s, &p);
+    p
+}
+
+#[test]
+fn preset_interrupt_flag_stops_before_search() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let mut s = Solver::new();
+    php(&mut s, 7);
+    let flag = Arc::new(AtomicBool::new(true));
+    s.set_interrupt(Some(Arc::clone(&flag)));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert!(s.interrupted());
+    // Clearing the flag resumes normally and the latch resets.
+    flag.store(false, Ordering::Relaxed);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert!(!s.interrupted());
+}
+
+#[test]
+fn interrupt_flag_cancels_a_long_solve_mid_search() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    // PHP(13, 12) takes far longer than the timer on any hardware; the
+    // solve must come back quickly once the flag fires mid-search.
+    let mut s = Solver::new();
+    php(&mut s, 12);
+    let flag = Arc::new(AtomicBool::new(false));
+    s.set_interrupt(Some(Arc::clone(&flag)));
+    let setter = {
+        let flag = Arc::clone(&flag);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(80));
+            flag.store(true, Ordering::Relaxed);
+        })
+    };
+    let t0 = Instant::now();
+    let result = s.solve();
+    setter.join().unwrap();
+    assert_eq!(result, SolveResult::Unknown);
+    assert!(s.interrupted());
+    assert!(s.stats().conflicts > 0, "interrupt should land mid-search");
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "cancel took {:?}",
+        t0.elapsed()
+    );
+    // The solver stays usable: drop the hook and finish a sat instance.
+    s.set_interrupt(None);
+    let mut easy = Solver::new();
+    let v = vars(&mut easy, 2);
+    easy.add_clause(&[v[0].positive(), v[1].positive()]);
+    assert_eq!(easy.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn expired_deadline_reports_unknown_and_interrupted() {
+    use std::time::{Duration, Instant};
+    let mut s = Solver::new();
+    php(&mut s, 9);
+    s.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert!(s.interrupted());
+    s.set_deadline(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert!(!s.interrupted());
+}
+
+#[test]
+fn budget_unknown_is_not_reported_as_interrupted() {
+    let mut s = Solver::new();
+    php(&mut s, 7);
+    s.set_conflict_budget(Some(1));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert!(!s.interrupted());
+}

@@ -6,13 +6,17 @@
 //!            [--shutdown] [--out NAME]
 //! ```
 //!
-//! Each session locks one of a small set of circuits, runs the SAT attack
+//! Each session locks one of a small set of circuits, runs an exact
+//! oracle-guided attack (SAT, with a double-DIP leg every eighth session)
 //! against the daemon-held oracle, and verifies the recovered key exactly
 //! — the full oracle-access path the paper's threat model centres on. The
-//! harness asserts zero failed sessions and that the daemon compiled each
-//! distinct circuit exactly once (cache dedup), then writes
-//! `results/<NAME>.json` (default `BENCH_serve`, `BENCH_serve_smoke` under
-//! `--smoke`). Field definitions: EXPERIMENTS.md "Serving".
+//! harness asserts zero failed sessions, that every attack result carries
+//! a truthful `oracle_queries` ledger, and that the daemon compiled each
+//! distinct circuit and built each distinct locked artifact exactly once
+//! (cache dedup — asserted from the `stats` op, no log scraping), then
+//! writes `results/<NAME>.json` (default `BENCH_serve`,
+//! `BENCH_serve_smoke` under `--smoke`). Field definitions:
+//! EXPERIMENTS.md "Serving".
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -54,13 +58,15 @@ fn variant_bench(v: usize) -> String {
     }
 }
 
-/// Client-side wall-clock samples, one vector per job kind plus sessions.
+/// Client-side wall-clock samples, one vector per job kind plus sessions,
+/// and the summed oracle-query ledger across all attack results.
 #[derive(Default)]
 struct Samples {
     lock_ns: Vec<u64>,
     attack_ns: Vec<u64>,
     verify_ns: Vec<u64>,
     session_ns: Vec<u64>,
+    oracle_queries: u64,
 }
 
 /// Runs one full session; returns per-stage latencies or a description of
@@ -85,18 +91,31 @@ fn run_session(client: &mut Client, session: usize) -> Result<Samples, String> {
         .ok_or("lock artifact missing")?
         .to_string();
 
-    // Attack: fresh SAT attack per session against the daemon-held oracle.
+    // Attack: a fresh exact attack per session against the daemon-held
+    // oracle — SAT by default, double-DIP on every eighth session so the
+    // load path exercises more than one engine behind the same telemetry.
+    let attack = if session % 8 == 3 { "double_dip" } else { "sat" };
     let t = Instant::now();
     let job = client
-        .submit_attack(&artifact, "sat")
-        .map_err(|e| format!("submit attack: {e}"))?;
-    let done = client.wait_result(job).map_err(|e| format!("attack: {e}"))?;
+        .submit_attack(&artifact, attack)
+        .map_err(|e| format!("submit {attack}: {e}"))?;
+    let done = client
+        .wait_result(job)
+        .map_err(|e| format!("{attack}: {e}"))?;
     out.attack_ns.push(t.elapsed().as_nanos() as u64);
-    expect_state(&done, "done", "attack")?;
+    expect_state(&done, "done", attack)?;
     let result = proto::get(&done, "result").ok_or("attack result missing")?;
     if proto::get(result, "succeeded").and_then(proto::as_bool) != Some(true) {
-        return Err(format!("attack did not succeed: {}", result.compact()));
+        return Err(format!("{attack} did not succeed: {}", result.compact()));
     }
+    // Every attack result must carry the oracle-query ledger, and an
+    // exact attack that succeeded cannot have done so without querying.
+    let queries = proto::get_u64(result, "oracle_queries")
+        .ok_or_else(|| format!("{attack} result lacks oracle_queries: {}", result.compact()))?;
+    if queries == 0 {
+        return Err(format!("{attack} reported zero oracle queries"));
+    }
+    out.oracle_queries += queries;
     let key = proto::get_str(result, "key")
         .ok_or("attack key missing")?
         .to_string();
@@ -209,6 +228,7 @@ fn main() {
                             m.attack_ns.extend(s.attack_ns);
                             m.verify_ns.extend(s.verify_ns);
                             m.session_ns.extend(s.session_ns);
+                            m.oracle_queries += s.oracle_queries;
                         }
                         Err(e) => failures
                             .lock()
@@ -250,6 +270,7 @@ fn main() {
         failed: fails.len(),
         wall_ns: wall_ns,
         sessions_per_sec: completed as f64 / (wall_ns as f64 / 1e9),
+        oracle_queries_total: m.oracle_queries,
         lock: LatencySummary::from_samples(&mut m.lock_ns),
         attack: LatencySummary::from_samples(&mut m.attack_ns),
         verify: LatencySummary::from_samples(&mut m.verify_ns),
@@ -269,10 +290,16 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Dedup assertion: every distinct circuit compiled exactly once.
-    let builds = proto::get(&server_stats, "circuit_cache")
-        .and_then(|c| proto::get_u64(c, "builds"))
-        .unwrap_or(u64::MAX);
+    // Dedup assertions straight from the `stats` op: every distinct
+    // circuit compiled exactly once, every distinct locked artifact
+    // built exactly once.
+    let cache_builds = |name: &str| {
+        proto::get(&server_stats, name)
+            .and_then(|c| proto::get_u64(c, "builds"))
+            .unwrap_or(u64::MAX)
+    };
+    let builds = cache_builds("circuit_cache");
+    let locked_builds = cache_builds("locked_cache");
     let distinct = sessions.min(VARIANTS) as u64;
     if builds > distinct {
         eprintln!(
@@ -280,7 +307,16 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if locked_builds > distinct {
+        eprintln!(
+            "serve_load: locked cache failed to dedup: {locked_builds} builds \
+             for {distinct} distinct artifacts"
+        );
+        std::process::exit(1);
+    }
     eprintln!(
-        "serve_load: OK — {completed}/{sessions} sessions, {builds} compiles for {distinct} circuits"
+        "serve_load: OK — {completed}/{sessions} sessions, {builds} compiles for \
+         {distinct} circuits, {locked_builds} lock builds, {} oracle queries",
+        m.oracle_queries
     );
 }

@@ -4,7 +4,11 @@
 //! DESIGN.md §10.3), validated *before* queueing (schema errors are
 //! protocol errors, not failed jobs), and executed against [`ServeState`]:
 //! the two content-hashed caches. Job adapters checkpoint between pipeline
-//! stages, so cancellation and timeouts fire at stage boundaries.
+//! stages; `attack` jobs go further and hand the [`JobCtx`]'s cancel flag
+//! and deadline to the attack engine's `AttackCtl`, so cancellation and
+//! timeouts fire per engine step — and, through the CDCL conflict-budget
+//! hook, even mid-solve. Engine progress events are rendered into the
+//! job's progress log for the `subscribe` op.
 //!
 //! Security model, mirroring the paper: the daemon holds each lock's
 //! correct key server-side and **never returns it**. Clients get the
@@ -15,7 +19,8 @@
 use std::sync::Arc;
 
 use atpg::AtpgConfig;
-use attacks::{hill_climbing, sat, CombOracle};
+use attacks::engine::{self, AttackCtl, AttackEngine, ProgressEvent};
+use attacks::{appsat, double_dip, hill_climbing, sat, sensitization, CombOracle, FailureReason};
 use locking::LockedCircuit;
 use netlist::{Circuit, CompiledCircuit};
 use orap_bench::json::Json;
@@ -49,6 +54,10 @@ pub struct LockedArtifact {
     pub source: String,
     /// This artifact's id.
     pub id: String,
+    /// For `protect`-built artifacts: the unlock-schedule/hardware summary
+    /// (so cache hits report the same numbers as the build). `None` for
+    /// plain `lock` artifacts.
+    pub schedule: Option<Json>,
 }
 
 /// Shared daemon state: the two artifact caches.
@@ -98,6 +107,8 @@ pub enum LockScheme {
     Rll,
     /// Weighted logic locking (control width 3).
     Wll,
+    /// Stripped-functionality logic locking (SFLL-HD).
+    Sfll,
 }
 
 impl LockScheme {
@@ -106,6 +117,7 @@ impl LockScheme {
         match self {
             LockScheme::Rll => "rll",
             LockScheme::Wll => "wll",
+            LockScheme::Sfll => "sfll",
         }
     }
 
@@ -114,18 +126,26 @@ impl LockScheme {
         match s {
             "rll" => Some(LockScheme::Rll),
             "wll" => Some(LockScheme::Wll),
+            "sfll" => Some(LockScheme::Sfll),
             _ => None,
         }
     }
 }
 
-/// The attacks the `attack` job runs.
+/// The attacks the `attack` job runs — one wire name per engine behind
+/// [`attacks::engine::AttackEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackKind {
     /// The SAT attack (DIP elimination).
     Sat,
+    /// AppSAT (approximate, early-exit on settlement).
+    AppSat,
+    /// Double-DIP (2-discriminating inputs, SAT fallback).
+    DoubleDip,
     /// Hill climbing against sampled oracle responses.
     Hill,
+    /// Key sensitization (per-bit miter probing).
+    Sensitization,
 }
 
 impl AttackKind {
@@ -133,7 +153,10 @@ impl AttackKind {
     pub fn as_str(self) -> &'static str {
         match self {
             AttackKind::Sat => "sat",
+            AttackKind::AppSat => "appsat",
+            AttackKind::DoubleDip => "double_dip",
             AttackKind::Hill => "hill",
+            AttackKind::Sensitization => "sensitization",
         }
     }
 
@@ -141,7 +164,10 @@ impl AttackKind {
     pub fn from_wire(s: &str) -> Option<AttackKind> {
         match s {
             "sat" => Some(AttackKind::Sat),
+            "appsat" => Some(AttackKind::AppSat),
+            "double_dip" => Some(AttackKind::DoubleDip),
             "hill" => Some(AttackKind::Hill),
+            "sensitization" => Some(AttackKind::Sensitization),
             _ => None,
         }
     }
@@ -161,6 +187,8 @@ pub enum JobSpec {
         key_bits: usize,
         /// Scheme PRNG seed.
         seed: u64,
+        /// SFLL-HD protected-cube Hamming distance (ignored by `rll`/`wll`).
+        hamming_distance: usize,
     },
     /// Run an oracle-guided attack against a locked artifact.
     Attack {
@@ -168,9 +196,26 @@ pub enum JobSpec {
         target: String,
         /// Which attack.
         attack: AttackKind,
-        /// Iteration cap (DIPs for `sat`, restarts for `hill`); 0 = the
+        /// Iteration cap (DIPs for `sat`/`appsat`/`double_dip`, restarts
+        /// for `hill`, probes per bit for `sensitization`); 0 = the
         /// attack's default.
         max_iterations: usize,
+        /// Oracle-query budget enforced at the oracle boundary; 0 =
+        /// unlimited.
+        query_budget: u64,
+    },
+    /// Apply the full OraP protection (WLL + LFSR key register + unlock
+    /// schedule) and expose the protected netlist as a locked artifact.
+    Protect {
+        /// `.bench` text of the design to protect.
+        bench: String,
+        /// WLL key width.
+        key_bits: usize,
+        /// Scheme variant (`basic` requires no flip-flops; `modified`
+        /// needs a sequential design).
+        variant: orap::OrapVariant,
+        /// Designer-side PRNG seed.
+        seed: u64,
     },
     /// Exact SAT-miter equivalence check of a candidate key.
     Verify {
@@ -202,6 +247,7 @@ impl JobSpec {
         match self {
             JobSpec::Lock { .. } => "lock",
             JobSpec::Attack { .. } => "attack",
+            JobSpec::Protect { .. } => "protect",
             JobSpec::Verify { .. } => "verify",
             JobSpec::Atpg { .. } => "atpg",
             JobSpec::Sleep { .. } => "sleep",
@@ -223,11 +269,16 @@ impl JobSpec {
                     return Err("lock.key_bits must be in 1..=4096".to_string());
                 }
                 let seed = get_u64(job, "seed").unwrap_or(1);
+                let hamming_distance = get_u64(job, "hamming_distance").unwrap_or(1);
+                if hamming_distance > key_bits {
+                    return Err("lock.hamming_distance must be <= key_bits".to_string());
+                }
                 Ok(JobSpec::Lock {
                     bench: bench.to_string(),
                     scheme,
                     key_bits: key_bits as usize,
                     seed,
+                    hamming_distance: hamming_distance as usize,
                 })
             }
             "attack" => {
@@ -239,6 +290,26 @@ impl JobSpec {
                     target: target.to_string(),
                     attack,
                     max_iterations: get_u64(job, "max_iterations").unwrap_or(0) as usize,
+                    query_budget: get_u64(job, "query_budget").unwrap_or(0),
+                })
+            }
+            "protect" => {
+                let bench = get_str(job, "bench").ok_or("protect.bench must be a string")?;
+                let key_bits =
+                    get_u64(job, "key_bits").ok_or("protect.key_bits must be a number")?;
+                if key_bits == 0 || key_bits > 4096 {
+                    return Err("protect.key_bits must be in 1..=4096".to_string());
+                }
+                let variant = match get_str(job, "variant").unwrap_or("basic") {
+                    "basic" => orap::OrapVariant::Basic,
+                    "modified" => orap::OrapVariant::Modified,
+                    other => return Err(format!("unknown protect variant: {other}")),
+                };
+                Ok(JobSpec::Protect {
+                    bench: bench.to_string(),
+                    key_bits: key_bits as usize,
+                    variant,
+                    seed: get_u64(job, "seed").unwrap_or(1),
                 })
             }
             "verify" => {
@@ -268,6 +339,22 @@ impl JobSpec {
     }
 }
 
+/// Renders one engine progress event as the compact-JSON line the
+/// `subscribe` op streams. Stage names are static identifiers from the
+/// engine layer, so direct embedding needs no escaping.
+fn render_progress(e: &ProgressEvent) -> String {
+    match e {
+        ProgressEvent::Stage { name } => {
+            format!("{{\"type\":\"stage\",\"name\":\"{name}\"}}")
+        }
+        ProgressEvent::Milestone(m) => format!(
+            "{{\"type\":\"milestone\",\"stage\":\"{}\",\"iterations\":{},\
+             \"dips_eliminated\":{},\"clauses_learned\":{},\"oracle_queries\":{}}}",
+            m.stage, m.iterations, m.dips_eliminated, m.clauses_learned, m.oracle_queries
+        ),
+    }
+}
+
 /// Executes one job. The returned [`Json`] is the `result` object of the
 /// `result`/`status` ops — free of wall-clock values, so results are
 /// byte-deterministic (the golden-transcript property).
@@ -284,6 +371,7 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
             scheme,
             key_bits,
             seed,
+            hamming_distance,
         } => {
             ctx.set_stage("compile");
             let src = state
@@ -295,11 +383,17 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
             h = fnv1a64_extend(h, scheme.as_str().as_bytes());
             h = fnv1a64_extend(h, &(*key_bits as u64).to_le_bytes());
             h = fnv1a64_extend(h, &seed.to_le_bytes());
+            // Folded in only where it matters, so rll/wll artifact ids are
+            // stable across the sfll addition.
+            if *scheme == LockScheme::Sfll {
+                h = fnv1a64_extend(h, &(*hamming_distance as u64).to_le_bytes());
+            }
             let id = hex16(h);
             let key = id.clone();
             let scheme = *scheme;
             let key_bits = *key_bits;
             let seed = *seed;
+            let hamming_distance = *hamming_distance;
             let src2 = Arc::clone(&src);
             let art = state
                 .locked
@@ -320,6 +414,14 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
                                 seed,
                             },
                         ),
+                        LockScheme::Sfll => locking::sfll::sfll_hd(
+                            &src2.circuit,
+                            &locking::sfll::SfllConfig {
+                                key_bits,
+                                hamming_distance,
+                                seed,
+                            },
+                        ),
                     }
                     .map_err(|e| format!("lock failed: {e}"))?;
                     let compiled = CompiledCircuit::compile(&locked.circuit)
@@ -329,6 +431,7 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
                         compiled: Arc::new(compiled),
                         source: src2.id.clone(),
                         id: key,
+                        schedule: None,
                     })
                 })
                 .map_err(JobError::Failed)?;
@@ -344,6 +447,7 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
             target,
             attack,
             max_iterations,
+            query_budget,
         } => {
             ctx.set_stage("oracle");
             let art = state
@@ -354,23 +458,65 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
                 CombOracle::from_locked_compiled(&art.locked, Arc::clone(&art.compiled));
             ctx.checkpoint()?;
             ctx.set_stage("attack");
-            let outcome = match attack {
+            // One engine per wire name; `max_iterations` maps onto each
+            // engine's own notion of an iteration.
+            let mi = *max_iterations;
+            let eng: Box<dyn AttackEngine> = match attack {
                 AttackKind::Sat => {
-                    let mut cfg = sat::SatAttackConfig::default();
-                    if *max_iterations > 0 {
-                        cfg.max_iterations = *max_iterations;
+                    let mut config = sat::SatAttackConfig::default();
+                    if mi > 0 {
+                        config.max_iterations = mi;
                     }
-                    sat::attack(&art.locked, &mut oracle, &cfg)
+                    Box::new(sat::SatEngine { config })
+                }
+                AttackKind::AppSat => {
+                    let mut config = appsat::AppSatConfig::default();
+                    if mi > 0 {
+                        config.max_iterations = mi;
+                    }
+                    Box::new(appsat::AppSatEngine { config })
+                }
+                AttackKind::DoubleDip => {
+                    let mut config = double_dip::DoubleDipConfig::default();
+                    if mi > 0 {
+                        config.max_iterations = mi;
+                    }
+                    Box::new(double_dip::DoubleDipEngine { config })
                 }
                 AttackKind::Hill => {
-                    let mut cfg = hill_climbing::HillClimbConfig::default();
-                    if *max_iterations > 0 {
-                        cfg.restarts = *max_iterations;
+                    let mut config = hill_climbing::HillClimbConfig::default();
+                    if mi > 0 {
+                        config.restarts = mi;
                     }
-                    hill_climbing::attack(&art.locked, &mut oracle, &cfg)
+                    Box::new(hill_climbing::HillClimbEngine { config })
+                }
+                AttackKind::Sensitization => {
+                    let mut config = sensitization::SensitizationConfig::default();
+                    if mi > 0 {
+                        config.probes_per_bit = mi;
+                    }
+                    Box::new(sensitization::SensitizationEngine { config })
                 }
             };
-            ctx.checkpoint()?;
+            // The engine's control block observes the *same* cancel flag
+            // the `cancel` op raises and the job's submit-time deadline, so
+            // interrupts land mid-solve instead of at stage boundaries.
+            let progress = ctx.progress_log();
+            let mut ctl = AttackCtl::new()
+                .with_cancel(ctx.cancel_flag())
+                .with_deadline(ctx.deadline())
+                .with_query_budget(if *query_budget > 0 {
+                    Some(*query_budget)
+                } else {
+                    None
+                })
+                .with_progress(Box::new(move |e| progress.push(render_progress(e))));
+            let outcome = engine::run(eng.as_ref(), &art.locked, &mut oracle, &mut ctl);
+            match outcome.failure {
+                Some(FailureReason::Cancelled) => return Err(JobError::Cancelled),
+                Some(FailureReason::TimedOut) => return Err(JobError::TimedOut),
+                _ => {}
+            }
             Ok(json_object! {
                 succeeded: outcome.succeeded(),
                 key: outcome.key.as_deref().map(proto::key_to_bits),
@@ -379,6 +525,78 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
                 oracle_queries: outcome.oracle_queries,
                 failure: outcome.failure.map(|f| f.to_string()),
                 solver: outcome.telemetry.solver,
+            })
+        }
+        JobSpec::Protect {
+            bench,
+            key_bits,
+            variant,
+            seed,
+        } => {
+            ctx.set_stage("compile");
+            let src = state
+                .circuit_artifact(bench)
+                .map_err(JobError::Failed)?;
+            ctx.checkpoint()?;
+            ctx.set_stage("protect");
+            let variant_str = match variant {
+                orap::OrapVariant::Basic => "basic",
+                orap::OrapVariant::Modified => "modified",
+            };
+            let mut h = fnv1a64(src.id.as_bytes());
+            h = fnv1a64_extend(h, b"orap");
+            h = fnv1a64_extend(h, variant_str.as_bytes());
+            h = fnv1a64_extend(h, &(*key_bits as u64).to_le_bytes());
+            h = fnv1a64_extend(h, &seed.to_le_bytes());
+            let id = hex16(h);
+            let key = id.clone();
+            let key_bits = *key_bits;
+            let variant = *variant;
+            let seed = *seed;
+            let src2 = Arc::clone(&src);
+            let art = state
+                .locked
+                .get_or_build(&id, move || {
+                    let protected = orap::protect(
+                        &src2.circuit,
+                        &locking::weighted::WllConfig {
+                            key_bits,
+                            control_width: 3,
+                            seed,
+                        },
+                        &orap::OrapConfig {
+                            variant,
+                            seed,
+                            ..orap::OrapConfig::default()
+                        },
+                    )
+                    .map_err(|e| format!("protect failed: {e}"))?;
+                    let compiled = CompiledCircuit::compile(&protected.locked.circuit)
+                        .map_err(|e| format!("compile failed: {e}"))?;
+                    let schedule = json_object! {
+                        unlock_cycles: protected.unlock_cycles(),
+                        memory_points: protected.memory_points.len(),
+                        response_points: protected.response_points.len(),
+                        hardware_gates: protected.hardware.gates(),
+                    };
+                    Ok(LockedArtifact {
+                        locked: protected.locked,
+                        compiled: Arc::new(compiled),
+                        source: src2.id.clone(),
+                        id: key,
+                        schedule: Some(schedule),
+                    })
+                })
+                .map_err(JobError::Failed)?;
+            ctx.checkpoint()?;
+            Ok(json_object! {
+                artifact: art.id,
+                source: art.source,
+                scheme: "orap",
+                variant: variant_str,
+                key_bits: art.locked.key_bits(),
+                gates: art.locked.circuit.num_gates(),
+                schedule: art.schedule.clone(),
             })
         }
         JobSpec::Verify { target, key } => {
@@ -454,6 +672,9 @@ mod tests {
             r#"{"kind":"verify","target":"t","key":"10a1"}"#,
             r#"{"kind":"sleep"}"#,
             r#"{"no_kind":true}"#,
+            r#"{"kind":"lock","bench":"x","scheme":"sfll","key_bits":4,"hamming_distance":9}"#,
+            r#"{"kind":"protect","bench":"x","key_bits":0}"#,
+            r#"{"kind":"protect","bench":"x","key_bits":8,"variant":"turbo"}"#,
         ];
         for b in bad {
             let j = orap_bench::json::parse(b).unwrap();
@@ -466,6 +687,11 @@ mod tests {
         let ok = [
             (r#"{"kind":"lock","bench":"INPUT(a)","scheme":"wll","key_bits":6,"seed":3}"#, "lock"),
             (r#"{"kind":"attack","target":"abc","attack":"sat"}"#, "attack"),
+            (r#"{"kind":"attack","target":"abc","attack":"appsat","query_budget":64}"#, "attack"),
+            (r#"{"kind":"attack","target":"abc","attack":"double_dip"}"#, "attack"),
+            (r#"{"kind":"attack","target":"abc","attack":"sensitization"}"#, "attack"),
+            (r#"{"kind":"lock","bench":"x","scheme":"sfll","key_bits":4,"hamming_distance":1}"#, "lock"),
+            (r#"{"kind":"protect","bench":"x","key_bits":8,"variant":"basic"}"#, "protect"),
             (r#"{"kind":"verify","target":"abc","key":"0110"}"#, "verify"),
             (r#"{"kind":"atpg","bench":"INPUT(a)"}"#, "atpg"),
             (r#"{"kind":"sleep","ms":5}"#, "sleep"),

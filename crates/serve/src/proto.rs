@@ -33,6 +33,8 @@ pub mod code {
     pub const UNKNOWN_OP: u64 = 103;
     /// `job_id` does not name a job on this daemon.
     pub const UNKNOWN_JOB: u64 = 200;
+    /// `subscribe.from` points past the end of a closed progress stream.
+    pub const BAD_CURSOR: u64 = 201;
     /// Submission rejected because the daemon is shutting down.
     pub const SHUTTING_DOWN: u64 = 300;
 }

@@ -13,8 +13,18 @@
 //! tests and clients can observe it. Cancellation and timeouts are
 //! *cooperative*: a running job observes them at its next
 //! [`JobCtx::checkpoint`] (job adapters call it between pipeline stages,
-//! and the `sleep` diagnostic job every few milliseconds), so a timeout
-//! fires at checkpoint granularity, never mid-stage.
+//! and the `sleep` diagnostic job every few milliseconds). Attack jobs go
+//! further: the job adapter hands [`JobCtx::cancel_flag`] and
+//! [`JobCtx::deadline`] to the attack engine's `AttackCtl`, which arms the
+//! CDCL solver's conflict-granularity interrupt hook — so cancels and
+//! timeouts take effect *mid-solve*, not just between pipeline stages.
+//!
+//! Every job also carries a [`ProgressLog`]: an append-only, bounded list
+//! of pre-rendered progress events that the `subscribe` op streams to
+//! clients. The log is created at submission (subscribing before the job
+//! runs is valid), closed when the job reaches a terminal state, and
+//! capped at [`PROGRESS_CAP`] events (overflow is counted, never blocks
+//! the worker).
 //!
 //! The worker pool is built on [`exec::Pool`]: `run` issues one `par_map`
 //! whose items are the worker indices, so each worker loop occupies one
@@ -23,7 +33,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -132,13 +142,117 @@ pub enum JobInterrupt {
     TimedOut,
 }
 
+/// Hard cap on stored progress events per job; past it events are counted
+/// in [`ProgressBatch::dropped`] instead of stored, so a chatty job can
+/// never hold the daemon's memory hostage.
+pub const PROGRESS_CAP: usize = 4096;
+
+/// Append-only per-job event log backing the `subscribe` op.
+///
+/// Events are pre-rendered strings (compact JSON on the wire path) so the
+/// queue stays payload-agnostic. Writers never block; readers block on a
+/// condvar until new events arrive or the log closes.
+pub struct ProgressLog {
+    inner: Mutex<ProgressInner>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct ProgressInner {
+    events: Vec<String>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// What [`ProgressLog::wait_events`] hands back to a subscriber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressBatch {
+    /// Events starting at the requested cursor, in order.
+    pub events: Vec<String>,
+    /// Cursor to pass next time (absolute index of the next unseen event).
+    pub next_cursor: u64,
+    /// Whether the log is closed (the job is terminal) — no more events
+    /// will ever arrive.
+    pub closed: bool,
+    /// Events discarded because the log hit [`PROGRESS_CAP`].
+    pub dropped: u64,
+}
+
+impl ProgressLog {
+    fn new() -> Arc<ProgressLog> {
+        Arc::new(ProgressLog {
+            inner: Mutex::new(ProgressInner::default()),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Appends one pre-rendered event. Never blocks; past the cap the
+    /// event is counted as dropped. No-op once closed.
+    pub fn push(&self, event: String) {
+        let mut g = self.inner.lock().expect("progress lock");
+        if g.closed {
+            return;
+        }
+        if g.events.len() >= PROGRESS_CAP {
+            g.dropped += 1;
+        } else {
+            g.events.push(event);
+        }
+        drop(g);
+        self.cond.notify_all();
+    }
+
+    fn close(&self) {
+        let mut g = self.inner.lock().expect("progress lock");
+        g.closed = true;
+        drop(g);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until at least one event at/after `cursor` exists, the log
+    /// closes, or `limit` passes; returns up to `max` events from `cursor`.
+    /// A cursor past the end of a closed log returns an empty, closed
+    /// batch (the caller decides whether that is an error).
+    pub fn wait_events(&self, cursor: u64, max: usize, limit: Duration) -> ProgressBatch {
+        let deadline = Instant::now() + limit;
+        let mut g = self.inner.lock().expect("progress lock");
+        loop {
+            if (g.events.len() as u64) > cursor || g.closed {
+                let from = (cursor as usize).min(g.events.len());
+                let to = g.events.len().min(from + max.max(1));
+                return ProgressBatch {
+                    events: g.events[from..to].to_vec(),
+                    next_cursor: to as u64,
+                    closed: g.closed && to == g.events.len(),
+                    dropped: g.dropped,
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return ProgressBatch {
+                    events: Vec::new(),
+                    next_cursor: cursor,
+                    closed: false,
+                    dropped: g.dropped,
+                };
+            }
+            let (ng, _) = self
+                .cond
+                .wait_timeout(g, deadline - now)
+                .expect("progress lock");
+            g = ng;
+        }
+    }
+}
+
 /// Execution context handed to the job runner: cancellation flag, deadline
 /// and the progress-stage recorder.
 pub struct JobCtx {
-    cancel: Arc<AtomicU8>,
+    cancel: Arc<AtomicBool>,
     deadline: Option<Instant>,
     started: Instant,
     stage: Mutex<StageLog>,
+    progress: Arc<ProgressLog>,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -150,21 +264,43 @@ struct StageLog {
 }
 
 impl JobCtx {
-    fn new(cancel: Arc<AtomicU8>, timeout: Option<Duration>) -> JobCtx {
+    fn new(
+        cancel: Arc<AtomicBool>,
+        timeout: Option<Duration>,
+        progress: Arc<ProgressLog>,
+    ) -> JobCtx {
         let started = Instant::now();
         JobCtx {
             cancel,
             deadline: timeout.map(|t| started + t),
             started,
             stage: Mutex::new(StageLog::default()),
+            progress,
         }
+    }
+
+    /// The job's cancel flag — the same flag the `cancel` op raises. Job
+    /// adapters hand this to an attack engine's `AttackCtl` so the CDCL
+    /// conflict-granularity hook observes daemon-side cancellation.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// The job's absolute deadline, if a timeout was submitted.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The job's progress log (shared with subscribers).
+    pub fn progress_log(&self) -> Arc<ProgressLog> {
+        Arc::clone(&self.progress)
     }
 
     /// Returns an interrupt if a cancel request is pending or the deadline
     /// has passed. Job adapters call this between pipeline stages; the
     /// contract is "checkpoint at least once per stage".
     pub fn checkpoint(&self) -> Result<(), JobInterrupt> {
-        if self.cancel.load(Ordering::Acquire) != 0 {
+        if self.cancel.load(Ordering::Acquire) {
             return Err(JobInterrupt::Cancelled);
         }
         if let Some(d) = self.deadline {
@@ -191,7 +327,9 @@ impl JobCtx {
     }
 
     /// Records entering a named pipeline stage; the previous stage's wall
-    /// time is closed out into the per-stage telemetry (`status` op).
+    /// time is closed out into the per-stage telemetry (`status` op), and a
+    /// `phase` event is pushed to subscribers. Stage names are static
+    /// identifiers, so embedding them in the pre-rendered JSON is safe.
     pub fn set_stage(&self, name: &str) {
         let now_ns = self.started.elapsed().as_nanos() as u64;
         let mut log = self.stage.lock().expect("stage lock");
@@ -202,6 +340,8 @@ impl JobCtx {
         }
         log.current = name.to_string();
         log.current_since_ns = now_ns;
+        drop(log);
+        self.progress.push(format!("{{\"type\":\"phase\",\"name\":\"{name}\"}}"));
     }
 
     fn stage_snapshot(&self) -> (String, Vec<(String, u64)>) {
@@ -255,8 +395,9 @@ struct Job<J, R> {
     priority: Priority,
     state: JobState,
     payload: Option<J>,
-    cancel: Arc<AtomicU8>,
+    cancel: Arc<AtomicBool>,
     timeout: Option<Duration>,
+    progress: Arc<ProgressLog>,
     submitted: Instant,
     dequeued: Option<Instant>,
     finished: Option<Instant>,
@@ -367,8 +508,9 @@ impl<J: Send, R: Clone + Send> JobQueue<J, R> {
                 priority,
                 state: JobState::Queued,
                 payload: Some(payload),
-                cancel: Arc::new(AtomicU8::new(0)),
+                cancel: Arc::new(AtomicBool::new(false)),
                 timeout,
+                progress: ProgressLog::new(),
                 submitted: Instant::now(),
                 dequeued: None,
                 finished: None,
@@ -399,7 +541,8 @@ impl<J: Send, R: Clone + Send> JobQueue<J, R> {
                 job.state = JobState::Cancelled;
                 job.finished = Some(Instant::now());
                 job.payload = None;
-                job.cancel.store(1, Ordering::Release);
+                job.cancel.store(true, Ordering::Release);
+                job.progress.close();
                 for q in inner.pending.iter_mut() {
                     q.retain(|&p| p != id);
                 }
@@ -409,7 +552,7 @@ impl<J: Send, R: Clone + Send> JobQueue<J, R> {
                 Some(JobState::Cancelled)
             }
             JobState::Running => {
-                job.cancel.store(1, Ordering::Release);
+                job.cancel.store(true, Ordering::Release);
                 Some(JobState::Running)
             }
             s => Some(s),
@@ -420,6 +563,13 @@ impl<J: Send, R: Clone + Send> JobQueue<J, R> {
     pub fn status(&self, id: u64) -> Option<JobStatus<R>> {
         let g = self.inner.lock().expect("queue lock");
         g.jobs.get(&id).map(Self::snapshot)
+    }
+
+    /// The progress log of one job, or `None` for an unknown id. Valid
+    /// from submission (before the job runs) until the daemon exits.
+    pub fn progress(&self, id: u64) -> Option<Arc<ProgressLog>> {
+        let g = self.inner.lock().expect("queue lock");
+        g.jobs.get(&id).map(|j| Arc::clone(&j.progress))
     }
 
     fn snapshot(job: &Job<J, R>) -> JobStatus<R> {
@@ -497,13 +647,14 @@ impl<J: Send, R: Clone + Send> JobQueue<J, R> {
                     job.state = JobState::Cancelled;
                     job.finished = Some(now);
                     job.payload = None;
-                    job.cancel.store(1, Ordering::Release);
+                    job.cancel.store(true, Ordering::Release);
+                    job.progress.close();
                     inner.stats.cancelled += 1;
                 }
             }
             for job in inner.jobs.values() {
                 if job.state == JobState::Running {
-                    job.cancel.store(1, Ordering::Release);
+                    job.cancel.store(true, Ordering::Release);
                 }
             }
         }
@@ -568,7 +719,11 @@ impl<J: Send, R: Clone + Send> JobQueue<J, R> {
                 j.state = JobState::Running;
                 j.started_seq = seq;
                 j.dequeued = Some(Instant::now());
-                let ctx = Arc::new(JobCtx::new(Arc::clone(&j.cancel), j.timeout));
+                let ctx = Arc::new(JobCtx::new(
+                    Arc::clone(&j.cancel),
+                    j.timeout,
+                    Arc::clone(&j.progress),
+                ));
                 j.ctx = Some(Arc::clone(&ctx));
                 let payload = j.payload.take().expect("queued job has payload");
                 (job, payload, ctx)
@@ -594,6 +749,7 @@ impl<J: Send, R: Clone + Send> JobQueue<J, R> {
             j.finished = Some(Instant::now());
             j.stages = ctx.close_stages();
             j.ctx = None;
+            j.progress.close();
             match outcome {
                 Ok(result) => {
                     j.state = JobState::Done;
@@ -692,6 +848,54 @@ mod tests {
         assert!(q.cancel(99).is_none());
         assert!(q.wait_terminal(99, WAIT).is_none());
         q.shutdown(true);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn progress_log_streams_phase_events_then_closes() {
+        let (q, h) = start(1);
+        let id = q.submit("sleep", Work::Sleep(30), Priority::Normal, None).unwrap();
+        let log = q.progress(id).unwrap();
+        let batch = log.wait_events(0, 16, WAIT);
+        assert_eq!(batch.events, [r#"{"type":"phase","name":"sleep"}"#]);
+        assert_eq!(batch.next_cursor, 1);
+        let fin = log.wait_events(batch.next_cursor, 16, WAIT);
+        assert!(fin.closed, "log closes when the job is terminal");
+        assert!(fin.events.is_empty());
+        assert_eq!(fin.dropped, 0);
+        q.shutdown(true);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn progress_log_caps_storage_and_counts_overflow() {
+        let log = ProgressLog::new();
+        for i in 0..PROGRESS_CAP + 5 {
+            log.push(format!("e{i}"));
+        }
+        let batch = log.wait_events(0, PROGRESS_CAP + 10, Duration::from_millis(10));
+        assert_eq!(batch.events.len(), PROGRESS_CAP);
+        assert_eq!(batch.dropped, 5);
+        assert!(!batch.closed);
+        log.close();
+        let fin = log.wait_events(batch.next_cursor, 10, WAIT);
+        assert!(fin.closed);
+        assert_eq!(fin.next_cursor, PROGRESS_CAP as u64);
+    }
+
+    #[test]
+    fn cancelled_queued_job_closes_its_progress_log() {
+        let (q, h) = start(1);
+        let blocker = q.submit("sleep", Work::Sleep(200), Priority::Normal, None).unwrap();
+        while q.status(blocker).unwrap().state != JobState::Running {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let queued = q.submit("sleep", Work::Sleep(1), Priority::Normal, None).unwrap();
+        q.cancel(queued);
+        let fin = q.progress(queued).unwrap().wait_events(0, 16, WAIT);
+        assert!(fin.closed, "cancel-while-queued must close the log");
+        assert!(fin.events.is_empty());
+        q.shutdown(false);
         h.join().unwrap();
     }
 

@@ -195,22 +195,46 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
             Err(_) => return,
         };
-        let (response, close) = handle_payload(&frame, shared);
-        if stream.write_all(&proto::encode(&response)).is_err() {
-            return;
-        }
-        if close {
-            return;
+        match handle_payload(&frame, shared) {
+            Action::Respond(response, close) => {
+                if stream.write_all(&proto::encode(&response)).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Action::Subscribe { id, msg } => {
+                // The one multi-frame op: pushes event frames until the
+                // job's progress log closes, then a final `done` frame —
+                // after which the connection returns to request/response.
+                if !op_subscribe(&mut stream, id, &msg, shared) {
+                    return;
+                }
+            }
         }
     }
 }
 
-/// Parses one request payload and produces `(response, close_connection)`.
-fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> (Json, bool) {
+/// What the connection loop should do with one parsed request.
+enum Action {
+    /// Write one response frame; close the connection if the flag is set.
+    Respond(Json, bool),
+    /// Enter the multi-frame `subscribe` push loop.
+    Subscribe {
+        /// Request id echoed on every pushed frame.
+        id: u64,
+        /// The full request (for `job_id` / `from`).
+        msg: Json,
+    },
+}
+
+/// Parses one request payload and decides how the connection proceeds.
+fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> Action {
     let text = match std::str::from_utf8(payload) {
         Ok(t) => t,
         Err(_) => {
-            return (
+            return Action::Respond(
                 proto::err_response(0, code::BAD_JSON, "payload is not UTF-8"),
                 true,
             )
@@ -219,7 +243,7 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> (Json, bool) {
     let msg = match orap_bench::json::parse(text) {
         Ok(m) => m,
         Err(e) => {
-            return (
+            return Action::Respond(
                 proto::err_response(0, code::BAD_JSON, &format!("bad json: {e}")),
                 true,
             )
@@ -227,7 +251,7 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> (Json, bool) {
     };
     let id = proto::get_u64(&msg, "id").unwrap_or(0);
     let Some(op) = proto::get_str(&msg, "op") else {
-        return (
+        return Action::Respond(
             proto::err_response(id, code::BAD_REQUEST, "op must be a string"),
             false,
         );
@@ -244,6 +268,7 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> (Json, bool) {
         "status" => op_status(id, &msg, shared, false),
         "result" => op_status(id, &msg, shared, true),
         "cancel" => op_cancel(id, &msg, shared),
+        "subscribe" => return Action::Subscribe { id, msg },
         "stats" => op_stats(id, shared),
         "shutdown" => {
             let drain = proto::get(&msg, "drain")
@@ -251,14 +276,80 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> (Json, bool) {
                 .unwrap_or(true);
             shared.queue.shutdown(drain);
             shared.stop_accept.store(true, Ordering::Release);
-            return (
+            return Action::Respond(
                 proto::ok_response(id, vec![("draining".to_string(), drain.to_json())]),
                 true,
             );
         }
         other => proto::err_response(id, code::UNKNOWN_OP, &format!("unknown op: {other}")),
     };
-    (resp, false)
+    Action::Respond(resp, false)
+}
+
+/// The `subscribe` op: streams progress-event frames for one job from a
+/// client-supplied cursor until the log closes, then writes a final frame
+/// carrying the job's terminal state. Returns `false` when the connection
+/// should close (write failure); protocol errors are single frames and
+/// leave the connection open.
+fn op_subscribe(stream: &mut TcpStream, id: u64, msg: &Json, shared: &Arc<Shared>) -> bool {
+    let Some(job_id) = proto::get_u64(msg, "job_id") else {
+        let resp = proto::err_response(id, code::BAD_REQUEST, "job_id must be a number");
+        return stream.write_all(&proto::encode(&resp)).is_ok();
+    };
+    let from = proto::get_u64(msg, "from").unwrap_or(0);
+    let Some(log) = shared.queue.progress(job_id) else {
+        let resp = proto::err_response(id, code::UNKNOWN_JOB, &format!("unknown job: {job_id}"));
+        return stream.write_all(&proto::encode(&resp)).is_ok();
+    };
+    let mut cursor = from;
+    loop {
+        let batch = log.wait_events(cursor, 256, Duration::from_secs(600));
+        if batch.closed && batch.next_cursor < from {
+            // The stream ended before the requested cursor: client bug.
+            let resp = proto::err_response(
+                id,
+                code::BAD_CURSOR,
+                &format!(
+                    "cursor {from} past the end of the closed stream ({} events)",
+                    batch.next_cursor
+                ),
+            );
+            return stream.write_all(&proto::encode(&resp)).is_ok();
+        }
+        for (i, ev) in batch.events.iter().enumerate() {
+            let event = orap_bench::json::parse(ev)
+                .unwrap_or_else(|_| Json::Str(ev.clone()));
+            let frame = proto::ok_response(
+                id,
+                vec![
+                    ("job_id".to_string(), job_id.to_json()),
+                    ("seq".to_string(), (cursor + i as u64).to_json()),
+                    ("event".to_string(), event),
+                ],
+            );
+            if stream.write_all(&proto::encode(&frame)).is_err() {
+                return false;
+            }
+        }
+        cursor = batch.next_cursor;
+        if batch.closed {
+            let state = shared
+                .queue
+                .status(job_id)
+                .map_or("?", |s| s.state.as_str());
+            let frame = proto::ok_response(
+                id,
+                vec![
+                    ("job_id".to_string(), job_id.to_json()),
+                    ("done".to_string(), true.to_json()),
+                    ("state".to_string(), state.to_json()),
+                    ("events".to_string(), cursor.to_json()),
+                    ("dropped".to_string(), batch.dropped.to_json()),
+                ],
+            );
+            return stream.write_all(&proto::encode(&frame)).is_ok();
+        }
+    }
 }
 
 fn op_submit(id: u64, msg: &Json, shared: &Arc<Shared>) -> Json {
@@ -369,6 +460,7 @@ fn op_stats(id: u64, shared: &Arc<Shared>) -> Json {
         depth_high: q.depth[0],
         depth_normal: q.depth[1],
         depth_low: q.depth[2],
+        depth_total: q.depth[0] + q.depth[1] + q.depth[2],
         running: q.running,
         submitted: q.submitted,
         completed: q.completed,

@@ -110,6 +110,45 @@ fn timeout_interrupts_running_job() {
     handle.stop();
 }
 
+/// A short per-job timeout fires *mid-solve* on a SAT attack whose first
+/// miter solve alone far outlasts it: the engine layer hands the job
+/// deadline to the CDCL conflict-budget hook, so the job lands in
+/// `timed_out` promptly instead of grinding through the full attack.
+#[test]
+fn timeout_interrupts_sat_attack_mid_solve() {
+    let (mut handle, addr) = start(1);
+    let mut c = connect(&addr);
+
+    // ~20k gates, 32 key bits: each DIP solve is long enough that a
+    // stage-boundary checkpoint would be far too coarse to honour a 200 ms
+    // deadline.
+    let comb = netlist::generate::random_comb(7, 48, 24, 20_000).unwrap();
+    let bench = netlist::bench::write(&comb);
+    let job = c.submit_lock(&bench, "rll", 32, 11).unwrap();
+    let done = c.wait_result(job).unwrap();
+    assert_eq!(proto::get_str(&done, "state"), Some("done"));
+    let artifact = proto::get_str(proto::get(&done, "result").unwrap(), "artifact")
+        .unwrap()
+        .to_string();
+
+    let start = std::time::Instant::now();
+    let job = c
+        .submit_with(
+            orap_bench::json_object! { kind: "attack", target: artifact, attack: "sat" },
+            None,
+            Some(Duration::from_millis(200)),
+        )
+        .unwrap();
+    let st = c.wait_result(job).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(proto::get_str(&st, "state"), Some("timed_out"));
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "mid-solve timeout took {elapsed:?}"
+    );
+    handle.stop();
+}
+
 /// Thundering herd over TCP: 8 connections submit the identical lock job
 /// concurrently; the daemon compiles the circuit once and builds the
 /// locked artifact once — every other request coalesces onto those builds.

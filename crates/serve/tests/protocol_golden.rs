@@ -236,6 +236,40 @@ fn scenario_session() -> Vec<Vec<u8>> {
     ]
 }
 
+fn scenario_subscribe() -> Vec<Vec<u8>> {
+    let bench = netlist::bench::write(&netlist::samples::c17());
+    vec![
+        req(
+            1,
+            "submit",
+            vec![(
+                "job".to_string(),
+                json_object! { kind: "lock", bench: bench, scheme: "rll", key_bits: 4u64, seed: 7u64 },
+            )],
+        ),
+        req(2, "result", vec![("job_id".to_string(), 1u64.to_json())]),
+        req(
+            3,
+            "submit",
+            vec![(
+                "job".to_string(),
+                json_object! { kind: "attack", target: "__ARTIFACT__", attack: "sat" },
+            )],
+        ),
+        req(4, "result", vec![("job_id".to_string(), 2u64.to_json())]),
+        // Multi-frame: replays the finished attack's progress stream.
+        req(
+            5,
+            "subscribe",
+            vec![
+                ("job_id".to_string(), 2u64.to_json()),
+                ("from".to_string(), 0u64.to_json()),
+            ],
+        ),
+        req(6, "subscribe", vec![("job_id".to_string(), 99u64.to_json())]),
+    ]
+}
+
 fn scenario_cancel() -> Vec<Vec<u8>> {
     vec![
         req(
@@ -297,6 +331,7 @@ fn regen_golden_transcripts() {
     for (name, frames) in [
         ("handshake and protocol errors", scenario_handshake()),
         ("full lock -> attack -> verify session", scenario_session()),
+        ("progress subscription replay", scenario_subscribe()),
         ("cancellation and immediate shutdown", scenario_cancel()),
     ] {
         let (mut handle, mut stream) = golden_server();
@@ -305,20 +340,31 @@ fn regen_golden_transcripts() {
         let mut recovered_key = String::new();
         for frame in frames {
             let frame = substitute(&frame, &artifact, &recovered_key);
+            let is_subscribe =
+                std::str::from_utf8(&frame[8..]).unwrap().contains("\"op\":\"subscribe\"");
             stream.write_all(&frame).expect("write");
             entries.push(Entry::Client(frame));
-            let resp = read_one_frame(&mut stream);
-            let json =
-                orap_bench::json::parse(std::str::from_utf8(&resp[8..]).unwrap()).unwrap();
-            if let Some(result) = proto::get(&json, "result") {
-                if let Some(a) = proto::get_str(result, "artifact") {
-                    artifact = a.to_string();
+            // `subscribe` is the one multi-frame op: keep reading until the
+            // final `done` frame (or a single error frame).
+            loop {
+                let resp = read_one_frame(&mut stream);
+                let text = std::str::from_utf8(&resp[8..]).unwrap().to_string();
+                let json = orap_bench::json::parse(&text).unwrap();
+                if let Some(result) = proto::get(&json, "result") {
+                    if let Some(a) = proto::get_str(result, "artifact") {
+                        artifact = a.to_string();
+                    }
+                    if let Some(k) = proto::get_str(result, "key") {
+                        recovered_key = k.to_string();
+                    }
                 }
-                if let Some(k) = proto::get_str(result, "key") {
-                    recovered_key = k.to_string();
+                entries.push(Entry::Server(resp));
+                let done = proto::get(&json, "done").and_then(proto::as_bool) == Some(true);
+                let ok = proto::get(&json, "ok").and_then(proto::as_bool) == Some(true);
+                if !is_subscribe || done || !ok {
+                    break;
                 }
             }
-            entries.push(Entry::Server(resp));
         }
         print_block(name, 1, &entries);
         drop(stream);
