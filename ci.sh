@@ -43,6 +43,23 @@ ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench conformance --offline
 echo "==> scaling bench (smoke mode) -> results/BENCH_scaling_smoke.json"
 ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench scaling --offline
 
+echo "==> scancheck: scan-obfuscation workloads (smoke mode) -> results/BENCH_scan_smoke.json"
+ORAP_BENCH_SMOKE=1 cargo bench -p orap-bench --bench scan --offline
+# The harness gates on the clean battery, the session-exact seed and the
+# three scan mutants; the shape check keeps the exported schema honest
+# (unroll geometry, solver stats, kill count).
+for field in unroll_depth load_cycles frame_bits conflicts propagations \
+             scan_mutants scan_kills; do
+  if ! grep -q "\"$field\"" results/BENCH_scan_smoke.json; then
+    echo "ERROR: BENCH_scan_smoke.json missing expected field: $field" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"scan_kills": 3' results/BENCH_scan_smoke.json; then
+  echo "ERROR: BENCH_scan_smoke.json does not report all scan mutants killed" >&2
+  exit 1
+fi
+
 echo "==> serve smoke: daemon + load harness -> results/BENCH_serve_smoke.json"
 SERVE_PORT_FILE="$(mktemp)"
 rm -f "$SERVE_PORT_FILE"

@@ -387,15 +387,19 @@ pub fn by_name(name: &str) -> Option<Box<dyn AttackEngine>> {
         "sensitization" | "sensitize" => {
             Some(Box::new(crate::sensitization::SensitizationEngine::default()))
         }
+        "dyn_unlock" | "dyn-unlock" | "dynunlock" => {
+            Some(Box::new(crate::dyn_unlock::DynUnlockEngine::default()))
+        }
         _ => None,
     }
 }
 
 /// The canonical engine names, in bench/report order.
-pub const ENGINE_NAMES: [&str; 5] = [
+pub const ENGINE_NAMES: [&str; 6] = [
     "sat",
     "appsat",
     "double_dip",
     "hill_climbing",
     "sensitization",
+    "dyn_unlock",
 ];

@@ -25,6 +25,9 @@
 //!   — per-bit consistency inference from sensitizing patterns.
 //! - [`sps`]: the oracle-less signal-probability-skew removal attack
 //!   (Yasin et al., TETC 2017), which strips Anti-SAT-style blocks.
+//! - [`dyn_unlock`]: DynUnlock (Limaye & Sinanoglu, DATE 2020) — the SAT
+//!   loop over bounded scan sessions unrolled from dynamically keyed scan
+//!   obfuscation, recovering the LFSR seed through the scan interface.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@ pub mod aigcnf;
 pub mod appsat;
 pub mod cnf;
 pub mod double_dip;
+pub mod dyn_unlock;
 pub mod engine;
 pub mod hill_climbing;
 pub mod sat;

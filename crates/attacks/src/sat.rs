@@ -105,9 +105,18 @@ impl AttackContext {
     /// Records an oracle response: constrains both miter key copies to
     /// reproduce it.
     pub fn learn(&mut self, x: &[bool], y: &[bool]) {
+        self.learn_prefix(x, y, y.len());
+    }
+
+    /// [`learn`](AttackContext::learn), but asserting only the first
+    /// `limit` response bits (the session attacks' dropped-frame mutant
+    /// drives this with a short limit).
+    pub fn learn_prefix(&mut self, x: &[bool], y: &[bool], limit: usize) {
         let before = self.solver.num_clauses();
-        self.enc.add_io_constraint(&mut self.solver, 0, x, y);
-        self.enc.add_io_constraint(&mut self.solver, 1, x, y);
+        self.enc
+            .add_io_constraint_prefix(&mut self.solver, 0, x, y, limit);
+        self.enc
+            .add_io_constraint_prefix(&mut self.solver, 1, x, y, limit);
         let stats = self.solver.stats();
         self.dips.push(DipTelemetry {
             clauses_added: self.solver.num_clauses().saturating_sub(before),

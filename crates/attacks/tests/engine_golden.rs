@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use attacks::appsat::{AppSatConfig, AppSatEngine};
 use attacks::double_dip::{DoubleDipConfig, DoubleDipEngine};
+use attacks::dyn_unlock::{DynUnlockConfig, DynUnlockEngine, ScanSessionOracle};
 use attacks::engine::{
     self, AttackCtl, AttackEngine, Interrupt, ProgressEvent, StepStatus, ENGINE_NAMES,
 };
@@ -83,6 +84,80 @@ fn sensitization_golden_is_bit_identical_to_pre_engine_attack() {
         config: SensitizationConfig { probes_per_bit: 16 },
     };
     assert_golden(&e, &rll(&samples::ripple_adder(8), 3, 21), 48, 48, "111");
+}
+
+/// Records every stimulus an oracle answers, so the golden can pin the
+/// exact distinguishing-session sequence, not just its length.
+struct RecordingOracle<'a> {
+    inner: &'a mut dyn Oracle,
+    stimuli: Vec<String>,
+}
+
+impl Oracle for RecordingOracle<'_> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+    fn query(&mut self, input: &[bool]) -> Option<Vec<bool>> {
+        self.stimuli.push(key_string(input));
+        self.inner.query(input)
+    }
+    fn queries_attempted(&self) -> usize {
+        self.inner.queries_attempted()
+    }
+}
+
+/// DynUnlock on the scan-obfuscation battery workload: the exact frame
+/// layout of the unrolled session, the distinguishing-session sequence the
+/// attack sent through the scan interface, and the recovered LFSR seed are
+/// all pinned bit-for-bit.
+#[test]
+fn dyn_unlock_golden_pins_the_session_frame_sequence() {
+    use locking::scan_obfuscation::{self, ScanObfConfig, UnrollOptions};
+
+    let original = samples::counter(8);
+    let locked = scan_obfuscation::lock(
+        &original,
+        &ScanObfConfig {
+            key_bits: 8,
+            num_chains: 2,
+            invert_spacing: 2,
+            swap_spacing: 2,
+            seed: 3,
+        },
+    )
+    .expect("lockable");
+    let unrolled = locked.unroll(&UnrollOptions::default()).expect("acyclic");
+
+    // Frame layout golden: 4 load shifts + capture + 4 unload shifts, two
+    // bits per frame, eight capture outputs.
+    assert_eq!(unrolled.unroll_depth(), 9);
+    assert_eq!(unrolled.frame_bits(), 2);
+    assert_eq!(unrolled.capture_outputs, 8);
+    assert_eq!(unrolled.locked.circuit.primary_outputs().len(), 24);
+
+    let mut chip = ScanSessionOracle::new(&locked, &unrolled).expect("chip oracle");
+    let mut oracle = RecordingOracle { inner: &mut chip, stimuli: Vec::new() };
+    let engine = DynUnlockEngine { config: DynUnlockConfig::for_session(&unrolled) };
+    let out = engine::run(&engine, &unrolled.locked, &mut oracle, &mut AttackCtl::new());
+
+    assert_eq!(out.iterations, 1, "dyn_unlock: iterations");
+    assert_eq!(out.oracle_queries, 1, "dyn_unlock: queries");
+    assert_eq!(
+        key_string(out.key.as_deref().expect("seed recovered")),
+        "10110100",
+        "dyn_unlock: recovered seed"
+    );
+    // The distinguishing-session stimulus: 8 scan-stream bits (cycle-major,
+    // two chains × four load cycles) then the single primary input.
+    assert_eq!(oracle.stimuli, vec!["011011000".to_string()]);
+    assert!(
+        attacks::verify::key_exact_counterexample(&unrolled.locked, out.key.as_ref().unwrap())
+            .is_none(),
+        "recovered seed must be session-exact"
+    );
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Scan-obfuscation workload harness: DynUnlock against a dynamically
+//! keyed scan chain plus the K-Gate SAT leg, with the scan-specific
+//! mutation kills as a gate.
+//!
+//! Like the `conformance` harness this is a *gate*, not a timing bench: it
+//! exits non-zero if the clean scancheck battery fails, if DynUnlock does
+//! not recover a session-exact seed, or if any of the three scan mutants
+//! survives its battery.
+//!
+//! Results go to `results/BENCH_scan.json`; with `ORAP_BENCH_SMOKE=1` the
+//! smoke battery runs instead and writes `results/BENCH_scan_smoke.json`
+//! (the file checked into the repository — regenerate it when the scan
+//! workloads change).
+
+use std::time::Instant;
+
+use attacks::dyn_unlock::ScanSessionOracle;
+use attacks::engine::{self, AttackCtl};
+use conformance::mutation::Scale;
+use conformance::scancheck::{self, ScanSabotage};
+use locking::scan_obfuscation::{self, ScanObfConfig, UnrollOptions};
+use orap_bench::json::Json;
+use orap_bench::{json_object, write_results};
+
+fn main() {
+    let smoke = std::env::var("ORAP_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let scale = if smoke { Scale::Smoke } else { Scale::Full };
+    let start = Instant::now();
+
+    // --- DynUnlock against the battery's scan-obfuscation workload. -------
+    let (design, config) = if smoke {
+        (
+            netlist::samples::counter(8),
+            ScanObfConfig {
+                key_bits: 8,
+                num_chains: 2,
+                invert_spacing: 2,
+                swap_spacing: 2,
+                seed: 3,
+            },
+        )
+    } else {
+        (netlist::samples::counter(16), ScanObfConfig::balanced(16, 3))
+    };
+    let locked = scan_obfuscation::lock(&design, &config).expect("lockable");
+    let unrolled = locked.unroll(&UnrollOptions::default()).expect("acyclic");
+    let eng = engine::by_name("dyn_unlock").expect("registered engine");
+    let mut oracle = ScanSessionOracle::new(&locked, &unrolled).expect("chip oracle");
+    let out = engine::run(eng.as_ref(), &unrolled.locked, &mut oracle, &mut AttackCtl::new());
+    let key_exact = out
+        .key
+        .as_ref()
+        .map(|k| attacks::verify::key_exact_counterexample(&unrolled.locked, k).is_none())
+        .unwrap_or(false);
+    println!(
+        "dyn_unlock ({scale:?}): depth {} session, {} iterations, {} queries, \
+         seed recovered: {}, exact: {key_exact}",
+        unrolled.unroll_depth(),
+        out.iterations,
+        out.oracle_queries,
+        out.key.is_some(),
+    );
+
+    // --- Scan-specific mutation kills (plus the clean baseline). ----------
+    let baseline = scancheck::scan_battery(None, scale);
+    let mutants = [
+        ScanSabotage::WrongHopPermutation,
+        ScanSabotage::DropUnrollFrame,
+        ScanSabotage::DecodeTableSwap,
+    ];
+    let mut rows: Vec<Json> = Vec::new();
+    let mut kills = 0usize;
+    for sab in mutants {
+        let t = Instant::now();
+        let verdict = scancheck::scan_battery(Some(sab), scale);
+        let killed = verdict.is_err();
+        kills += killed as usize;
+        println!(
+            "  {:<24} {}",
+            format!("{sab:?}"),
+            if killed { "killed" } else { "SURVIVED" }
+        );
+        rows.push(json_object! {
+            mutant: format!("{sab:?}"),
+            killed: killed,
+            killed_by: verdict.err().unwrap_or_default(),
+            wall_ns: t.elapsed().as_nanos() as u64,
+        });
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    println!(
+        "scan kill count: {kills}/{} (baseline {})",
+        mutants.len(),
+        if baseline.is_ok() { "ok" } else { "FAILED" },
+    );
+
+    let doc = json_object! {
+        harness: "scan",
+        smoke: smoke,
+        scheme: unrolled.locked.scheme,
+        key_bits: config.key_bits,
+        num_chains: unrolled.num_chains,
+        unroll_depth: unrolled.unroll_depth(),
+        load_cycles: unrolled.load_cycles,
+        unload_cycles: unrolled.unload_cycles,
+        frame_bits: unrolled.frame_bits(),
+        dyn_unlock: json_object! {
+            key_recovered: out.key.is_some(),
+            key_exact: key_exact,
+            iterations: out.iterations,
+            oracle_queries: out.oracle_queries,
+            solver: out.telemetry.solver,
+            clauses: out.telemetry.clauses,
+            vars: out.telemetry.vars,
+        },
+        baseline_ok: baseline.is_ok(),
+        baseline_detail: baseline.as_ref().err().cloned().unwrap_or_default(),
+        scan_mutants: mutants.len(),
+        scan_kills: kills,
+        rows: rows,
+        wall_ns: wall_ns,
+    };
+    let name = if smoke { "BENCH_scan_smoke" } else { "BENCH_scan" };
+    let path = write_results(name, &doc).expect("write results");
+    println!("results -> {}", path.display());
+
+    assert!(
+        baseline.is_ok(),
+        "clean scancheck battery failed: {}",
+        baseline.err().unwrap_or_default()
+    );
+    assert!(key_exact, "dyn_unlock must recover a session-exact seed");
+    assert_eq!(kills, mutants.len(), "a scan mutant survived its battery");
+}

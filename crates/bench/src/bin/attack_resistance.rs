@@ -121,6 +121,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 },
             )?,
         ),
+        (
+            "kgate-12",
+            locking::kgate::lock(
+                &comb,
+                &locking::kgate::KGateConfig {
+                    classes: 4,
+                    word_bits: 3,
+                    seed: 1,
+                },
+            )?,
+        ),
     ];
     // One pool task per (target, attack) pair plus one for each target's
     // oracle-less SPS run; results come back in the sequential order.
@@ -173,6 +184,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     for r in built {
         rows.push(r?);
+    }
+
+    // --- Dynamic scan obfuscation, attacked through real scan sessions. ---
+    // The target is the unrolled bounded session (load + capture + unload)
+    // whose key inputs are the LFSR seed; the oracle replays each candidate
+    // session on the chip model, so this is the DynUnlock threat model
+    // end to end. The netlist-level obfuscation does not protect the
+    // oracle — the seed falls out of the SAT loop.
+    {
+        use attacks::dyn_unlock::ScanSessionOracle;
+        use locking::scan_obfuscation::{self, ScanObfConfig, UnrollOptions};
+
+        let seq = netlist::samples::counter(12);
+        let scanobf = scan_obfuscation::lock(&seq, &ScanObfConfig::balanced(12, 1))?;
+        let unrolled = scanobf.unroll(&UnrollOptions::default())?;
+        for attack in ["dyn_unlock", "sat"] {
+            let mut oracle = ScanSessionOracle::new(&scanobf, &unrolled)?;
+            rows.push(run_attack(
+                attack,
+                &unrolled.locked,
+                "scanobf-12",
+                "scan-session",
+                &mut oracle,
+            ));
+        }
     }
 
     // --- The same WLL lock behind an OraP chip. ---------------------------

@@ -98,6 +98,40 @@ pub fn lock(args: &[String]) -> Result<(), CliError> {
                 seed,
             },
         )?,
+        "kgate" => {
+            let classes = flag_num(args, "--classes", 4)?;
+            if classes == 0 || key_bits % classes != 0 {
+                return Err(format!(
+                    "kgate needs --key-bits divisible by --classes (got {key_bits}/{classes})"
+                )
+                .into());
+            }
+            locking::kgate::lock(
+                &circuit,
+                &locking::kgate::KGateConfig {
+                    classes,
+                    word_bits: key_bits / classes,
+                    seed,
+                },
+            )?
+        }
+        "scan-obf" => {
+            // Dynamic scan obfuscation is sequential; the file artifact is
+            // the unrolled bounded session (key inputs = the LFSR seed), so
+            // the `attack` subcommand can drive it like any other lock.
+            let sol = locking::scan_obfuscation::lock(
+                &circuit,
+                &locking::scan_obfuscation::ScanObfConfig::balanced(key_bits, seed),
+            )?;
+            let unrolled = sol.unroll(&locking::scan_obfuscation::UnrollOptions::default())?;
+            println!(
+                "session : {} frames ({} load + capture + {} unload)",
+                unrolled.unroll_depth(),
+                unrolled.load_cycles,
+                unrolled.unload_cycles
+            );
+            unrolled.locked
+        }
         other => return Err(format!("unknown scheme `{other}`").into()),
     };
     write_netlist(out, &locked.circuit)?;
@@ -140,17 +174,24 @@ pub fn protect(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Rebuilds a LockedCircuit view from a locked netlist file: key inputs are
-/// recognised by their `keyin*` name prefix (the convention all our locking
-/// schemes use).
+/// recognised by their name prefix — `keyin*` (the convention of the
+/// combinational schemes), `kg_key*` (K-Gate key words) or `scan_key*`
+/// (the LFSR seed of an unrolled scan-obfuscation session).
 fn reconstruct_locked(circuit: netlist::Circuit, key_hex: &str) -> Result<LockedCircuit, CliError> {
+    const KEY_PREFIXES: [&str; 3] = ["keyin", "kg_key", "scan_key"];
     let key_inputs: Vec<NetId> = circuit
         .primary_inputs()
         .iter()
         .copied()
-        .filter(|&n| circuit.net(n).name().starts_with("keyin"))
+        .filter(|&n| {
+            let name = circuit.net(n).name();
+            KEY_PREFIXES.iter().any(|p| name.starts_with(p))
+        })
         .collect();
     if key_inputs.is_empty() {
-        return Err("no `keyin*` inputs found — is this a locked netlist?".into());
+        return Err(
+            "no `keyin*`/`kg_key*`/`scan_key*` inputs found — is this a locked netlist?".into(),
+        );
     }
     let correct_key = keyfmt::from_hex(key_hex, key_inputs.len())?;
     Ok(LockedCircuit {
@@ -214,6 +255,14 @@ pub fn attack(args: &[String]) -> Result<(), CliError> {
                     )
                     .outcome
                 }
+                // Against a netlist file the unrolled session is just a
+                // combinational lock, so the activated-chip oracle stands in
+                // for the scan interface.
+                "dyn-unlock" => attacks::dyn_unlock::attack(
+                    &locked,
+                    &mut oracle,
+                    &attacks::dyn_unlock::DynUnlockConfig::default(),
+                ),
                 other => return Err(format!("unknown attack `{other}`").into()),
             }
         }

@@ -32,12 +32,13 @@ COMMANDS:
     optimize <netlist>                        area/delay before vs after synthesis
     atpg     <netlist> [--patterns N] [--backtrack N]
                                               stuck-at fault coverage report
-    lock     <netlist> -o <out> [--scheme rll|fll|wll|sarlock|antisat|sfll]
-             [--key-bits N] [--control-width N] [--seed N]
+    lock     <netlist> -o <out> [--scheme rll|fll|wll|sarlock|antisat|sfll|kgate|scan-obf]
+             [--key-bits N] [--control-width N] [--classes N] [--seed N]
                                               lock a netlist; prints the key (hex)
+                                              (scan-obf writes the unrolled session)
     protect  <netlist> -o <out> [--key-bits N] [--control-width N]
              [--modified] [--seed N]          OraP-protect; prints the key sequence
-    attack   <locked> --key <hex> [--attack sat|appsat|double-dip|hill-climb|sensitize|sps]
+    attack   <locked> --key <hex> [--attack sat|appsat|double-dip|hill-climb|sensitize|dyn-unlock|sps]
              [--key-bits N]                   attack a locked netlist (oracle = correct key)
     convert  <netlist> -o <out>               convert .bench <-> .v
 

@@ -29,6 +29,9 @@
 //!   honesty, oracle-query ledger/budget truthfulness).
 //! - [`attack_loop`]: full lock → attack → key recovery → exact-miter
 //!   verification loops across schemes × attacks.
+//! - [`scancheck`]: scan-obfuscation battery (DynUnlock + K-Gate Lock
+//!   conformance loops, unrolled-session vs chip-stepping differential,
+//!   session CNF admission).
 //! - [`mutation`]: the mutant catalog and the kill-matrix runner.
 //! - [`seqgen`]: a [`qcheck::Gen`] combinator for sequential (DFF-bearing)
 //!   circuits with a shrinker.
@@ -51,4 +54,5 @@ pub mod fsimcheck;
 pub mod mutation;
 pub mod reference;
 pub mod satcheck;
+pub mod scancheck;
 pub mod seqgen;

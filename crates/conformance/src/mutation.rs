@@ -24,6 +24,7 @@ use cdcl::SolverSabotage;
 
 use crate::differential::{self, EngineFault};
 use crate::fsimcheck::{self, FsimFault};
+use crate::scancheck::{self, ScanSabotage};
 use crate::{enccheck, enginecheck, satcheck};
 
 /// Battery scale: `Smoke` is the CI configuration, `Full` the nightly one.
@@ -49,6 +50,9 @@ pub enum MutantKind {
     Fsim(FsimFault),
     /// An attack-engine control-layer (`AttackCtl`) sabotage.
     AttackEngine(EngineSabotage),
+    /// A scan-obfuscation scheme/attack sabotage (unroller, DynUnlock
+    /// learning, K-Gate key bookkeeping).
+    Scan(ScanSabotage),
 }
 
 /// One catalog entry.
@@ -64,8 +68,8 @@ pub struct MutantSpec {
     pub kind: MutantKind,
 }
 
-/// The checked-in mutant catalog: 21 semantic mutants spanning the
-/// `netlist`, `sim`(kernel), `atpg`, `sat` and `attacks` layers.
+/// The checked-in mutant catalog: 24 semantic mutants spanning the
+/// `netlist`, `sim`(kernel), `atpg`, `sat`, `locking` and `attacks` layers.
 pub fn catalog() -> Vec<MutantSpec> {
     use EngineFault::*;
     vec![
@@ -195,6 +199,24 @@ pub fn catalog() -> Vec<MutantSpec> {
             description: "count only every other oracle query in the budget ledger",
             kind: MutantKind::AttackEngine(EngineSabotage::UndercountOracleQuery),
         },
+        MutantSpec {
+            id: "locking-scanobf-wrong-hop-permutation",
+            layer: "locking",
+            description: "shift every keyed swap stage one hop down in the session unroller",
+            kind: MutantKind::Scan(ScanSabotage::WrongHopPermutation),
+        },
+        MutantSpec {
+            id: "attacks-dyn-unlock-drop-frame",
+            layer: "attacks",
+            description: "drop the first shift frame from every learned scan-session response",
+            kind: MutantKind::Scan(ScanSabotage::DropUnrollFrame),
+        },
+        MutantSpec {
+            id: "locking-kgate-decode-table-swap",
+            layer: "locking",
+            description: "swap the first two decode-table words in the recorded K-Gate key",
+            kind: MutantKind::Scan(ScanSabotage::DecodeTableSwap),
+        },
     ]
 }
 
@@ -301,6 +323,7 @@ fn run_battery(kind: Option<MutantKind>, scale: Scale) -> Result<(), String> {
             enccheck::encoder_battery(None, enc_patterns(scale))?;
             fsimcheck::fsim_battery(None)?;
             enginecheck::engine_battery(None)?;
+            scancheck::scan_battery(None, scale)?;
             if scale == Scale::Full {
                 crate::attack_loop::attack_loop_battery()?;
             }
@@ -328,6 +351,7 @@ fn run_battery(kind: Option<MutantKind>, scale: Scale) -> Result<(), String> {
         }
         Some(MutantKind::Fsim(f)) => fsimcheck::fsim_battery(Some(f)),
         Some(MutantKind::AttackEngine(sab)) => enginecheck::engine_battery(Some(sab)),
+        Some(MutantKind::Scan(sab)) => scancheck::scan_battery(Some(sab), scale),
     }
 }
 

@@ -1,12 +1,13 @@
-//! A [`qcheck::Gen`] combinator for sequential (DFF-bearing) circuits.
+//! [`qcheck::Gen`] combinators for sequential (DFF-bearing) circuits and
+//! scan-obfuscated session workloads built on them.
 //!
-//! The generator produces a [`SeqSpec`] — the interface dimensions plus a
-//! synthesis seed — rather than a [`netlist::Circuit`] directly, so failing
-//! cases print as a five-number tuple and shrink meaningfully: every
-//! dimension shrinks toward its floor and the seed halves toward zero,
-//! while [`SeqSpec::build`] stays total by normalizing the gate budget to
-//! whatever the output count requires.
+//! The generators produce specs — interface dimensions plus seeds — rather
+//! than a [`netlist::Circuit`] directly, so failing cases print as small
+//! tuples and shrink meaningfully: every dimension shrinks toward its floor
+//! and the seed halves toward zero, while the `build`/`lock` constructors
+//! stay total by normalizing budgets to whatever the spec requires.
 
+use locking::scan_obfuscation::{self, ScanObfConfig, ScanObfLocked};
 use netlist::generate::{self, Profile};
 use netlist::rng::SplitMix64;
 use netlist::Circuit;
@@ -30,12 +31,12 @@ pub struct SeqSpec {
 impl SeqSpec {
     /// Synthesizes the circuit. Total for every spec this module can
     /// produce (including shrunk ones): the gate budget is clamped so the
-    /// generator invariant `outputs ≤ inputs + gates` always holds.
+    /// generator invariant holds — the synthesizer taps observation points
+    /// before its top-up phase, so the budget must cover the output surplus
+    /// with the reserved gates (`gates/8`, min 2) still set aside.
     pub fn build(&self) -> Circuit {
-        let gates = self
-            .gates
-            .max(2)
-            .max(self.primary_outputs.saturating_sub(self.primary_inputs));
+        let surplus = self.primary_outputs.saturating_sub(self.primary_inputs);
+        let gates = self.gates.max(2).max(surplus * 8 / 7 + 2);
         generate::synthesize(&Profile {
             name: format!(
                 "seq_{}x{}_{}ff_{}g_s{}",
@@ -124,6 +125,88 @@ impl Gen for SeqCircuitGen {
     }
 }
 
+/// A scan-obfuscated session workload: a sequential circuit spec plus the
+/// dynamic scan-obfuscation profile applied to its scan chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanSessionSpec {
+    /// The underlying sequential circuit.
+    pub circuit: SeqSpec,
+    /// LFSR width / scan key bits (≥ 1).
+    pub key_bits: usize,
+    /// Scan chains (clamped by the locker to the DFF count).
+    pub num_chains: usize,
+    /// Scheme seed (stage placement, keystream-cell assignment, key).
+    pub obf_seed: u64,
+}
+
+impl ScanSessionSpec {
+    /// Builds the circuit and locks its scan chains. Total for every spec
+    /// the generator or shrinker can produce: the circuit always has DFFs
+    /// and `key_bits ≥ 1`, so [`scan_obfuscation::lock`] cannot reject the
+    /// profile.
+    pub fn lock(&self) -> (Circuit, ScanObfLocked) {
+        let orig = self.circuit.build();
+        let locked = scan_obfuscation::lock(
+            &orig,
+            &ScanObfConfig {
+                key_bits: self.key_bits.max(1),
+                num_chains: self.num_chains.max(1),
+                invert_spacing: 2,
+                swap_spacing: 2,
+                seed: self.obf_seed,
+            },
+        )
+        .expect("DFF-bearing spec with key bits is lockable");
+        (orig, locked)
+    }
+}
+
+/// Generator for [`ScanSessionSpec`] with fixed, test-friendly ranges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanSessionGen;
+
+const MIN_KEY_BITS: usize = 1;
+const MIN_CHAINS: usize = 1;
+
+impl Gen for ScanSessionGen {
+    type Value = ScanSessionSpec;
+
+    fn generate(&self, rng: &mut SplitMix64) -> ScanSessionSpec {
+        let mut circuit = SeqCircuitGen.generate(rng);
+        // Session unrolling is exponential-ish in chain length through the
+        // symbolic stage muxes; keep the state register modest.
+        circuit.dffs = MIN_DFFS + rng.below_usize(8);
+        ScanSessionSpec {
+            circuit,
+            key_bits: 2 + rng.below_usize(11),
+            num_chains: MIN_CHAINS + rng.below_usize(3),
+            obf_seed: rng.next_u64(),
+        }
+    }
+
+    fn shrink(&self, value: &ScanSessionSpec) -> Vec<ScanSessionSpec> {
+        let mut out = Vec::new();
+        for circuit in SeqCircuitGen.shrink(&value.circuit) {
+            out.push(ScanSessionSpec { circuit, ..value.clone() });
+        }
+        for key_bits in shrink_usize(MIN_KEY_BITS, value.key_bits) {
+            out.push(ScanSessionSpec { key_bits, ..value.clone() });
+        }
+        for num_chains in shrink_usize(MIN_CHAINS, value.num_chains) {
+            out.push(ScanSessionSpec { num_chains, ..value.clone() });
+        }
+        let mut seed = value.obf_seed;
+        while seed > 0 {
+            seed /= 2;
+            out.push(ScanSessionSpec { obf_seed: seed, ..value.clone() });
+            if out.len() > 96 {
+                break;
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +239,29 @@ mod tests {
             seed: 0,
         };
         floor.build().validate().expect("floor spec builds");
+    }
+
+    #[test]
+    fn scan_session_specs_lock_and_shrink_totally() {
+        let mut rng = SplitMix64::new(0x5CA0);
+        let spec = ScanSessionGen.generate(&mut rng);
+        let (_orig, locked) = spec.lock();
+        assert_eq!(locked.key_bits(), spec.key_bits);
+        for cand in ScanSessionGen.shrink(&spec).into_iter().take(24) {
+            cand.lock();
+        }
+        let floor = ScanSessionSpec {
+            circuit: SeqSpec {
+                primary_inputs: MIN_PIS,
+                primary_outputs: MIN_POS,
+                dffs: MIN_DFFS,
+                gates: MIN_GATES,
+                seed: 0,
+            },
+            key_bits: MIN_KEY_BITS,
+            num_chains: MIN_CHAINS,
+            obf_seed: 0,
+        };
+        floor.lock();
     }
 }

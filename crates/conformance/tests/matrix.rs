@@ -15,8 +15,8 @@ fn mutation_matrix_kills_every_mutant_at_smoke_scale() {
         report.baseline_detail
     );
     assert!(
-        report.results.len() >= 12,
-        "catalog shrank below the 12-mutant floor: {}",
+        report.results.len() >= 24,
+        "catalog shrank below the 24-mutant floor: {}",
         report.results.len()
     );
     let survivors = report.survivors();
@@ -24,8 +24,8 @@ fn mutation_matrix_kills_every_mutant_at_smoke_scale() {
         survivors.is_empty(),
         "mutants survived the battery: {survivors:?}"
     );
-    // All four layers must be represented in the kill set.
-    for layer in ["netlist", "sim", "sat", "attacks"] {
+    // Every mutated layer must be represented in the kill set.
+    for layer in ["netlist", "sim", "atpg", "sat", "attacks", "locking"] {
         assert!(
             report.results.iter().any(|r| r.layer == layer && r.killed),
             "no killed mutant in layer {layer}"

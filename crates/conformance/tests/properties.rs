@@ -5,7 +5,7 @@
 //! panic report prints the exact line to append); the two properties here
 //! each have one pinned entry so the replay path stays exercised.
 
-use conformance::seqgen::SeqCircuitGen;
+use conformance::seqgen::{ScanSessionGen, SeqCircuitGen};
 use conformance::{differential, enccheck};
 use gatesim::SeqSim;
 use locking::random::RllConfig;
@@ -63,6 +63,137 @@ props! {
             state = comb_out[n_pos..].to_vec();
             qcheck::prop_assert_eq!(sim.state(), &state[..]);
         }
+    }
+}
+
+props! {
+    config = Config::with_cases(8);
+
+    /// Scan-obfuscation session unrolling on random DFF circuits: the
+    /// unrolled combinational session (the circuit DynUnlock encodes to
+    /// CNF), evaluated by the naive interpreter, must match the chip
+    /// model's [`SeqSim`]-based stepping for random seeds and scan
+    /// stimuli — and a genuine chip response must be admitted by the
+    /// AIG-reduced CNF under the correct seed, while a corrupted response
+    /// must be rejected.
+    fn conformance_scan_session_unroll_agrees(spec in ScanSessionGen) {
+        use attacks::aigcnf::ReducedEncoder;
+        use cdcl::{SolveResult, Solver};
+        use locking::scan_obfuscation::{ObfScanSim, UnrollOptions};
+
+        let (orig, locked) = spec.lock();
+        let unrolled = locked.unroll(&UnrollOptions::default()).expect("acyclic");
+        let n_stream = unrolled.load_cycles * unrolled.num_chains;
+        let n_pis = orig.primary_inputs().len();
+        let mut rng = netlist::rng::SplitMix64::new(spec.obf_seed ^ 0x5E55);
+
+        for trial in 0..4 {
+            let key: Vec<bool> = if trial == 0 {
+                locked.correct_key.clone()
+            } else {
+                (0..spec.key_bits).map(|_| rng.bool()).collect()
+            };
+            let stream: Vec<bool> = (0..n_stream).map(|_| rng.bool()).collect();
+            let pis: Vec<bool> = (0..n_pis).map(|_| rng.bool()).collect();
+            let mut chip = ObfScanSim::new(&locked, &key).expect("acyclic");
+            let want = chip.session(unrolled.load_cycles, unrolled.unload_cycles, &stream, &pis);
+            let mut x = key.clone();
+            x.extend(&stream);
+            x.extend(&pis);
+            let got = conformance::reference::eval_bits(&unrolled.locked.circuit, &x);
+            qcheck::prop_assert_eq!(&got[..], &want[..]);
+
+            if trial == 0 {
+                // CNF leg: the correct-seed response is admissible, and no
+                // single-bit corruption of it is.
+                let stim: Vec<bool> = stream.iter().chain(&pis).copied().collect();
+                let mut solver = Solver::new();
+                let mut enc = ReducedEncoder::new(&unrolled.locked, &mut solver, 1);
+                let ok = enc.add_io_constraint(&mut solver, 0, &stim, &want);
+                let assumptions: Vec<cdcl::Lit> = enc
+                    .key_vars(0)
+                    .iter()
+                    .zip(&locked.correct_key)
+                    .map(|(&v, &b)| v.lit(b))
+                    .collect();
+                qcheck::prop_assert!(
+                    ok && solver.solve_with(&assumptions) == SolveResult::Sat,
+                    "correct chip session rejected by the unrolled CNF"
+                );
+
+                let mut bad = want.clone();
+                let flip = rng.below_usize(bad.len());
+                bad[flip] = !bad[flip];
+                let mut solver = Solver::new();
+                let mut enc = ReducedEncoder::new(&unrolled.locked, &mut solver, 1);
+                let ok = enc.add_io_constraint(&mut solver, 0, &stim, &bad);
+                let assumptions: Vec<cdcl::Lit> = enc
+                    .key_vars(0)
+                    .iter()
+                    .zip(&locked.correct_key)
+                    .map(|(&v, &b)| v.lit(b))
+                    .collect();
+                qcheck::prop_assert!(
+                    !ok || solver.solve_with(&assumptions) != SolveResult::Sat,
+                    "corrupted session (bit {}) admitted under the correct seed",
+                    flip
+                );
+            }
+        }
+    }
+
+    /// K-Gate multi-key round-trips on random combinational circuits: under
+    /// the recorded key, the locked circuit matches the original on random
+    /// data vectors spanning every input class, and the class observed per
+    /// vector stays within the configured class count.
+    fn conformance_kgate_multikey_roundtrip(
+        (seed, sel_pow, word_bits, outputs, gates) in
+            (0u64..1_000_000, 1usize..4, 1usize..5, 2usize..6, 30usize..90),
+    ) {
+        use locking::kgate::{self, KGateConfig};
+
+        let inputs = 9;
+        let orig = netlist::generate::random_comb(seed, inputs, outputs, gates)
+            .expect("profile within generator bounds");
+        let config = KGateConfig { classes: 1 << sel_pow, word_bits, seed };
+        let locked = kgate::lock(&orig, &config).expect("lockable");
+        qcheck::prop_assert_eq!(locked.key_bits(), (1 << sel_pow) * word_bits);
+
+        // Per-vector round-trip under the recorded multi-key, with the key
+        // bits routed by net id (not position) so the check is robust to
+        // input-ordering choices in the locker.
+        let comb_inputs = locked.circuit.comb_inputs().to_vec();
+        let key_pos: std::collections::HashMap<netlist::NetId, usize> = locked
+            .key_inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        let mut rng = netlist::rng::SplitMix64::new(seed ^ 0x4b67);
+        let mut seen_classes = vec![false; config.classes];
+        for _ in 0..128 {
+            let data: Vec<bool> = (0..inputs).map(|_| rng.bool()).collect();
+            let class = kgate::input_class(&orig, &config, &data);
+            qcheck::prop_assert!(class < config.classes);
+            seen_classes[class] = true;
+
+            let mut data_iter = data.iter().copied();
+            let x: Vec<bool> = comb_inputs
+                .iter()
+                .map(|n| match key_pos.get(n) {
+                    Some(&i) => locked.correct_key[i],
+                    None => data_iter.next().expect("data covers original inputs"),
+                })
+                .collect();
+            let got = conformance::reference::eval_bits(&locked.circuit, &x);
+            let want = conformance::reference::eval_bits(&orig, &data);
+            qcheck::prop_assert_eq!(&got[..], &want[..]);
+        }
+        qcheck::prop_assert!(
+            seen_classes.iter().all(|&s| s),
+            "128 random vectors must span all {} classes",
+            config.classes
+        );
     }
 }
 

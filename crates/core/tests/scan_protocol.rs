@@ -1,8 +1,13 @@
 //! Scan-interface protocol conformance: the OraP invariant is that every
 //! 0→1 `scan_enable` transition clears the key register *before* anything
 //! shifts, so no scan-out sequence ever carries key bits — while functional
-//! clocking (no edge) leaves the unlocked key untouched.
+//! clocking (no edge) leaves the unlocked key untouched. The final group
+//! drives the *dynamically keyed* scan chain (`locking::scan_obfuscation`)
+//! with attack-style sequences and checks the key-schedule protocol: only
+//! shift cycles advance the keystream, captures never do.
 
+use locking::scan_obfuscation::{self, ObfScanSim, ScanObfConfig};
+use netlist::rng::SplitMix64;
 use orap::chip::{ChainCell, ProtectedChip};
 use orap::threat::extract_key_via_scan;
 use orap::{protect, OrapConfig, OrapProtected, OrapVariant};
@@ -135,4 +140,160 @@ fn no_scan_out_sequence_exposes_the_key() {
             "{variant:?}: key cells scan out as zeros"
         );
     }
+}
+
+/// An adversary toggling `scan_enable` arbitrarily mid-shift never sees a
+/// key bit: once the first rising edge fires, the register never holds the
+/// correct key again (functional cycles in between do not restore it), and
+/// with the functional state zeroed ahead of each rising edge — so the only
+/// possible source of a nonzero chain bit would be a key bit that escaped
+/// the clear — every scan cycle observes an all-zero register and an
+/// all-zero scan-out. A clean re-unlock afterwards still works.
+#[test]
+fn adversarial_mid_shift_toggling_never_exposes_the_key() {
+    for (vi, variant) in [OrapVariant::Basic, OrapVariant::Modified].into_iter().enumerate() {
+        let p = protected(variant);
+        let mut chip = ProtectedChip::new(&p).expect("chip");
+        chip.power_on_and_unlock();
+        chip.set_state_ffs(&vec![false; chip.num_state_ffs()]);
+        let pis = zero_pis(&chip);
+        let scan_in = zero_scan(&chip);
+
+        let mut rng = SplitMix64::new(0xAD5E ^ vi as u64);
+        let mut edge_seen = false;
+        let mut prev_enable = false;
+        for cycle in 0..64 {
+            // Bias toward toggling: the attack is the edge pattern itself.
+            let enable = rng.chance(2, 3);
+            if enable && !prev_enable {
+                // Functional cycles advance the counter; shifting would then
+                // move those legitimate state bits into key-cell positions.
+                // Zero the state at each rising edge so any nonzero bit seen
+                // during the following scan burst is attributable only to a
+                // key bit that escaped the self-clear.
+                chip.set_state_ffs(&vec![false; chip.num_state_ffs()]);
+                edge_seen = true;
+            }
+            prev_enable = enable;
+            chip.set_scan_enable(enable);
+            let out = chip.clock(&pis, &scan_in);
+            if enable {
+                assert!(
+                    chip.key_register_state().iter().all(|&b| !b),
+                    "{variant:?} cycle {cycle}: scan cycle with a non-zero key register"
+                );
+                assert!(
+                    out.scan_out.iter().all(|&b| !b),
+                    "{variant:?} cycle {cycle}: scan-out carried a nonzero bit"
+                );
+            }
+            if edge_seen {
+                assert!(
+                    !chip.key_register_holds_correct_key(),
+                    "{variant:?} cycle {cycle}: key reappeared without an unlock sequence"
+                );
+            }
+        }
+        assert!(edge_seen, "schedule must have exercised at least one edge");
+
+        // The self-clear is not destructive: a fresh unlock still works.
+        chip.set_scan_enable(false);
+        chip.power_on_and_unlock();
+        assert!(
+            chip.key_register_holds_correct_key(),
+            "{variant:?}: re-unlock after the adversarial schedule"
+        );
+    }
+}
+
+/// The dynamically keyed scan chain for the attack-facing tests below:
+/// counter(8) under the scancheck battery profile (two chains of four
+/// cells, invert and swap stages, 8-bit LFSR).
+fn dyn_chain() -> scan_obfuscation::ScanObfLocked {
+    scan_obfuscation::lock(
+        &netlist::samples::counter(8),
+        &ScanObfConfig {
+            key_bits: 8,
+            num_chains: 2,
+            invert_spacing: 2,
+            swap_spacing: 2,
+            seed: 3,
+        },
+    )
+    .expect("counter(8) is lockable")
+}
+
+/// Key-schedule protocol of the dynamically keyed chain: the keystream
+/// advances on shift cycles ONLY. An adversary interleaving capture cycles
+/// mid-shift (scan-enable toggling) observes exactly the keyed-shift
+/// behaviour of an uninterrupted shift burst — captures neither advance nor
+/// reset the schedule.
+#[test]
+fn capture_cycles_never_advance_the_dynamic_key_schedule() {
+    let locked = dyn_chain();
+    let mut rng = SplitMix64::new(0x70661e);
+    let key: Vec<bool> = locked.correct_key.clone();
+    let pis = vec![false; 1];
+
+    let mut straight = ObfScanSim::new(&locked, &key).expect("chip model");
+    let mut toggled = ObfScanSim::new(&locked, &key).expect("chip model");
+    for shift in 0..12 {
+        let bits: Vec<bool> = (0..2).map(|_| rng.bool()).collect();
+        straight.shift_clock(&bits);
+        // The adversary sneaks 1–3 capture cycles between shifts.
+        for _ in 0..1 + rng.below_usize(3) {
+            toggled.capture(&pis);
+        }
+        toggled.shift_clock(&bits);
+        assert_eq!(
+            straight.keystream(),
+            toggled.keystream(),
+            "shift {shift}: captures moved the key schedule"
+        );
+    }
+    // And a reset rewinds the schedule to the seed, for both histories.
+    straight.reset();
+    toggled.reset();
+    assert_eq!(straight.keystream(), key);
+    assert_eq!(toggled.keystream(), key);
+}
+
+/// Attack-driven sequences against the dynamically keyed chain: sessions
+/// are deterministic per (seed, stimulus) — the property DynUnlock's oracle
+/// model relies on — while a wrong seed scrambles the observed stream, and
+/// the keyed image differs from the plain shift image (the obfuscation is
+/// actually on the wire).
+#[test]
+fn replayed_sessions_are_deterministic_and_seed_dependent() {
+    let locked = dyn_chain();
+    let mut rng = SplitMix64::new(0xD1A6);
+    let stream: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
+    let pis = vec![true];
+
+    let mut chip = ObfScanSim::new(&locked, &locked.correct_key).expect("chip model");
+    let first = chip.session(4, 4, &stream, &pis);
+    let replay = chip.session(4, 4, &stream, &pis);
+    assert_eq!(first, replay, "same seed + stimulus must replay identically");
+
+    let mut wrong_key = locked.correct_key.clone();
+    wrong_key[0] = !wrong_key[0];
+    let mut wrong = ObfScanSim::new(&locked, &wrong_key).expect("chip model");
+    assert_ne!(
+        first,
+        wrong.session(4, 4, &stream, &pis),
+        "a flipped seed bit must scramble the session"
+    );
+
+    // The keyed shift image differs from a plain (unkeyed) shift of the
+    // same stimulus: zero state + zero scan-in shifts to zero in a plain
+    // chain, but the invert stages put keystream-controlled ones on the wire.
+    chip.reset();
+    let mut all_zero = true;
+    for _ in 0..4 {
+        all_zero &= chip.shift_clock(&[false, false]).iter().all(|&b| !b);
+    }
+    assert!(
+        !(all_zero && chip.state().iter().all(|&b| !b)),
+        "keyed shifting of zeros must not look like a plain chain"
+    );
 }

@@ -16,7 +16,12 @@
 //! - [`point_function`]: SARLock and Anti-SAT, the SAT-resistant baselines
 //!   whose low corruptibility the paper contrasts against,
 //! - [`sfll`]: stripped-functionality locking (SFLL-HD / TTLock), the
-//!   state-of-the-art point-function scheme in the paper's related work.
+//!   state-of-the-art point-function scheme in the paper's related work,
+//! - [`kgate`]: K-Gate-style multi-key input encoding — distinct key words
+//!   decode distinct input classes, amplifying oracle query cost,
+//! - [`scan_obfuscation`]: LFSR-keyed *dynamic* scan-chain obfuscation (the
+//!   DynUnlock workload) — the key lives in the scan path, not the
+//!   combinational netlist.
 //!
 //! All schemes produce a [`LockedCircuit`]: the locked netlist, the key
 //! input nets, and the correct key.
@@ -37,8 +42,10 @@
 #![warn(missing_docs)]
 
 pub mod fault_based;
+pub mod kgate;
 pub mod point_function;
 pub mod random;
+pub mod scan_obfuscation;
 pub mod sfll;
 pub mod weighted;
 

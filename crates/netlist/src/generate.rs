@@ -301,16 +301,20 @@ fn synthesize_core<S: NetSink>(profile: &Profile, sink: &mut S) -> Result<SynthP
         }
     };
 
-    if comb_outputs > comb_inputs + profile.gates {
-        return Err(Error::BadProfile(
-            "more outputs than nets to observe".into(),
-        ));
-    }
-
     // Reserve budget for the sink-combining and top-up phases; the final
     // non-inverter gate count is made exact below.
     let reserve = (profile.gates / 8).max(2);
     let grow = profile.gates.saturating_sub(reserve).max(2);
+
+    // Observation points are tapped *before* the top-up phase, so only the
+    // grow-phase nets are available to cover the outputs — checking against
+    // `profile.gates` here would let borderline profiles through and leave
+    // the sink-expansion sampler below with no fresh nets to draw.
+    if comb_outputs > comb_inputs + grow {
+        return Err(Error::BadProfile(
+            "more outputs than nets to observe".into(),
+        ));
+    }
     let mut non_inv = 0usize;
     let mut inverters_wanted = profile.gates * profile.inverter_percent / 100;
     let mut g_index = 0usize;

@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use atpg::AtpgConfig;
 use attacks::engine::{self, AttackCtl, AttackEngine, ProgressEvent};
-use attacks::{appsat, double_dip, hill_climbing, sat, sensitization, CombOracle, FailureReason};
+use attacks::{
+    appsat, double_dip, dyn_unlock, hill_climbing, sat, sensitization, CombOracle, FailureReason,
+};
 use locking::LockedCircuit;
 use netlist::{Circuit, CompiledCircuit};
 use orap_bench::json::Json;
@@ -109,6 +111,12 @@ pub enum LockScheme {
     Wll,
     /// Stripped-functionality logic locking (SFLL-HD).
     Sfll,
+    /// K-Gate multi-key input encoding (one key word per input class).
+    KGate,
+    /// Dynamic scan obfuscation; the artifact is the *unrolled* bounded
+    /// scan session (load + capture + unload) with the LFSR seed as its
+    /// key, i.e. exactly what DynUnlock attacks.
+    ScanObf,
 }
 
 impl LockScheme {
@@ -118,6 +126,8 @@ impl LockScheme {
             LockScheme::Rll => "rll",
             LockScheme::Wll => "wll",
             LockScheme::Sfll => "sfll",
+            LockScheme::KGate => "kgate",
+            LockScheme::ScanObf => "scan_obf",
         }
     }
 
@@ -127,6 +137,8 @@ impl LockScheme {
             "rll" => Some(LockScheme::Rll),
             "wll" => Some(LockScheme::Wll),
             "sfll" => Some(LockScheme::Sfll),
+            "kgate" => Some(LockScheme::KGate),
+            "scan_obf" => Some(LockScheme::ScanObf),
             _ => None,
         }
     }
@@ -146,6 +158,9 @@ pub enum AttackKind {
     Hill,
     /// Key sensitization (per-bit miter probing).
     Sensitization,
+    /// DynUnlock: the SAT loop over unrolled scan sessions (pair with
+    /// `scan_obf` artifacts).
+    DynUnlock,
 }
 
 impl AttackKind {
@@ -157,6 +172,7 @@ impl AttackKind {
             AttackKind::DoubleDip => "double_dip",
             AttackKind::Hill => "hill",
             AttackKind::Sensitization => "sensitization",
+            AttackKind::DynUnlock => "dyn_unlock",
         }
     }
 
@@ -168,6 +184,7 @@ impl AttackKind {
             "double_dip" => Some(AttackKind::DoubleDip),
             "hill" => Some(AttackKind::Hill),
             "sensitization" => Some(AttackKind::Sensitization),
+            "dyn_unlock" => Some(AttackKind::DynUnlock),
             _ => None,
         }
     }
@@ -189,6 +206,9 @@ pub enum JobSpec {
         seed: u64,
         /// SFLL-HD protected-cube Hamming distance (ignored by `rll`/`wll`).
         hamming_distance: usize,
+        /// K-Gate input-class count (ignored by every other scheme; the
+        /// per-class word width is `key_bits / classes`).
+        classes: usize,
     },
     /// Run an oracle-guided attack against a locked artifact.
     Attack {
@@ -273,12 +293,26 @@ impl JobSpec {
                 if hamming_distance > key_bits {
                     return Err("lock.hamming_distance must be <= key_bits".to_string());
                 }
+                let classes = get_u64(job, "classes").unwrap_or(4);
+                if scheme == LockScheme::KGate {
+                    if !(2..=64).contains(&classes) || !classes.is_power_of_two() {
+                        return Err(
+                            "lock.classes must be a power of two in 2..=64".to_string()
+                        );
+                    }
+                    if key_bits % classes != 0 {
+                        return Err(
+                            "lock.key_bits must be a multiple of lock.classes".to_string()
+                        );
+                    }
+                }
                 Ok(JobSpec::Lock {
                     bench: bench.to_string(),
                     scheme,
                     key_bits: key_bits as usize,
                     seed,
                     hamming_distance: hamming_distance as usize,
+                    classes: classes as usize,
                 })
             }
             "attack" => {
@@ -372,6 +406,7 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
             key_bits,
             seed,
             hamming_distance,
+            classes,
         } => {
             ctx.set_stage("compile");
             let src = state
@@ -388,12 +423,16 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
             if *scheme == LockScheme::Sfll {
                 h = fnv1a64_extend(h, &(*hamming_distance as u64).to_le_bytes());
             }
+            if *scheme == LockScheme::KGate {
+                h = fnv1a64_extend(h, &(*classes as u64).to_le_bytes());
+            }
             let id = hex16(h);
             let key = id.clone();
             let scheme = *scheme;
             let key_bits = *key_bits;
             let seed = *seed;
             let hamming_distance = *hamming_distance;
+            let classes = *classes;
             let src2 = Arc::clone(&src);
             let art = state
                 .locked
@@ -422,6 +461,25 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
                                 seed,
                             },
                         ),
+                        LockScheme::KGate => locking::kgate::lock(
+                            &src2.circuit,
+                            &locking::kgate::KGateConfig {
+                                classes,
+                                word_bits: key_bits / classes,
+                                seed,
+                            },
+                        ),
+                        // The stored artifact is the unrolled bounded scan
+                        // session: a combinational circuit whose key inputs
+                        // are the LFSR seed, attackable by any engine.
+                        LockScheme::ScanObf => locking::scan_obfuscation::lock(
+                            &src2.circuit,
+                            &locking::scan_obfuscation::ScanObfConfig::balanced(key_bits, seed),
+                        )
+                        .and_then(|sol| {
+                            sol.unroll(&locking::scan_obfuscation::UnrollOptions::default())
+                                .map(|u| u.locked)
+                        }),
                     }
                     .map_err(|e| format!("lock failed: {e}"))?;
                     let compiled = CompiledCircuit::compile(&locked.circuit)
@@ -496,6 +554,13 @@ pub fn run_job(state: &ServeState, ctx: &JobCtx, spec: &JobSpec) -> Result<Json,
                         config.probes_per_bit = mi;
                     }
                     Box::new(sensitization::SensitizationEngine { config })
+                }
+                AttackKind::DynUnlock => {
+                    let mut config = dyn_unlock::DynUnlockConfig::default();
+                    if mi > 0 {
+                        config.max_iterations = mi;
+                    }
+                    Box::new(dyn_unlock::DynUnlockEngine { config })
                 }
             };
             // The engine's control block observes the *same* cancel flag
@@ -673,6 +738,9 @@ mod tests {
             r#"{"kind":"sleep"}"#,
             r#"{"no_kind":true}"#,
             r#"{"kind":"lock","bench":"x","scheme":"sfll","key_bits":4,"hamming_distance":9}"#,
+            r#"{"kind":"lock","bench":"x","scheme":"kgate","key_bits":12,"classes":3}"#,
+            r#"{"kind":"lock","bench":"x","scheme":"kgate","key_bits":5,"classes":4}"#,
+            r#"{"kind":"lock","bench":"x","scheme":"kgate","key_bits":128,"classes":128}"#,
             r#"{"kind":"protect","bench":"x","key_bits":0}"#,
             r#"{"kind":"protect","bench":"x","key_bits":8,"variant":"turbo"}"#,
         ];
@@ -691,6 +759,9 @@ mod tests {
             (r#"{"kind":"attack","target":"abc","attack":"double_dip"}"#, "attack"),
             (r#"{"kind":"attack","target":"abc","attack":"sensitization"}"#, "attack"),
             (r#"{"kind":"lock","bench":"x","scheme":"sfll","key_bits":4,"hamming_distance":1}"#, "lock"),
+            (r#"{"kind":"lock","bench":"x","scheme":"kgate","key_bits":12,"classes":4}"#, "lock"),
+            (r#"{"kind":"lock","bench":"x","scheme":"scan_obf","key_bits":8,"seed":3}"#, "lock"),
+            (r#"{"kind":"attack","target":"abc","attack":"dyn_unlock"}"#, "attack"),
             (r#"{"kind":"protect","bench":"x","key_bits":8,"variant":"basic"}"#, "protect"),
             (r#"{"kind":"verify","target":"abc","key":"0110"}"#, "verify"),
             (r#"{"kind":"atpg","bench":"INPUT(a)"}"#, "atpg"),

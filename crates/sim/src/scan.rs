@@ -78,6 +78,39 @@ impl ScanChains {
     pub fn max_len(&self) -> usize {
         self.chains.iter().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// Applies one shift cycle to a per-flip-flop state image in place:
+    /// `scan_in[c]` enters chain `c`'s front cell, every other cell takes
+    /// its predecessor's value, and the bit falling off each chain's end is
+    /// returned (one per chain, in chain order; `false` for empty chains).
+    ///
+    /// This is the single shift primitive shared by [`ScanSim::clock`] and
+    /// the keyed scan-obfuscation models built on top of it, so an
+    /// obfuscated chain provably shifts data exactly like the plain one
+    /// before its key stages apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches of `state` or `scan_in`.
+    pub fn shift_image(&self, state: &mut [bool], scan_in: &[bool]) -> Vec<bool> {
+        assert_eq!(state.len(), self.num_dffs, "state width mismatch");
+        assert_eq!(
+            scan_in.len(),
+            self.chains.len(),
+            "one scan-in bit per chain"
+        );
+        let mut out = Vec::with_capacity(self.chains.len());
+        for (c, chain) in self.chains.iter().enumerate() {
+            out.push(chain.last().map(|&ff| state[ff]).unwrap_or(false));
+            for i in (1..chain.len()).rev() {
+                state[chain[i]] = state[chain[i - 1]];
+            }
+            if let Some(&first) = chain.first() {
+                state[first] = scan_in[c];
+            }
+        }
+        out
+    }
 }
 
 /// A conventional scan-equipped chip: a sequential circuit whose state is
@@ -158,23 +191,8 @@ impl ScanSim {
     /// Panics on width mismatches of `pis` or `scan_in`.
     pub fn clock(&mut self, pis: &[bool], scan_in: &[bool]) -> Vec<bool> {
         if self.scan_enable {
-            assert_eq!(
-                scan_in.len(),
-                self.chains.num_chains(),
-                "one scan-in bit per chain"
-            );
             let mut state = self.seq.state().to_vec();
-            let mut out = Vec::with_capacity(self.chains.num_chains());
-            for (c, chain) in self.chains.chains.iter().enumerate() {
-                let last = chain.last().map(|&ff| state[ff]).unwrap_or(false);
-                out.push(last);
-                for i in (1..chain.len()).rev() {
-                    state[chain[i]] = state[chain[i - 1]];
-                }
-                if let Some(&first) = chain.first() {
-                    state[first] = scan_in[c];
-                }
-            }
+            let out = self.chains.shift_image(&mut state, scan_in);
             self.seq.set_state(&state);
             out
         } else {

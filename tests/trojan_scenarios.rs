@@ -171,3 +171,68 @@ fn scenario_e_one_shot_query_defeated_by_modified_scheme() {
         "Modified scheme must fail to unlock with frozen state flip-flops"
     );
 }
+
+/// The scan-era schemes under the paper's lens. Dynamically keyed scan
+/// chains obfuscate the *netlist view* of the scan interface but leave the
+/// oracle answering — so DynUnlock recovers the LFSR seed through bounded
+/// scan sessions; killing the oracle (the OraP posture) defeats the same
+/// attack on the same netlist.
+#[test]
+fn dynamic_scan_obfuscation_falls_to_dyn_unlock_unless_the_oracle_dies() {
+    use attacks::dyn_unlock::{self, DynUnlockConfig, ScanSessionOracle};
+    use locking::scan_obfuscation::{self, ScanObfConfig, UnrollOptions};
+
+    let design = netlist::samples::counter(8);
+    let locked = scan_obfuscation::lock(&design, &ScanObfConfig::balanced(8, 3))
+        .expect("lockable");
+    let unrolled = locked.unroll(&UnrollOptions::default()).expect("acyclic");
+    let config = DynUnlockConfig::for_session(&unrolled);
+
+    // Open scan interface: the chip answers every bounded session, and the
+    // seed falls out of the SAT loop.
+    let mut open = ScanSessionOracle::new(&locked, &unrolled).expect("chip oracle");
+    let out = dyn_unlock::attack(&unrolled.locked, &mut open, &config);
+    let key = out.key.expect("open scan oracle must surrender the seed");
+    assert!(
+        attacks::verify::key_exact_counterexample(&unrolled.locked, &key).is_none(),
+        "recovered seed must be session-exact"
+    );
+
+    // Protected oracle: the identical attack on the identical netlist dies
+    // at the first refused query.
+    let mut dead = attacks::DeadOracle::new(
+        unrolled.load_cycles * unrolled.num_chains + design.primary_inputs().len(),
+        unrolled.locked.circuit.primary_outputs().len(),
+    );
+    let out = dyn_unlock::attack(&unrolled.locked, &mut dead, &config);
+    assert_eq!(out.key, None);
+    assert_eq!(out.failure, Some(attacks::FailureReason::OracleUnavailable));
+}
+
+/// K-Gate multi-key encoding likewise protects only the netlist: with an
+/// open oracle the plain SAT attack recovers a key that decodes every
+/// class exactly, while the dead oracle starves it.
+#[test]
+fn kgate_falls_to_sat_with_an_open_oracle_and_starves_without_one() {
+    use locking::kgate::{self, KGateConfig};
+
+    let design = netlist::samples::ripple_adder(4);
+    let locked = kgate::lock(&design, &KGateConfig { classes: 4, word_bits: 3, seed: 7 })
+        .expect("lockable");
+
+    let mut open = attacks::CombOracle::from_locked(&locked).expect("valid lock");
+    let out = attacks::sat::attack(&locked, &mut open, &attacks::sat::SatAttackConfig::default());
+    let key = out.key.expect("open oracle must surrender a key");
+    assert!(
+        attacks::verify::key_exact_counterexample(&locked, &key).is_none(),
+        "recovered key must decode every class exactly"
+    );
+
+    let mut dead = attacks::DeadOracle::new(
+        design.primary_inputs().len(),
+        design.primary_outputs().len(),
+    );
+    let out = attacks::sat::attack(&locked, &mut dead, &attacks::sat::SatAttackConfig::default());
+    assert_eq!(out.key, None);
+    assert_eq!(out.failure, Some(attacks::FailureReason::OracleUnavailable));
+}
